@@ -1,0 +1,228 @@
+// Package reesift_bench regenerates every table and figure of the paper's
+// evaluation as Go benchmarks: one benchmark per table/figure, each
+// printing the reproduced table once. Benchmarks run the SmallScale
+// campaigns (the same code as the paper-scale CLI, at reduced run counts);
+// `go run ./cmd/reesift -scale paper` produces the full-size campaigns.
+package reesift_bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"reesift/internal/experiments"
+)
+
+// scale is shared by all benchmarks.
+func scale() experiments.Scale { return experiments.SmallScale() }
+
+// printOnce avoids flooding the benchmark log on -benchtime reruns.
+var printed sync.Map
+
+func report(b *testing.B, id string, render func() (string, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := render()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, dup := printed.LoadOrStore(id, true); !dup {
+			fmt.Println(out)
+		}
+	}
+}
+
+func BenchmarkTable3Baseline(b *testing.B) {
+	report(b, "table3", func() (string, error) {
+		t, _, err := experiments.Table3(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkTable4CrashHang(b *testing.B) {
+	report(b, "table4", func() (string, error) {
+		t, _, err := experiments.Table4(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkTable5Heartbeat(b *testing.B) {
+	report(b, "table5", func() (string, error) {
+		t, _, err := experiments.Table5(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkTable6RegText(b *testing.B) {
+	report(b, "table6", func() (string, error) {
+		t, _, err := experiments.Table6(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkTable7Heap(b *testing.B) {
+	report(b, "table7", func() (string, error) {
+		t, _, err := experiments.Table7(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkTable8TargetedHeap(b *testing.B) {
+	report(b, "table8", func() (string, error) {
+		t8, _, _, err := experiments.Table8And9(scale())
+		if err != nil {
+			return "", err
+		}
+		return t8.Render(), nil
+	})
+}
+
+func BenchmarkTable9Assertions(b *testing.B) {
+	report(b, "table9", func() (string, error) {
+		_, t9, _, err := experiments.Table8And9(scale())
+		if err != nil {
+			return "", err
+		}
+		return t9.Render(), nil
+	})
+}
+
+func BenchmarkTable10AppHeap(b *testing.B) {
+	report(b, "table10", func() (string, error) {
+		t, _, err := experiments.Table10(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkTable11MultiApp(b *testing.B) {
+	report(b, "table11", func() (string, error) {
+		t11, _, _, err := experiments.Table11And12(scale())
+		if err != nil {
+			return "", err
+		}
+		return t11.Render(), nil
+	})
+}
+
+func BenchmarkTable12MultiAppClass(b *testing.B) {
+	report(b, "table12", func() (string, error) {
+		_, t12, _, err := experiments.Table11And12(scale())
+		if err != nil {
+			return "", err
+		}
+		return t12.Render(), nil
+	})
+}
+
+func BenchmarkFigure5Timeline(b *testing.B) {
+	report(b, "figure5", func() (string, error) {
+		t, err := experiments.Figure5(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkFigure6HangLatency(b *testing.B) {
+	report(b, "figure6", func() (string, error) {
+		t, _, err := experiments.Figure6(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkFigure7FTMPhases(b *testing.B) {
+	report(b, "figure7", func() (string, error) {
+		t, _, err := experiments.Figure7(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkFigure8CorrelatedStartup(b *testing.B) {
+	report(b, "figure8", func() (string, error) {
+		t, err := experiments.Figure8(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkFigure9SAN(b *testing.B) {
+	report(b, "figure9", func() (string, error) {
+		t, _, err := experiments.Figure9(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkFigure10RegistrationRace(b *testing.B) {
+	report(b, "figure10", func() (string, error) {
+		t, err := experiments.Figure10(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+// Ablation benches for the design choices DESIGN.md calls out: polling vs
+// interrupt-driven hang detection (Section 5.1), element assertions
+// on/off (Section 7/9), and node-local vs centralized checkpoint storage
+// (Section 3.4).
+
+func BenchmarkAblationWatchdog(b *testing.B) {
+	report(b, "ablation-watchdog", func() (string, error) {
+		t, err := experiments.AblationWatchdog(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkAblationAssertions(b *testing.B) {
+	report(b, "ablation-assertions", func() (string, error) {
+		t, err := experiments.AblationAssertions(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}
+
+func BenchmarkAblationCheckpointStore(b *testing.B) {
+	report(b, "ablation-checkpoint-store", func() (string, error) {
+		t, err := experiments.AblationSharedCheckpoints(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+}

@@ -1,0 +1,171 @@
+// Command reesift runs the reproduction's experiment campaigns and prints
+// the paper's tables and figures.
+//
+// Usage:
+//
+//	reesift [-scale small|paper] [-seed N] [-exp all|table3,table4,...]
+//
+// The paper scale reproduces the full campaign sizes (~28,000 injections
+// across all experiments); small scale is a fast smoke run of the same
+// code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reesift/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	scaleFlag := flag.String("scale", "small", "campaign scale: small or paper")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table3..table12, fig5..fig10) or 'all'")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		sc = experiments.SmallScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		return 2
+	}
+	sc.Seed = *seed
+
+	type experiment struct {
+		id  string
+		run func(experiments.Scale) (string, error)
+	}
+	all := []experiment{
+		{"table3", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Table3(s)
+			return render(t, err)
+		}},
+		{"table4", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Table4(s)
+			return render(t, err)
+		}},
+		{"table5", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Table5(s)
+			return render(t, err)
+		}},
+		{"table6", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Table6(s)
+			return render(t, err)
+		}},
+		{"table7", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Table7(s)
+			return render(t, err)
+		}},
+		{"table8", func(s experiments.Scale) (string, error) {
+			t8, t9, _, err := experiments.Table8And9(s)
+			if err != nil {
+				return "", err
+			}
+			return t8.Render() + "\n" + t9.Render(), nil
+		}},
+		{"table10", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Table10(s)
+			return render(t, err)
+		}},
+		{"table11", func(s experiments.Scale) (string, error) {
+			t11, t12, _, err := experiments.Table11And12(s)
+			if err != nil {
+				return "", err
+			}
+			return t11.Render() + "\n" + t12.Render(), nil
+		}},
+		{"fig5", func(s experiments.Scale) (string, error) {
+			t, err := experiments.Figure5(s)
+			return render(t, err)
+		}},
+		{"fig6", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Figure6(s)
+			return render(t, err)
+		}},
+		{"fig7", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Figure7(s)
+			return render(t, err)
+		}},
+		{"fig8", func(s experiments.Scale) (string, error) {
+			t, err := experiments.Figure8(s)
+			return render(t, err)
+		}},
+		{"fig9", func(s experiments.Scale) (string, error) {
+			t, _, err := experiments.Figure9(s)
+			return render(t, err)
+		}},
+		{"fig10", func(s experiments.Scale) (string, error) {
+			t, err := experiments.Figure10(s)
+			return render(t, err)
+		}},
+		{"ablation-watchdog", func(s experiments.Scale) (string, error) {
+			t, err := experiments.AblationWatchdog(s)
+			return render(t, err)
+		}},
+		{"ablation-assertions", func(s experiments.Scale) (string, error) {
+			t, err := experiments.AblationAssertions(s)
+			return render(t, err)
+		}},
+		{"ablation-checkpoints", func(s experiments.Scale) (string, error) {
+			t, err := experiments.AblationSharedCheckpoints(s)
+			return render(t, err)
+		}},
+	}
+	// Aliases: table9 comes with table8; table12 with table11.
+	aliases := map[string]string{"table9": "table8", "table12": "table11"}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range all {
+			want[e.id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			if a, ok := aliases[id]; ok {
+				id = a
+			}
+			want[id] = true
+		}
+	}
+
+	start := time.Now()
+	failed := 0
+	for _, e := range all {
+		if !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		out, err := e.run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %.1fs wall clock]\n\n", e.id, time.Since(t0).Seconds())
+	}
+	fmt.Printf("all requested experiments finished in %.1fs\n", time.Since(start).Seconds())
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func render(t *experiments.Table, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return t.Render(), nil
+}

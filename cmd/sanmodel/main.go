@@ -1,0 +1,54 @@
+// Command sanmodel solves the Figure 9 stochastic activity network — the
+// paper's model of SIFT-induced application failures — across sweeps of
+// the SIFT failure rate and the application interface rate.
+//
+// Usage:
+//
+//	sanmodel [-horizon SECONDS] [-seed N] [-interface DURATION] [-timeout DURATION]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reesift/internal/san"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	horizon := flag.Float64("horizon", 2e6, "simulated seconds per point")
+	seed := flag.Int64("seed", 1, "random seed")
+	ifPeriod := flag.Duration("interface", 20*time.Second, "application interface (progress indicator) period")
+	timeout := flag.Duration("timeout", 10*time.Second, "application timeout while blocked on the SIFT process")
+	recovery := flag.Duration("recovery", 500*time.Millisecond, "SIFT process recovery time")
+	flag.Parse()
+
+	params := san.DefaultFigure9Params()
+	params.InterfacePeriod = *ifPeriod
+	params.AppTimeout = *timeout
+	params.SIFTRecovery = *recovery
+
+	mttfs := []time.Duration{
+		24 * time.Hour, 4 * time.Hour, time.Hour,
+		10 * time.Minute, time.Minute, 10 * time.Second,
+	}
+	pts, err := san.Figure9Study(params, mttfs, *horizon, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("Figure 9 SAN: SIFT-induced application failures")
+	fmt.Printf("interface period %v, app timeout %v, SIFT recovery %v\n\n", *ifPeriod, *timeout, *recovery)
+	fmt.Printf("%-12s  %-28s  %-18s\n", "SIFT MTTF", "P(app fail | SIFT failure)", "app unavailability")
+	for _, pt := range pts {
+		fmt.Printf("%-12s  %-28.4f  %-18.6f\n", pt.SIFTMTTF, pt.CorrelatedPerSIFTFailure, pt.AppUnavailability)
+	}
+	fmt.Println("\nthe paper's injection campaigns observed ~1.6% of SIFT failures inducing application failures;")
+	fmt.Println("even small correlation drives availability well below uncorrelated-model predictions (Section 5.2)")
+	return 0
+}

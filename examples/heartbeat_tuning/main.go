@@ -1,0 +1,54 @@
+// Heartbeat_tuning reproduces the Section 5.3 trade-off study: sweeping
+// the heartbeat period changes how quickly FTM failures are detected.
+// Perceived application execution time grows with the period while actual
+// execution time stays flat — and the paper picked 10 s to avoid false
+// alarms at the aggressive end.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"reesift/internal/apps/rover"
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+	"reesift/internal/stats"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	const runs = 6
+	fmt.Println("FTM SIGINT injections under varying heartbeat periods (Section 5.3)")
+	fmt.Printf("%-10s %-16s %-16s %-14s\n", "PERIOD", "PERCEIVED (s)", "ACTUAL (s)", "FTM RECOVERY (s)")
+	for _, period := range []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second} {
+		env := sift.DefaultEnvConfig()
+		env.FTMHeartbeatPeriod = period
+		env.HeartbeatArmorPeriod = period
+		var perceived, actual, recovery stats.Sample
+		for i := 0; i < runs; i++ {
+			envCopy := env
+			res := inject.Run(inject.Config{
+				Seed:   int64(9000 + 100*int(period.Seconds()) + i),
+				Model:  inject.ModelSIGINT,
+				Target: inject.TargetFTM,
+				Apps:   []*sift.AppSpec{rover.Spec(1, []string{"node-a1", "node-a2"}, rover.DefaultParams())},
+				Env:    &envCopy,
+			})
+			if !res.Done {
+				continue
+			}
+			perceived.AddDuration(res.Perceived)
+			actual.AddDuration(res.Actual)
+			if res.Recovered {
+				recovery.AddDuration(res.RecoveryTime)
+			}
+		}
+		fmt.Printf("%-10s %-16s %-16s %-14s\n", period, perceived.MeanCI(), actual.MeanCI(), recovery.MeanCI())
+	}
+	fmt.Println("\npaper Table 5: perceived 77.9 -> 96.7 s as the period grows 5 -> 30 s; actual flat (~73 s)")
+	return 0
+}

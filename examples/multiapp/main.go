@@ -1,0 +1,79 @@
+// Multiapp runs the Section 8 configuration: the Mars Rover texture
+// analysis program and the OTIS thermal imaging spectrometer executing
+// simultaneously on a six-node cluster, with a mid-run Execution ARMOR
+// hang to show that recovering one application's SIFT process does not
+// disturb the other application.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"reesift/internal/apps/otis"
+	"reesift/internal/apps/rover"
+	"reesift/internal/sift"
+	"reesift/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	k := sim.NewKernel(sim.DefaultConfig(7))
+	defer k.Shutdown()
+	env := sift.New(k, sift.DefaultEnvConfig("n1", "n2", "n3", "n4", "n5", "n6"))
+	env.Setup()
+
+	roverApp := rover.Spec(1, []string{"n1", "n2"}, rover.DefaultParams())
+	otisApp := otis.Spec(2, []string{"n3", "n4"}, otis.DefaultParams())
+	hr := env.Submit(roverApp, 5*time.Second)
+	ho := env.Submit(otisApp, 5*time.Second)
+
+	// Hang OTIS's rank-0 Execution ARMOR mid-run: the daemon's
+	// are-you-alive polling detects it, the FTM reinstalls it from its
+	// microcheckpoint, and neither application is restarted.
+	k.Schedule(60*time.Second, func() {
+		if pid := env.ProcOf(sift.AIDExec(2, 0)); pid != sim.NoPID {
+			k.Suspend(pid)
+		}
+	})
+
+	remaining := 2
+	env.AppDoneHook = func(sift.AppID) {
+		remaining--
+		if remaining == 0 {
+			k.Stop()
+		}
+	}
+	k.Run(20 * time.Minute)
+
+	fmt.Println("two applications on six nodes with a mid-run Execution ARMOR hang")
+	report := func(name string, h *sift.AppHandle) {
+		if !h.Done {
+			fmt.Printf("  %-6s DID NOT COMPLETE\n", name)
+			return
+		}
+		p, _ := h.PerceivedTime()
+		fmt.Printf("  %-6s perceived %7.2f s, restarts %d\n", name, p.Seconds(), h.Restarts)
+	}
+	report("rover", hr)
+	report("otis", ho)
+
+	fmt.Println("\nSIFT recovery events:")
+	for _, r := range env.Log.Recoveries {
+		fmt.Printf("  %-12s detected %7.2f s, reinstalled %7.2f s (recovery %.2f s)\n",
+			r.ID, r.DetectedAt.Seconds(), r.RestoredAt.Seconds(),
+			(r.RestoredAt - r.DetectedAt).Seconds())
+	}
+	if !hr.Done || !ho.Done {
+		return 1
+	}
+	// The rover must be untouched by the OTIS-side ARMOR failure.
+	if hr.Restarts != 0 {
+		fmt.Println("unexpected rover restart")
+		return 1
+	}
+	return 0
+}

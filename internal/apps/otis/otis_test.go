@@ -1,0 +1,197 @@
+package otis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"reesift/internal/sift"
+	"reesift/internal/sim"
+)
+
+func TestCalibrationRecoversAtmosphere(t *testing.T) {
+	s := GenerateScene(64, 2)
+	tau, upwell, tau2, upwell2 := Calibrate(s)
+	if math.Abs(tau-trueTau) > 1e-9 {
+		t.Fatalf("tau = %v, want %v", tau, trueTau)
+	}
+	if math.Abs(upwell-trueUpwell) > 1e-6 {
+		t.Fatalf("upwell = %v, want %v", upwell, trueUpwell)
+	}
+	if math.Abs(tau2-trueTau2) > 1e-9 || math.Abs(upwell2-trueUpwell2) > 1e-6 {
+		t.Fatalf("band 2 calibration: tau2=%v up2=%v", tau2, upwell2)
+	}
+}
+
+func TestRetrievalAccuracy(t *testing.T) {
+	s := GenerateScene(64, 2)
+	tau, upwell, tau2, upwell2 := Calibrate(s)
+	surface := Correct(s.Radiance, tau, upwell, 0, len(s.Radiance))
+	surface2 := Correct(s.Radiance2, tau2, upwell2, 0, len(s.Radiance2))
+	temp, emis := Retrieve(surface, surface2)
+	sumT, right := 0.0, 0
+	for i := range temp {
+		sumT += math.Abs(temp[i] - s.Temp[i])
+		if emis[i] == s.Emis[i] {
+			right++
+		}
+	}
+	if mae := sumT / float64(len(temp)); mae > 0.5 {
+		t.Fatalf("temperature MAE = %.3f K", mae)
+	}
+	if frac := float64(right) / float64(len(emis)); frac < 0.95 {
+		t.Fatalf("emissivity classification %.3f", frac)
+	}
+}
+
+func TestQuantizeRoundTripError(t *testing.T) {
+	temps := []float64{230, 250.3, 290.7, 339.9, 340}
+	back := Dequantize(Quantize(temps))
+	for i := range temps {
+		if math.Abs(back[i]-temps[i]) > 0.25 {
+			t.Fatalf("quantization error %v at %v", math.Abs(back[i]-temps[i]), temps[i])
+		}
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	q := Quantize([]float64{-100, 1e6})
+	if q[0] != 0 || q[1] != 255 {
+		t.Fatalf("clamping failed: %v", q)
+	}
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		back, err := UnRLE(RLE(data))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	data := make([]byte, 1000) // one long zero run
+	if got := len(RLE(data)); got >= 100 {
+		t.Fatalf("RLE of constant data = %d bytes", got)
+	}
+}
+
+func TestUnRLERejectsGarbage(t *testing.T) {
+	if _, err := UnRLE([]byte{1}); err == nil {
+		t.Fatal("odd stream accepted")
+	}
+	if _, err := UnRLE([]byte{0, 5}); err == nil {
+		t.Fatal("zero run accepted")
+	}
+}
+
+func TestSceneCodecRoundTrip(t *testing.T) {
+	s := GenerateScene(16, 3)
+	back := decodeScene(encodeScene(s))
+	if back == nil {
+		t.Fatal("decode failed")
+	}
+	for i := range s.Temp {
+		if back.Temp[i] != s.Temp[i] || back.Emis[i] != s.Emis[i] || back.Radiance[i] != s.Radiance[i] {
+			t.Fatalf("scene roundtrip diverged at %d", i)
+		}
+	}
+	if decodeScene([]byte{1, 2}) != nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestOTISRunsInSIFTEnvironment(t *testing.T) {
+	k := sim.NewKernel(sim.DefaultConfig(31))
+	defer k.Shutdown()
+	env := sift.New(k, sift.DefaultEnvConfig())
+	env.Setup()
+	p := DefaultParams()
+	app := Spec(2, []string{"node-b1", "node-b2"}, p)
+	h := env.Submit(app, 5*time.Second)
+	env.AppDoneHook = func(sift.AppID) { k.Stop() }
+	k.Run(20 * time.Minute)
+	if !h.Done {
+		t.Fatal("OTIS did not complete")
+	}
+	perceived, _ := h.PerceivedTime()
+	// Calibrated to the paper's ~190 s (Table 11).
+	if perceived < 150*time.Second || perceived > 230*time.Second {
+		t.Fatalf("perceived %v outside the 150-230 s band", perceived)
+	}
+	truth := GenerateScene(p.GridSize, p.Seed)
+	if v := Verify(k.SharedFS(), 2, truth, p.TempTolerance); v != VerdictCorrect {
+		t.Fatalf("verdict = %v, want correct", v)
+	}
+}
+
+// TestHangBeforePICreationIsUndetectable reproduces the Section 8 system
+// failure: a SIGSTOP before OTIS creates its progress indicators leaves
+// the Execution ARMOR unable to detect the hang, and the application
+// never completes.
+func TestHangBeforePICreationIsUndetectable(t *testing.T) {
+	k := sim.NewKernel(sim.DefaultConfig(32))
+	defer k.Shutdown()
+	env := sift.New(k, sift.DefaultEnvConfig())
+	env.Setup()
+	p := DefaultParams()
+	app := Spec(2, []string{"node-b1", "node-b2"}, p)
+	h := env.Submit(app, 5*time.Second)
+	// Suspend rank 0 ~10 s after submission: well inside the 30 s
+	// calibration phase, before PICreate.
+	k.Schedule(16*time.Second, func() {
+		if pid := env.AppProc(2, 0); pid != sim.NoPID {
+			k.Suspend(pid)
+		}
+	})
+	env.AppDoneHook = func(sift.AppID) { k.Stop() }
+	k.Run(8 * time.Minute)
+	if h.Done {
+		t.Fatal("expected a system failure: hang before PI creation must be undetectable")
+	}
+	// No hang detection may have been recorded for the app.
+	for _, d := range env.Log.AppDetections {
+		if d.App == 2 && d.Hang {
+			t.Fatalf("hang was detected at %v despite missing progress indicators", d.At)
+		}
+	}
+}
+
+// TestHangAfterPICreationIsDetected is the control for the test above.
+func TestHangAfterPICreationIsDetected(t *testing.T) {
+	k := sim.NewKernel(sim.DefaultConfig(33))
+	defer k.Shutdown()
+	env := sift.New(k, sift.DefaultEnvConfig())
+	env.Setup()
+	p := DefaultParams()
+	app := Spec(2, []string{"node-b1", "node-b2"}, p)
+	h := env.Submit(app, 5*time.Second)
+	// Suspend rank 0 ~60 s in: calibration done, indicators live.
+	k.Schedule(66*time.Second, func() {
+		if pid := env.AppProc(2, 0); pid != sim.NoPID {
+			k.Suspend(pid)
+		}
+	})
+	env.AppDoneHook = func(sift.AppID) { k.Stop() }
+	k.Run(20 * time.Minute)
+	if !h.Done {
+		t.Fatal("OTIS did not recover from a post-PI hang")
+	}
+	if h.Restarts < 1 {
+		t.Fatal("expected at least one restart")
+	}
+}

@@ -1,0 +1,117 @@
+package rover
+
+import (
+	"testing"
+	"time"
+
+	"reesift/internal/sift"
+	"reesift/internal/sim"
+)
+
+// runCyclicMission submits a cyclic mission, kills the application mid
+// cycle 1 (0-indexed), and reports which cycle outputs exist plus the
+// perceived time.
+func runCyclicMission(t *testing.T, forward bool, seed int64) (outputs []bool, perceived time.Duration, restarts int) {
+	t.Helper()
+	k := sim.NewKernel(sim.DefaultConfig(seed))
+	defer k.Shutdown()
+	env := sift.New(k, sift.DefaultEnvConfig())
+	env.Setup()
+	p := DefaultCyclicParams()
+	p.ForwardRecovery = forward
+	app := CyclicSpec(1, []string{"node-a1"}, p)
+	h := env.Submit(app, 5*time.Second)
+	// Cycle length ~ 1+3*8+2+1 = 28 s; kill in the middle of cycle 1.
+	k.Schedule(45*time.Second, func() {
+		if pid := env.AppProc(1, 0); pid != sim.NoPID {
+			k.Kill(pid, "SIGINT")
+		}
+	})
+	env.AppDoneHook = func(sift.AppID) { k.Stop() }
+	k.Run(20 * time.Minute)
+	if !h.Done {
+		t.Fatalf("cyclic mission (forward=%v) did not complete", forward)
+	}
+	for c := 0; c < p.Cycles; c++ {
+		outputs = append(outputs, k.SharedFS().Exists(CycleOutputPath(1, c)))
+	}
+	pd, _ := h.PerceivedTime()
+	return outputs, pd, h.Restarts
+}
+
+func TestCyclicRollbackRecoveryRedoesInterruptedCycle(t *testing.T) {
+	outputs, _, restarts := runCyclicMission(t, false, 71)
+	if restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", restarts)
+	}
+	for c, ok := range outputs {
+		if !ok {
+			t.Fatalf("rollback recovery: cycle %d output missing (must recompute the interrupted cycle)", c)
+		}
+	}
+}
+
+func TestCyclicForwardRecoverySkipsInterruptedCycle(t *testing.T) {
+	outputs, _, restarts := runCyclicMission(t, true, 71)
+	if restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", restarts)
+	}
+	if !outputs[0] || !outputs[2] {
+		t.Fatalf("forward recovery: surviving cycles missing: %v", outputs)
+	}
+	if outputs[1] {
+		t.Fatal("forward recovery: the interrupted cycle's output should be skipped, not recomputed")
+	}
+}
+
+// Section 5.1: "If the application is required to complete a fixed number
+// of cycles before completing, the execution time will be the same on
+// average for both rollback and forward recovery" — here the mission has a
+// fixed cycle count, so forward recovery (doing less work) finishes
+// sooner; the rollback run pays for the redone cycle.
+func TestCyclicForwardRecoveryFinishesSooner(t *testing.T) {
+	_, rollback, _ := runCyclicMission(t, false, 71)
+	_, forward, _ := runCyclicMission(t, true, 71)
+	if forward >= rollback {
+		t.Fatalf("forward (%v) should finish before rollback (%v) for a fixed image list", forward, rollback)
+	}
+}
+
+func TestCyclicFaultFreeProducesAllOutputs(t *testing.T) {
+	k := sim.NewKernel(sim.DefaultConfig(72))
+	defer k.Shutdown()
+	env := sift.New(k, sift.DefaultEnvConfig())
+	env.Setup()
+	p := DefaultCyclicParams()
+	app := CyclicSpec(1, []string{"node-a1"}, p)
+	h := env.Submit(app, 5*time.Second)
+	env.AppDoneHook = func(sift.AppID) { k.Stop() }
+	k.Run(20 * time.Minute)
+	if !h.Done || h.Restarts != 0 {
+		t.Fatalf("done=%v restarts=%d", h.Done, h.Restarts)
+	}
+	for c := 0; c < p.Cycles; c++ {
+		if !k.SharedFS().Exists(CycleOutputPath(1, c)) {
+			t.Fatalf("cycle %d output missing", c)
+		}
+	}
+}
+
+func TestCycleStatusRoundTrip(t *testing.T) {
+	fs := sim.NewFS()
+	if next, interrupted := readCycleStatus(fs, 1); next != 0 || interrupted != -1 {
+		t.Fatalf("empty status: next=%d interrupted=%d", next, interrupted)
+	}
+	writeCycleStatus(fs, 1, 2, true)
+	if next, interrupted := readCycleStatus(fs, 1); next != 2 || interrupted != 2 {
+		t.Fatalf("in-flight status: next=%d interrupted=%d", next, interrupted)
+	}
+	writeCycleStatus(fs, 1, 2, false)
+	if next, interrupted := readCycleStatus(fs, 1); next != 3 || interrupted != -1 {
+		t.Fatalf("completed status: next=%d interrupted=%d", next, interrupted)
+	}
+	fs.Write(CycleStatusPath(1), []byte{9})
+	if next, interrupted := readCycleStatus(fs, 1); next != 0 || interrupted != -1 {
+		t.Fatalf("corrupt status: next=%d interrupted=%d", next, interrupted)
+	}
+}

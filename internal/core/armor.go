@@ -1,0 +1,586 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/memsim"
+	"reesift/internal/sim"
+)
+
+// Crash reason prefixes. The injection framework classifies failures by
+// matching these against sim.ExitStatus.Reason, mirroring the paper's
+// four-way classification of register/text failures (Table 6).
+const (
+	ReasonSegfault     = "segmentation fault"
+	ReasonIllegal      = "illegal instruction"
+	ReasonAssertion    = "assertion"
+	ReasonRestoreFail  = "restore failed"
+	ReasonCorruptedMsg = "segmentation fault: corrupted message"
+)
+
+// RestoreCmd instructs a freshly reinstalled ARMOR to load its state from
+// the last committed checkpoint. It is the second step of the paper's
+// two-step FTM recovery (reinstall, then restore after the install is
+// acknowledged) — the step that the wedged Heartbeat ARMOR never sends in
+// the Section 6 receive-omission system failure.
+type RestoreCmd struct{}
+
+// InstallAck is sent to the recovery initiator once an ARMOR's process is
+// up and its runtime loop is entered.
+type InstallAck struct {
+	ID  AID
+	PID sim.PID
+}
+
+// Config assembles an ARMOR.
+type Config struct {
+	ID   AID
+	Name string
+	// Elements composing the ARMOR, in delivery order.
+	Elements []Element
+	// Store is the stable storage for microcheckpoint commits (the
+	// node's RAM disk in the testbed configuration).
+	Store *sim.FS
+	// CheckpointPath locates the checkpoint in Store; defaults to
+	// "ckpt/<id>".
+	CheckpointPath string
+	// SendLower transmits an envelope toward its destination — for most
+	// ARMORs, a sim send to the local daemon, which routes by AID.
+	SendLower func(p *sim.Proc, env Envelope)
+	// OnForward, if non-nil, handles envelopes addressed to other
+	// ARMORs (the daemon's gateway role).
+	OnForward func(ctx *Ctx, env Envelope)
+	// Mem is the simulated memory image for register/text fault
+	// injection; nil disables that error model for this process.
+	Mem *memsim.Memory
+	// AutoRestore makes the runtime load the last committed checkpoint
+	// at startup. Subordinate ARMOR recovery uses this; the FTM's
+	// two-step recovery leaves it false and waits for RestoreCmd.
+	AutoRestore bool
+	// AwaitRestore makes a reinstalled ARMOR inert — dropping every
+	// message except EventRestore — until the recovery initiator sends
+	// the restore command. This is the paper's two-step FTM recovery;
+	// if the initiator dies (or is deaf to the install ack) before
+	// step two, the ARMOR stays wedged, which is exactly the Section 6
+	// Heartbeat ARMOR system failure.
+	AwaitRestore bool
+	// NotifyInstalled, if set, receives an InstallAck envelope once the
+	// runtime starts (the daemon's install acknowledgment target).
+	NotifyInstalled AID
+	// RetryInterval is the reliable-channel retransmission period
+	// (default 2 s).
+	RetryInterval time.Duration
+	// DisableChecks turns off all element assertions (ablation only).
+	DisableChecks bool
+	// SelfCheckCoverage is the probability that the runtime's
+	// assertion sweep after an event actually exercises the check that
+	// would catch an arbitrary corruption; real assertions don't cover
+	// every field. Elements' own Check implementations decide what is
+	// checkable; this knob is not used by the runtime itself but is
+	// read by elements that want probabilistic coverage. Default 1.
+	SelfCheckCoverage float64
+}
+
+// Armor is a running ARMOR process: an event loop dispatching message
+// events to elements, with microcheckpointing and self-checking wrapped
+// around every delivery.
+type Armor struct {
+	cfg  Config
+	proc *sim.Proc
+	ckpt *Checkpoint
+	comm *commState
+	subs map[EventKind][]Element
+
+	// Failure-injection side effects.
+	deaf        bool
+	corruptNext bool
+
+	unacked map[ackKey]Envelope
+	retries map[ackKey]int
+
+	// Restored reports whether the last startup loaded checkpoint state.
+	Restored bool
+}
+
+type ackKey struct {
+	dst AID
+	seq uint64
+}
+
+type retryTag struct {
+	key ackKey
+}
+
+// elementTimer routes EventTimer deliveries to a single element.
+type elementTimer struct {
+	element string
+	tag     interface{}
+}
+
+// New builds an ARMOR from a config. Run must be called on a sim process.
+func New(cfg Config) *Armor {
+	if cfg.CheckpointPath == "" {
+		cfg.CheckpointPath = fmt.Sprintf("ckpt/%d", uint64(cfg.ID))
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 2 * time.Second
+	}
+	a := &Armor{
+		cfg:     cfg,
+		comm:    newCommState(),
+		subs:    make(map[EventKind][]Element),
+		unacked: make(map[ackKey]Envelope),
+		retries: make(map[ackKey]int),
+	}
+	for _, el := range cfg.Elements {
+		for _, kind := range el.Subscriptions() {
+			a.subs[kind] = append(a.subs[kind], el)
+		}
+	}
+	return a
+}
+
+// ID returns the ARMOR's identification number.
+func (a *Armor) ID() AID { return a.cfg.ID }
+
+// Checkpoint exposes the checkpoint buffer (the heap injector corrupts it
+// through this).
+func (a *Armor) Checkpoint() *Checkpoint { return a.ckpt }
+
+// Elements returns the composed elements.
+func (a *Armor) Elements() []Element { return a.cfg.Elements }
+
+// Element returns the named element, or nil.
+func (a *Armor) Element(name string) Element {
+	for _, el := range a.cfg.Elements {
+		if el.Name() == name {
+			return el
+		}
+	}
+	return nil
+}
+
+// Mem returns the simulated memory image attached for register/text
+// injection (nil when this ARMOR is not a target).
+func (a *Armor) Mem() *memsim.Memory { return a.cfg.Mem }
+
+// Deaf reports whether a receive-omission error has silenced the inbound
+// path.
+func (a *Armor) Deaf() bool { return a.deaf }
+
+// MakeDeaf forces the receive-omission failure mode (used directly by
+// targeted injections and tests).
+func (a *Armor) MakeDeaf() { a.deaf = true }
+
+// CorruptNextSend forces the next outgoing non-ack envelope to be marked
+// corrupt (a fail-silence violation).
+func (a *Armor) CorruptNextSend() { a.corruptNext = true }
+
+// ResetPeer forgets all sequencing state for one peer. Execution ARMORs
+// call it when a fresh application process (re)binds: the new incarnation
+// numbers its messages from one and must not be mistaken for duplicates of
+// its predecessor.
+func (a *Armor) ResetPeer(peer AID) {
+	delete(a.comm.nextSeq, peer)
+	delete(a.comm.lastSeen, peer)
+	delete(a.comm.extraSeen, peer)
+	if a.ckpt != nil {
+		a.ckpt.Update(commName, a.comm.snapshot())
+	}
+}
+
+// Ctx is the element execution context for one event delivery.
+type Ctx struct {
+	Armor *Armor
+	Proc  *sim.Proc
+	// From is the source AID of the envelope being processed
+	// (InvalidAID for timers and child-exit events).
+	From AID
+}
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() time.Duration { return c.Proc.Now() }
+
+// Send transmits a single-event message reliably: it is sequenced,
+// acknowledged, and retransmitted until acknowledged.
+func (c *Ctx) Send(dst AID, kind EventKind, data interface{}) {
+	env := NewMsg(c.Armor.cfg.ID, dst, kind, data)
+	c.Armor.sendReliable(c.Proc, env)
+}
+
+// SendUnreliable transmits a single-event message with no sequencing, no
+// ack, and no retransmission — the are-you-alive traffic pattern.
+func (c *Ctx) SendUnreliable(dst AID, kind EventKind, data interface{}) {
+	env := NewMsg(c.Armor.cfg.ID, dst, kind, data)
+	c.Armor.transmit(c.Proc, env)
+}
+
+// After arranges for the named element to receive an EventTimer carrying
+// tag after d.
+func (c *Ctx) After(element string, d time.Duration, tag interface{}) *sim.Event {
+	return c.Proc.After(d, elementTimer{element: element, tag: tag})
+}
+
+// Touch records that the handler mutated *another* element's state, so
+// that element's region is refreshed too (microcheckpointing captures the
+// state of every element affected by an event, not only the subscriber).
+// Touch also runs the touched element's assertions. Elements that only
+// mutate themselves never need this; incidental (erroneous) writes to
+// other elements are deliberately NOT captured — that is what keeps a
+// clean copy in the checkpoint for rollback (Section 7.2).
+func (c *Ctx) Touch(el Element) {
+	c.Armor.ckpt.Update(el.Name(), el.Snapshot())
+	c.Armor.runCheck(c.Proc, el, "")
+}
+
+// runCheck runs one element's assertions, killing the ARMOR on failure
+// (unless self-checks are ablated away).
+func (a *Armor) runCheck(p *sim.Proc, el Element, suffix string) {
+	if a.cfg.DisableChecks {
+		return
+	}
+	if err := el.Check(); err != nil {
+		p.Crash(fmt.Sprintf("%s: element %s%s: %v", ReasonAssertion, el.Name(), suffix, err))
+	}
+}
+
+// Crashf kills the ARMOR with an assertion failure. Elements call it (or
+// return an error from Check) when internal self-checks detect corrupted
+// state; per Section 3.3 the ARMOR kills itself to limit error
+// propagation.
+func (c *Ctx) Crashf(format string, args ...interface{}) {
+	c.Proc.Crash(ReasonAssertion + ": " + fmt.Sprintf(format, args...))
+}
+
+// Run is the ARMOR process body. It restores checkpointed state if
+// configured, acknowledges installation, then dispatches messages forever
+// (the process dies by crash, kill, or node failure).
+func (a *Armor) Run(p *sim.Proc) {
+	a.proc = p
+	store := a.cfg.Store
+	if store == nil {
+		store = p.Node().RAMDisk()
+	}
+	a.ckpt = NewCheckpoint(store, a.cfg.CheckpointPath)
+	if a.cfg.AutoRestore {
+		a.restoreFromCheckpoint()
+	}
+	if a.cfg.NotifyInstalled.Valid() {
+		a.sendReliable(p, NewMsg(a.cfg.ID, a.cfg.NotifyInstalled, EventKind("core.installed"),
+			InstallAck{ID: a.cfg.ID, PID: p.Self()}))
+	}
+	if !a.cfg.AwaitRestore {
+		a.Start(p)
+	}
+	for {
+		m := p.Recv()
+		a.Dispatch(p, m)
+	}
+}
+
+// Start invokes every Starter element. Exposed (with Dispatch) so
+// composite processes driving the runtime from their own loops can run the
+// full lifecycle.
+func (a *Armor) Start(p *sim.Proc) {
+	a.proc = p
+	if a.ckpt == nil {
+		store := a.cfg.Store
+		if store == nil {
+			store = p.Node().RAMDisk()
+		}
+		a.ckpt = NewCheckpoint(store, a.cfg.CheckpointPath)
+	}
+	ctx := &Ctx{Armor: a, Proc: p, From: InvalidAID}
+	for _, el := range a.cfg.Elements {
+		if s, ok := el.(Starter); ok {
+			s.Start(ctx)
+			a.ckpt.Update(el.Name(), el.Snapshot())
+		}
+	}
+}
+
+// Dispatch processes one inbox message. Exposed so composite processes
+// (the daemon, which is both an ARMOR and a gateway) can drive the runtime
+// from their own receive loops.
+func (a *Armor) Dispatch(p *sim.Proc, m sim.Msg) {
+	a.proc = p
+	// Every dispatched message is a unit of work for the memory model.
+	a.step(p)
+	switch pl := m.Payload.(type) {
+	case Envelope:
+		a.handleEnvelope(p, pl)
+	case sim.TimerFired:
+		a.handleTimer(p, pl)
+	case sim.ChildExit:
+		a.deliverEvents(p, InvalidAID, []Event{{Kind: EventChildExit, Data: pl}})
+	case RestoreCmd:
+		a.restoreFromCheckpoint()
+	}
+}
+
+// step advances the simulated memory model by one work unit and applies
+// whatever manifestation fires.
+func (a *Armor) step(p *sim.Proc) {
+	if a.cfg.Mem == nil {
+		return
+	}
+	switch out := a.cfg.Mem.Step(); out {
+	case memsim.OutcomeNone:
+	case memsim.OutcomeSegfault:
+		p.Crash(ReasonSegfault)
+	case memsim.OutcomeIllegalInstr:
+		p.Crash(ReasonIllegal)
+	case memsim.OutcomeHang:
+		p.Hang()
+	case memsim.OutcomeCorruptState:
+		a.corruptRandomElementField(p)
+	case memsim.OutcomeCorruptMessage:
+		a.corruptNext = true
+	case memsim.OutcomeCorruptCheckpoint:
+		a.corruptCheckpointAndCrash(p)
+	case memsim.OutcomeReceiveOmission:
+		a.deaf = true
+	}
+}
+
+// corruptRandomElementField flips one bit in one live non-pointer field of
+// a random heap-injectable element. The corruption then takes the same
+// mechanistic path as a targeted heap injection: maybe an assertion
+// catches it, maybe it escapes in a message, maybe nothing ever reads it.
+func (a *Armor) corruptRandomElementField(p *sim.Proc) {
+	rng := p.Kernel().Rand()
+	var fields []HeapField
+	for _, el := range a.cfg.Elements {
+		if hi, ok := el.(HeapInjectable); ok {
+			fields = append(fields, hi.HeapFields()...)
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+	f := fields[rng.Intn(len(fields))]
+	bit := uint(rng.Intn(int(f.Bits)))
+	f.Set(memsim.FlipBit(f.Get(), bit))
+}
+
+// corruptCheckpointAndCrash damages the in-process checkpoint buffer,
+// commits it (the damage reaches stable storage), then crashes — the
+// paper's "error corrupted the FTM's checkpoint prior to crashing"
+// scenario that produces a crash-restore-crash loop.
+func (a *Armor) corruptCheckpointAndCrash(p *sim.Proc) {
+	rng := p.Kernel().Rand()
+	names := a.ckpt.Elements()
+	if len(names) > 0 {
+		region := a.ckpt.Region(names[rng.Intn(len(names))])
+		if len(region) > 0 {
+			for i := 0; i < 3; i++ {
+				off := rng.Intn(len(region))
+				region[off] = memsim.FlipByteBit(region[off], uint(rng.Intn(8)))
+			}
+		}
+		a.ckpt.Commit()
+	}
+	p.Crash(ReasonSegfault + " after checkpoint corruption")
+}
+
+func (a *Armor) handleEnvelope(p *sim.Proc, env Envelope) {
+	if a.deaf {
+		// Receive omission: the element-level receive path is dead,
+		// but the process still believes it is healthy, keeps running
+		// timers, and still answers liveness inquiries (the corrupted
+		// code path is the element dispatch, not the basic liveness
+		// responder) — which is exactly why the paper's deaf Heartbeat
+		// ARMOR survived long enough to wedge the FTM.
+		if !env.Ack {
+			a.replyAliveOnly(p, env)
+		}
+		return
+	}
+	if env.Dst != a.cfg.ID {
+		if a.cfg.OnForward != nil {
+			ctx := &Ctx{Armor: a, Proc: p, From: env.Src}
+			a.cfg.OnForward(ctx, env)
+		}
+		return
+	}
+	if env.Ack {
+		key := ackKey{dst: env.Src, seq: env.AckSeq}
+		delete(a.unacked, key)
+		delete(a.retries, key)
+		return
+	}
+	if env.Corrupt {
+		// Parsing a message whose contents were damaged inside the
+		// sender. The receiver dies before marking the message seen or
+		// acknowledging it, so the sender will retransmit the same
+		// faulty bytes — the Section 6 crash-loop.
+		p.Crash(ReasonCorruptedMsg)
+	}
+	if env.Seq > 0 {
+		if a.comm.seen(env.Src, env.Seq) {
+			// Duplicate: drop before processing (Figure 10), but
+			// re-acknowledge so the sender stops retransmitting.
+			a.sendAck(p, env.Src, env.Seq)
+			return
+		}
+	}
+	if a.cfg.AwaitRestore && !a.Restored {
+		// Reinstalled but not yet restored: inert until step two of
+		// the two-step recovery arrives.
+		restoring := false
+		for _, ev := range env.Events {
+			if ev.Kind == EventRestore {
+				restoring = true
+			}
+		}
+		if !restoring {
+			p.Kernel().Tracef("%s: awaiting restore, dropping %v from %s", a.cfg.Name, env.Events[0].Kind, env.Src)
+			a.replyAliveOnly(p, env)
+			return
+		}
+	}
+	a.deliverEvents(p, env.Src, env.Events)
+	if env.Seq > 0 {
+		a.comm.markSeen(env.Src, env.Seq)
+		a.ckpt.Update(commName, a.comm.snapshot())
+		a.sendAck(p, env.Src, env.Seq)
+	}
+}
+
+// replyAliveOnly answers are-you-alive inquiries in an envelope without
+// processing anything else (deaf and awaiting-restore states).
+func (a *Armor) replyAliveOnly(p *sim.Proc, env Envelope) {
+	for _, ev := range env.Events {
+		if ev.Kind == EventAreYouAlive {
+			a.transmit(p, NewMsg(a.cfg.ID, env.Src, EventIAmAlive, a.cfg.ID))
+		}
+	}
+}
+
+// deliverEvents runs the microcheckpointed dispatch: each event goes to
+// each subscribed element; after every delivery the element's state is
+// copied into its checkpoint region and its assertions run.
+func (a *Armor) deliverEvents(p *sim.Proc, from AID, events []Event) {
+	ctx := &Ctx{Armor: a, Proc: p, From: from}
+	for _, ev := range events {
+		if ev.Kind == EventAreYouAlive {
+			// Basic-element behaviour common to all ARMORs.
+			a.transmit(p, NewMsg(a.cfg.ID, from, EventIAmAlive, a.cfg.ID))
+			continue
+		}
+		if ev.Kind == EventRestore {
+			p.Kernel().Tracef("%s: restoring from checkpoint on command", a.cfg.Name)
+			a.restoreFromCheckpoint()
+			a.Restored = true
+			a.Start(p)
+			continue
+		}
+		for _, el := range a.subs[ev.Kind] {
+			el.Handle(ctx, ev)
+			a.ckpt.Update(el.Name(), el.Snapshot())
+			a.runCheck(p, el, "")
+		}
+	}
+}
+
+func (a *Armor) handleTimer(p *sim.Proc, t sim.TimerFired) {
+	switch tag := t.Tag.(type) {
+	case retryTag:
+		env, ok := a.unacked[tag.key]
+		if !ok {
+			return
+		}
+		a.retries[tag.key]++
+		a.transmit(p, env)
+		p.After(a.cfg.RetryInterval, tag)
+	case elementTimer:
+		el := a.Element(tag.element)
+		if el == nil {
+			return
+		}
+		ctx := &Ctx{Armor: a, Proc: p, From: InvalidAID}
+		el.Handle(ctx, Event{Kind: EventTimer, Data: tag.tag})
+		a.ckpt.Update(el.Name(), el.Snapshot())
+		a.runCheck(p, el, "")
+	default:
+		// Timer with an unknown tag: deliver to EventTimer subscribers.
+		a.deliverEvents(p, InvalidAID, []Event{{Kind: EventTimer, Data: t.Tag}})
+	}
+}
+
+// sendReliable sequences, records, and transmits an envelope, arming the
+// retransmission timer.
+func (a *Armor) sendReliable(p *sim.Proc, env Envelope) {
+	env.Seq = a.comm.assign(env.Dst)
+	if a.corruptNext {
+		env.Corrupt = true
+		a.corruptNext = false
+	}
+	key := ackKey{dst: env.Dst, seq: env.Seq}
+	a.unacked[key] = env
+	a.ckpt.Update(commName, a.comm.snapshot())
+	a.transmitCommitted(p, env)
+	p.After(a.cfg.RetryInterval, retryTag{key: key})
+}
+
+func (a *Armor) sendAck(p *sim.Proc, dst AID, seq uint64) {
+	a.transmitCommitted(p, Envelope{Src: a.cfg.ID, Dst: dst, Ack: true, AckSeq: seq})
+}
+
+// transmitCommitted commits the checkpoint buffer to stable storage and
+// then sends: "checkpoints are committed to stable storage after every
+// ARMOR message transmission" (Section 3.4). A reinstalled shell that has
+// not yet restored must not commit — its near-empty buffer would clobber
+// the very checkpoint it is waiting to load.
+func (a *Armor) transmitCommitted(p *sim.Proc, env Envelope) {
+	if !a.cfg.AwaitRestore || a.Restored {
+		a.ckpt.Commit()
+	}
+	a.transmit(p, env)
+}
+
+// transmit hands the envelope to the lower layer without touching
+// checkpoints (unreliable sends and retransmissions).
+func (a *Armor) transmit(p *sim.Proc, env Envelope) {
+	if a.corruptNext && !env.Ack {
+		env.Corrupt = true
+		a.corruptNext = false
+	}
+	if a.cfg.SendLower == nil {
+		return
+	}
+	a.cfg.SendLower(p, env)
+}
+
+// restoreFromCheckpoint loads the last committed state. A structurally
+// unparseable checkpoint, an element that fails to parse its region, or a
+// restored state that immediately fails assertions all crash the ARMOR —
+// which is exactly how a corrupted checkpoint turns into the paper's
+// repeated failure-recovery cycle.
+func (a *Armor) restoreFromCheckpoint() {
+	found, err := a.ckpt.Load()
+	if !found {
+		return
+	}
+	if err != nil {
+		a.proc.Crash(fmt.Sprintf("%s: checkpoint unparseable: %v", ReasonRestoreFail, err))
+	}
+	a.proc.Kernel().Tracef("%s: restore found regions %v", a.cfg.Name, a.ckpt.Elements())
+	if data := a.ckpt.Region(commName); data != nil {
+		if err := a.comm.restore(data); err != nil {
+			a.proc.Crash(fmt.Sprintf("%s: comm state: %v", ReasonRestoreFail, err))
+		}
+	}
+	for _, el := range a.cfg.Elements {
+		region := a.ckpt.Region(el.Name())
+		if region == nil {
+			continue
+		}
+		if err := el.Restore(region); err != nil {
+			a.proc.Crash(fmt.Sprintf("%s: element %s: %v", ReasonRestoreFail, el.Name(), err))
+		}
+		a.runCheck(a.proc, el, " after restore")
+	}
+	a.Restored = true
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"reesift/internal/sim"
+)
+
+// TestAwaitRestoreShellIsInert: a reinstalled ARMOR with AwaitRestore
+// drops element traffic (without acking) but still answers liveness, until
+// the restore command arrives — the two-step FTM recovery contract.
+func TestAwaitRestoreShellIsInert(t *testing.T) {
+	k := newCoreKernel(t)
+	n := k.AddNode("a")
+	w := &wire{pids: make(map[AID]sim.PID)}
+
+	// First incarnation builds state and commits checkpoints.
+	el := &counterElem{name: "c", limit: 100}
+	a1 := New(Config{ID: 5, Name: "v1", Elements: []Element{el}, SendLower: w.sendLower})
+	w.pids[5] = k.Spawn(n, "v1", sim.NoPID, a1.Run)
+	k.Spawn(n, "driver", sim.NoPID, func(p *sim.Proc) {
+		w.pids[9] = p.Self()
+		for i := uint64(1); i <= 3; i++ {
+			env := NewMsg(9, 5, evInc, nil)
+			env.Seq = i
+			p.Send(w.pids[5], env)
+			p.Sleep(time.Second)
+		}
+	})
+	k.Run(5 * time.Second)
+	if el.count != 3 {
+		t.Fatalf("pre-crash count = %d", el.count)
+	}
+	k.Kill(w.pids[5], "SIGINT")
+	k.Run(6 * time.Second)
+
+	// Second incarnation awaits restore.
+	el2 := &counterElem{name: "c", limit: 100}
+	a2 := New(Config{ID: 5, Name: "v2", Elements: []Element{el2}, SendLower: w.sendLower, AwaitRestore: true})
+	k.Schedule(0, func() { w.pids[5] = k.Spawn(n, "v2", sim.NoPID, a2.Run) })
+	k.Run(7 * time.Second)
+
+	ayaReplied, incAcked := false, false
+	restoredNow := false
+	k.Spawn(n, "probe", sim.NoPID, func(p *sim.Proc) {
+		w.pids[9] = p.Self()
+		// Element traffic: must be dropped without an ack.
+		env := NewMsg(9, 5, evInc, nil)
+		env.Seq = 50
+		p.Send(w.pids[5], env)
+		if _, ok := p.RecvTimeout(3 * time.Second); ok {
+			incAcked = true
+		}
+		// Liveness: must still be answered.
+		p.Send(w.pids[5], NewMsg(9, 5, EventAreYouAlive, nil))
+		if _, ok := p.RecvTimeout(3 * time.Second); ok {
+			ayaReplied = true
+		}
+		// Step two: the restore command unlocks the shell.
+		renv := NewMsg(9, 5, EventRestore, nil)
+		renv.Seq = 51
+		p.Send(w.pids[5], renv)
+		p.Sleep(time.Second)
+		restoredNow = a2.Restored
+	})
+	k.Run(30 * time.Second)
+	if incAcked {
+		t.Fatal("await-restore shell processed element traffic")
+	}
+	if !ayaReplied {
+		t.Fatal("await-restore shell must answer are-you-alive")
+	}
+	if !restoredNow {
+		t.Fatal("restore command did not unlock the shell")
+	}
+	if el2.count != 3 {
+		t.Fatalf("restored count = %d, want 3", el2.count)
+	}
+}
+
+// TestDisableChecksSkipsAssertions: the ablation knob.
+func TestDisableChecksSkipsAssertions(t *testing.T) {
+	k := newCoreKernel(t)
+	n := k.AddNode("a")
+	w := &wire{pids: make(map[AID]sim.PID)}
+	el := &counterElem{name: "c", limit: 1} // would assert at count 2
+	a := New(Config{ID: 5, Name: "x", Elements: []Element{el}, SendLower: w.sendLower, DisableChecks: true})
+	pid := k.Spawn(n, "x", sim.NoPID, a.Run)
+	w.pids[5] = pid
+	k.Spawn(n, "tx", sim.NoPID, func(p *sim.Proc) {
+		w.pids[9] = p.Self()
+		for i := uint64(1); i <= 4; i++ {
+			env := NewMsg(9, 5, evInc, nil)
+			env.Seq = i
+			p.Send(pid, env)
+			p.Sleep(time.Second)
+		}
+	})
+	k.Run(10 * time.Second)
+	if !k.Alive(pid) {
+		t.Fatal("armor died despite disabled checks")
+	}
+	if el.count != 4 {
+		t.Fatalf("count = %d, want 4 (limit ignored)", el.count)
+	}
+}
+
+// TestResetPeerForgetsSequencing: a fresh incarnation's seq 1 must be
+// processed after ResetPeer, not dropped as a duplicate.
+func TestResetPeerForgetsSequencing(t *testing.T) {
+	k := newCoreKernel(t)
+	n := k.AddNode("a")
+	w := &wire{pids: make(map[AID]sim.PID)}
+	el := &counterElem{name: "c", limit: 100}
+	a := New(Config{ID: 5, Name: "x", Elements: []Element{el}, SendLower: w.sendLower})
+	pid := k.Spawn(n, "x", sim.NoPID, a.Run)
+	w.pids[5] = pid
+	k.Spawn(n, "tx", sim.NoPID, func(p *sim.Proc) {
+		w.pids[9] = p.Self()
+		env := NewMsg(9, 5, evInc, nil)
+		env.Seq = 1
+		p.Send(pid, env)
+		p.Sleep(time.Second)
+		// Same (src, seq) again: duplicate, dropped.
+		p.Send(pid, env)
+		p.Sleep(time.Second)
+	})
+	k.Run(3 * time.Second)
+	if el.count != 1 {
+		t.Fatalf("count = %d, want 1 (duplicate suppressed)", el.count)
+	}
+	k.Schedule(0, func() { a.ResetPeer(9) })
+	k.Spawn(n, "tx2", sim.NoPID, func(p *sim.Proc) {
+		env := NewMsg(9, 5, evInc, nil)
+		env.Seq = 1 // fresh incarnation restarts at 1
+		p.Send(pid, env)
+	})
+	k.Run(6 * time.Second)
+	if el.count != 2 {
+		t.Fatalf("count = %d, want 2 (seq reset honoured)", el.count)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"reesift/internal/sim"
+)
+
+// Checkpoint implements microcheckpointing (Section 3.4): an in-process
+// buffer with one disjoint region per element. After each event delivery
+// the affected element's state is copied into its region; on every message
+// transmission the whole buffer is committed to stable storage (the node's
+// RAM disk). Because commits align with message sends, the set of
+// checkpoints across the system is always globally consistent and recovery
+// rolls back exactly one process.
+type Checkpoint struct {
+	path    string
+	regions map[string][]byte
+	store   *sim.FS
+	commits int
+	updates int
+}
+
+// NewCheckpoint creates an empty checkpoint buffer that commits to the
+// given store under path.
+func NewCheckpoint(store *sim.FS, path string) *Checkpoint {
+	return &Checkpoint{
+		path:    path,
+		regions: make(map[string][]byte),
+		store:   store,
+	}
+}
+
+// Update copies an element snapshot into its region of the buffer.
+func (c *Checkpoint) Update(element string, state []byte) {
+	buf := make([]byte, len(state))
+	copy(buf, state)
+	c.regions[element] = buf
+	c.updates++
+}
+
+// Region returns the current buffered snapshot for an element (nil if
+// none). The returned slice is the live region; the heap injector uses it
+// to corrupt checkpoint contents in place.
+func (c *Checkpoint) Region(element string) []byte { return c.regions[element] }
+
+// Elements lists element names with buffered regions, sorted.
+func (c *Checkpoint) Elements() []string {
+	names := make([]string, 0, len(c.regions))
+	for n := range c.regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Commit serializes the buffer to stable storage. Called by the ARMOR
+// runtime on every message transmission.
+func (c *Checkpoint) Commit() {
+	c.store.Write(c.path, c.encode())
+	c.commits++
+}
+
+// Commits reports how many commits have been made.
+func (c *Checkpoint) Commits() int { return c.commits }
+
+// Updates reports how many element-region updates have been made.
+func (c *Checkpoint) Updates() int { return c.updates }
+
+// Load reads the last committed checkpoint from stable storage into the
+// buffer. It returns false if no checkpoint exists, and an error if the
+// stored image is structurally unparseable (length corruption).
+func (c *Checkpoint) Load() (bool, error) {
+	data, err := c.store.Read(c.path)
+	if err != nil {
+		return false, nil // no checkpoint yet: cold start
+	}
+	regions, err := decodeCheckpoint(data)
+	if err != nil {
+		return true, err
+	}
+	c.regions = regions
+	return true, nil
+}
+
+// Discard removes the stable checkpoint, used when an ARMOR is cleanly
+// uninstalled.
+func (c *Checkpoint) Discard() { c.store.Remove(c.path) }
+
+// encode flattens regions deterministically (sorted by element name).
+func (c *Checkpoint) encode() []byte {
+	names := c.Elements()
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(names)))
+	for _, n := range names {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(n)))
+		out = append(out, n...)
+		region := c.regions[n]
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(region)))
+		out = append(out, region...)
+	}
+	return out
+}
+
+func decodeCheckpoint(data []byte) (map[string][]byte, error) {
+	regions := make(map[string][]byte)
+	off := 0
+	read32 := func() (int, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("checkpoint truncated at %d: %w", off, ErrCorrupt)
+		}
+		v := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		return v, nil
+	}
+	n, err := read32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<16 {
+		return nil, fmt.Errorf("checkpoint region count %d: %w", n, ErrCorrupt)
+	}
+	for i := 0; i < n; i++ {
+		nameLen, err := read32()
+		if err != nil {
+			return nil, err
+		}
+		if nameLen < 0 || off+nameLen > len(data) {
+			return nil, fmt.Errorf("checkpoint name length %d: %w", nameLen, ErrCorrupt)
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		regionLen, err := read32()
+		if err != nil {
+			return nil, err
+		}
+		if regionLen < 0 || off+regionLen > len(data) {
+			return nil, fmt.Errorf("checkpoint region length %d: %w", regionLen, ErrCorrupt)
+		}
+		region := make([]byte, regionLen)
+		copy(region, data[off:off+regionLen])
+		off += regionLen
+		regions[name] = region
+	}
+	return regions, nil
+}

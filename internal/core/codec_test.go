@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.PutU64(42)
+	e.PutI64(-7)
+	e.PutF64(3.14159)
+	e.PutBool(true)
+	e.PutString("node-A")
+	e.PutBytes([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.U64(); got != 42 {
+		t.Fatalf("u64 = %d", got)
+	}
+	if got := d.I64(); got != -7 {
+		t.Fatalf("i64 = %d", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := d.Bool(); !got {
+		t.Fatal("bool")
+	}
+	if got := d.String(); got != "node-A" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := d.Bytes(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("bytes = %v", got)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, fl float64, b bool, s string, bs []byte) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		var e Encoder
+		e.PutU64(u)
+		e.PutI64(i)
+		e.PutF64(fl)
+		e.PutBool(b)
+		e.PutString(s)
+		e.PutBytes(bs)
+		d := NewDecoder(e.Bytes())
+		ok := d.U64() == u && d.I64() == i && d.F64() == fl && d.Bool() == b && d.String() == s
+		got := d.Bytes()
+		if len(got) != len(bs) {
+			return false
+		}
+		for j := range got {
+			if got[j] != bs[j] {
+				return false
+			}
+		}
+		return ok && d.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecTagMismatchDetected(t *testing.T) {
+	var e Encoder
+	e.PutU64(1)
+	d := NewDecoder(e.Bytes())
+	d.I64() // wrong type
+	if d.Err() == nil {
+		t.Fatal("tag mismatch not detected")
+	}
+}
+
+func TestCodecTruncationDetected(t *testing.T) {
+	var e Encoder
+	e.PutString("hello")
+	buf := e.Bytes()
+	d := NewDecoder(buf[:3])
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("truncation not detected")
+	}
+}
+
+func TestCodecTrailingBytesDetected(t *testing.T) {
+	var e Encoder
+	e.PutU64(1)
+	buf := append(e.Bytes(), 0xFF)
+	d := NewDecoder(buf)
+	d.U64()
+	if d.Done() == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}
+
+// Bit flips in the length prefix of a string field must be detected as
+// structural corruption rather than silently mis-parsed — this is the
+// codec property the heap-injection experiments rely on.
+func TestCodecLengthCorruptionDetected(t *testing.T) {
+	var e Encoder
+	e.PutString("abcdefgh")
+	e.PutU64(5)
+	buf := e.Bytes()
+	// Corrupt the high byte of the string length (offset 1..4 after tag).
+	buf[4] ^= 0x40
+	d := NewDecoder(buf)
+	_ = d.String()
+	d.U64()
+	if d.Done() == nil {
+		t.Fatal("length corruption not detected")
+	}
+}
+
+func TestCodecPayloadCorruptionParsesButDiffers(t *testing.T) {
+	var e Encoder
+	e.PutU64(100)
+	buf := e.Bytes()
+	buf[1] ^= 0x01 // low byte of the value
+	d := NewDecoder(buf)
+	got := d.U64()
+	if err := d.Done(); err != nil {
+		t.Fatalf("payload corruption should parse: %v", err)
+	}
+	if got == 100 {
+		t.Fatal("corruption had no effect")
+	}
+	if got != 101 {
+		t.Fatalf("got %d, want 101", got)
+	}
+}

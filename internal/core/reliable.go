@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+)
+
+// commName is the checkpoint region holding the reliable channel state.
+// Sequence bookkeeping must be checkpointed: when an ARMOR crashes while
+// processing a message and rolls back, the message must *not* count as
+// seen, so the sender's retransmission gets processed again. This is what
+// makes the paper's "Execution ARMOR resends the application-failed
+// message until it receives an acknowledgment" recovery work — and also
+// what makes its crash-loop system failure possible when the resent
+// message itself is corrupt.
+const commName = "core.comm"
+
+// commState implements sequencing for reliable point-to-point ARMOR
+// messaging: per-peer send sequence numbers and duplicate suppression on
+// the receive side.
+type commState struct {
+	nextSeq  map[AID]uint64
+	lastSeen map[AID]uint64
+	// extraSeen holds out-of-order seen sequence numbers above
+	// lastSeen, pruned as the window closes.
+	extraSeen map[AID]map[uint64]bool
+}
+
+func newCommState() *commState {
+	return &commState{
+		nextSeq:   make(map[AID]uint64),
+		lastSeen:  make(map[AID]uint64),
+		extraSeen: make(map[AID]map[uint64]bool),
+	}
+}
+
+// assign returns the next sequence number for messages to dst.
+func (c *commState) assign(dst AID) uint64 {
+	c.nextSeq[dst]++
+	return c.nextSeq[dst]
+}
+
+// seen reports whether (src, seq) was already processed.
+func (c *commState) seen(src AID, seq uint64) bool {
+	if seq <= c.lastSeen[src] {
+		return true
+	}
+	return c.extraSeen[src][seq]
+}
+
+// markSeen records (src, seq) as processed.
+func (c *commState) markSeen(src AID, seq uint64) {
+	if seq <= c.lastSeen[src] {
+		return
+	}
+	if seq == c.lastSeen[src]+1 {
+		c.lastSeen[src] = seq
+		extra := c.extraSeen[src]
+		for extra[c.lastSeen[src]+1] {
+			delete(extra, c.lastSeen[src]+1)
+			c.lastSeen[src]++
+		}
+		if len(extra) == 0 {
+			delete(c.extraSeen, src)
+		}
+		return
+	}
+	if c.extraSeen[src] == nil {
+		c.extraSeen[src] = make(map[uint64]bool)
+	}
+	c.extraSeen[src][seq] = true
+}
+
+// snapshot serializes the channel state deterministically.
+func (c *commState) snapshot() []byte {
+	var e Encoder
+	putMap := func(m map[AID]uint64) {
+		keys := make([]AID, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		e.PutU64(uint64(len(keys)))
+		for _, k := range keys {
+			e.PutU64(uint64(k))
+			e.PutU64(m[k])
+		}
+	}
+	putMap(c.nextSeq)
+	putMap(c.lastSeen)
+	// extraSeen: flattened (src, seq) pairs.
+	type pair struct {
+		src AID
+		seq uint64
+	}
+	var pairs []pair
+	for src, seqs := range c.extraSeen {
+		for seq := range seqs {
+			pairs = append(pairs, pair{src, seq})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].seq < pairs[j].seq
+	})
+	e.PutU64(uint64(len(pairs)))
+	for _, p := range pairs {
+		e.PutU64(uint64(p.src))
+		e.PutU64(p.seq)
+	}
+	return e.Bytes()
+}
+
+// restore replaces the channel state from a snapshot.
+func (c *commState) restore(data []byte) error {
+	d := NewDecoder(data)
+	getMap := func() map[AID]uint64 {
+		n := d.U64()
+		if n > 1<<20 {
+			d.fail("comm map size %d", n)
+			return nil
+		}
+		m := make(map[AID]uint64, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			k := AID(d.U64())
+			m[k] = d.U64()
+		}
+		return m
+	}
+	nextSeq := getMap()
+	lastSeen := getMap()
+	n := d.U64()
+	if n > 1<<20 {
+		d.fail("comm extra size %d", n)
+	}
+	extra := make(map[AID]map[uint64]bool)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		src := AID(d.U64())
+		seq := d.U64()
+		if extra[src] == nil {
+			extra[src] = make(map[uint64]bool)
+		}
+		extra[src][seq] = true
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	c.nextSeq = nextSeq
+	c.lastSeen = lastSeen
+	c.extraSeen = extra
+	return nil
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+func TestAblationWatchdog(t *testing.T) {
+	tab, err := AblationWatchdog(tinyScale())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+}
+
+func TestAblationAssertions(t *testing.T) {
+	tab, err := AblationAssertions(tinyScale())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+}
+
+func TestAblationSharedCheckpoints(t *testing.T) {
+	tab, err := AblationSharedCheckpoints(tinyScale())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Render())
+	}
+}

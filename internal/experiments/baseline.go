@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/apps/rover"
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+	"reesift/internal/sim"
+	"reesift/internal/stats"
+)
+
+// Table3Data carries the baseline measurements.
+type Table3Data struct {
+	NoSIFTPerceived stats.Sample
+	NoSIFTActual    stats.Sample
+	SIFTPerceived   stats.Sample
+	SIFTActual      stats.Sample
+}
+
+// Table3 reproduces the baseline application execution time without fault
+// injection: the application outside the SIFT environment versus inside
+// it. The paper's finding — under two seconds of perceived overhead and no
+// statistically significant actual overhead — must hold.
+func Table3(sc Scale) (*Table, *Table3Data, error) {
+	data := &Table3Data{}
+	runs := sc.Runs
+	if runs < 3 {
+		runs = 3
+	}
+	// Baseline No SIFT: the application runs bare on the cluster; the
+	// perceived time equals the actual time (there is nothing to set
+	// up or tear down).
+	for i := 0; i < runs; i++ {
+		k := sim.NewKernel(sim.DefaultConfig(sc.Seed + int64(9000+i)))
+		p := rover.DefaultParams()
+		app := rover.Spec(1, []string{"node-a1", "node-a2"}, p)
+		measure := sift.RunStandalone(k, app, 1*time.Second)
+		k.Run(10 * time.Minute)
+		actual, ok := measure()
+		k.Shutdown()
+		if !ok {
+			return nil, nil, fmt.Errorf("table3: standalone run %d did not finish", i)
+		}
+		data.NoSIFTActual.AddDuration(actual)
+		data.NoSIFTPerceived.AddDuration(actual)
+	}
+	// Baseline SIFT: same application submitted through the SCC.
+	for i := 0; i < runs; i++ {
+		res := inject.Run(inject.Config{
+			Seed:   sc.Seed + int64(9100+i),
+			Model:  inject.ModelNone,
+			Target: inject.TargetNone,
+			Apps:   []*sift.AppSpec{roverApp()},
+		})
+		if !res.Done {
+			return nil, nil, fmt.Errorf("table3: SIFT baseline run %d did not finish", i)
+		}
+		data.SIFTPerceived.AddDuration(res.Perceived)
+		data.SIFTActual.AddDuration(res.Actual)
+	}
+	t := &Table{
+		ID:     "table3",
+		Title:  "Baseline application execution time without fault injection (s)",
+		Header: []string{"CONFIGURATION", "PERCEIVED", "ACTUAL"},
+		Rows: [][]string{
+			{"Baseline No SIFT", secCell(&data.NoSIFTPerceived), secCell(&data.NoSIFTActual)},
+			{"Baseline SIFT", secCell(&data.SIFTPerceived), secCell(&data.SIFTActual)},
+		},
+		Notes: []string{
+			fmt.Sprintf("SIFT adds %.2f s to perceived time (paper: ~2.3 s) and %.2f s to actual time (paper: not significant)",
+				data.SIFTPerceived.Mean()-data.NoSIFTPerceived.Mean(),
+				data.SIFTActual.Mean()-data.NoSIFTActual.Mean()),
+		},
+	}
+	return t, data, nil
+}

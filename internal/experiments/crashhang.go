@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+	"reesift/internal/stats"
+)
+
+// table4Targets are the SIGINT/SIGSTOP injection subjects in paper order.
+var table4Targets = []inject.TargetKind{
+	inject.TargetApp, inject.TargetFTM, inject.TargetExecArmor, inject.TargetHeartbeat,
+}
+
+// Table4Data carries the crash/hang campaign aggregates per model/target.
+type Table4Data struct {
+	Baseline struct {
+		Perceived, Actual stats.Sample
+	}
+	Cells map[string]agg // key "<model>/<target>"
+	Total int
+}
+
+// Table4 reproduces the SIGINT/SIGSTOP injection results: per target, the
+// number of errors injected, successful recoveries, perceived and actual
+// application execution times, and recovery times.
+func Table4(sc Scale) (*Table, *Table4Data, error) {
+	data := &Table4Data{Cells: make(map[string]agg)}
+	// Failure-free baseline row.
+	base := campaign(maxInt(3, sc.Runs/4), sc.Seed+8000, func(seed int64) inject.Config {
+		return inject.Config{Seed: seed, Model: inject.ModelNone, Target: inject.TargetNone,
+			Apps: []*sift.AppSpec{roverApp()}}
+	})
+	data.Baseline.Perceived = base.perceived
+	data.Baseline.Actual = base.actual
+
+	t := &Table{
+		ID:    "table4",
+		Title: "SIGINT/SIGSTOP injection results",
+		Header: []string{"TARGET", "ERRORS INJECTED", "SUCCESSFUL RECOVERIES",
+			"PERCEIVED (s)", "ACTUAL (s)", "RECOVERY TIME (s)"},
+	}
+	for _, model := range []inject.Model{inject.ModelSIGINT, inject.ModelSIGSTOP} {
+		t.Rows = append(t.Rows, []string{"-- " + model.String() + " --", "", "", "", "", ""})
+		t.Rows = append(t.Rows, []string{"Baseline", "-", "-",
+			secCell(&data.Baseline.Perceived), secCell(&data.Baseline.Actual), "-"})
+		for _, target := range table4Targets {
+			model, target := model, target
+			a := campaign(sc.Runs, cellSeed(sc.Seed, model, target), func(seed int64) inject.Config {
+				return inject.Config{Seed: seed, Model: model, Target: target,
+					Apps: []*sift.AppSpec{roverApp()}}
+			})
+			key := model.String() + "/" + target.String()
+			data.Cells[key] = a
+			data.Total += a.injectedRuns
+			recoveries := a.injectedRuns - a.sysFailures
+			t.Rows = append(t.Rows, []string{
+				target.String(),
+				fmt.Sprintf("%d", a.injectedRuns),
+				fmt.Sprintf("%d", recoveries),
+				secCell(&a.perceived),
+				secCell(&a.actual),
+				secCell(&a.recovery),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("n = %d injected runs; no-failure 95%% bound on unrecoverable-failure probability: p < %.5f (Section 5)",
+			data.Total, stats.NoFailureBound(data.Total)))
+	return t, data, nil
+}
+
+// Table5Data carries the heartbeat-period sweep.
+type Table5Data struct {
+	Periods   []time.Duration
+	Perceived []stats.Sample
+	Actual    []stats.Sample
+}
+
+// Table5 reproduces the heartbeat-frequency study (Section 5.3): SIGINT
+// into the FTM under heartbeat periods of 5/10/20/30 s. Perceived time
+// grows with the period (detection latency); actual time stays flat.
+func Table5(sc Scale) (*Table, *Table5Data, error) {
+	data := &Table5Data{}
+	t := &Table{
+		ID:     "table5",
+		Title:  "Application execution time with varying heartbeat periods (SIGINT into FTM)",
+		Header: []string{"HEARTBEAT PERIOD (s)", "PERCEIVED (s)", "ACTUAL (s)"},
+	}
+	for pi, period := range []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second} {
+		env := sift.DefaultEnvConfig()
+		env.FTMHeartbeatPeriod = period
+		env.HeartbeatArmorPeriod = period
+		envCopy := env
+		a := campaign(sc.Table5Runs, sc.Seed+7000+int64(pi)*1000, func(seed int64) inject.Config {
+			return inject.Config{Seed: seed, Model: inject.ModelSIGINT, Target: inject.TargetFTM,
+				Apps: []*sift.AppSpec{roverApp()}, Env: &envCopy}
+		})
+		data.Periods = append(data.Periods, period)
+		data.Perceived = append(data.Perceived, a.perceived)
+		data.Actual = append(data.Actual, a.actual)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", period.Seconds()),
+			secCell(&a.perceived),
+			secCell(&a.actual),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: perceived 77.9 -> 96.7 s from 5 s to 30 s periods; actual flat at ~73 s")
+	return t, data, nil
+}
+
+// cellSeed spaces campaign seeds so cells never share kernels.
+func cellSeed(base int64, model inject.Model, target inject.TargetKind) int64 {
+	return base + int64(model)*100000 + int64(target)*10000
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,219 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections 4-8). Each experiment builds injection campaigns on
+// internal/inject, aggregates them with internal/stats, and renders a
+// table shaped like the paper's. The same code serves the test suite and
+// benchmarks (SmallScale) and the paper-scale CLI runs (PaperScale).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"reesift/internal/apps/rover"
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+	"reesift/internal/sim"
+	"reesift/internal/stats"
+)
+
+// Scale sets campaign sizes. The paper's counts are in PaperScale;
+// SmallScale keeps `go test` and `go test -bench` fast while exercising
+// identical code.
+type Scale struct {
+	// Runs is the SIGINT/SIGSTOP campaign size per target (paper: 100).
+	Runs int
+	// Table5Runs is per heartbeat period (paper: 30).
+	Table5Runs int
+	// FailureQuota is the register/text/heap target failure count per
+	// cell (paper: ~90-100).
+	FailureQuota int
+	// MaxRunsPerCell bounds the failure-quota search.
+	MaxRunsPerCell int
+	// TargetedHeapRuns is per FTM element (paper: 100).
+	TargetedHeapRuns int
+	// AppHeapRuns is the Table 10 campaign size (paper: 1000).
+	AppHeapRuns int
+	// MultiAppRuns is per target/model cell in Tables 11-12.
+	MultiAppRuns int
+	// Seed offsets all campaigns.
+	Seed int64
+}
+
+// SmallScale is sized for CI: every mechanism is exercised, every table
+// is produced, at roughly 1/10 the paper's run counts.
+func SmallScale() Scale {
+	return Scale{
+		Runs:             10,
+		Table5Runs:       6,
+		FailureQuota:     10,
+		MaxRunsPerCell:   30,
+		TargetedHeapRuns: 10,
+		AppHeapRuns:      60,
+		MultiAppRuns:     4,
+		Seed:             1,
+	}
+}
+
+// PaperScale matches the paper's campaign sizes (~28,000 injections in
+// total across all experiments).
+func PaperScale() Scale {
+	return Scale{
+		Runs:             100,
+		Table5Runs:       30,
+		FailureQuota:     90,
+		MaxRunsPerCell:   400,
+		TargetedHeapRuns: 100,
+		AppHeapRuns:      1000,
+		MultiAppRuns:     25,
+		Seed:             1,
+	}
+}
+
+// Table is a rendered experiment product.
+type Table struct {
+	ID     string // "table4", "figure6", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// secCell formats a stats sample as the paper's "mean ± ci" seconds cell.
+func secCell(s *stats.Sample) string {
+	if s.N() == 0 {
+		return "-"
+	}
+	return s.MeanCI()
+}
+
+// roverApp builds the standard texture-analysis submission on the 4-node
+// testbed.
+func roverApp() *sift.AppSpec {
+	return rover.Spec(1, []string{"node-a1", "node-a2"}, rover.DefaultParams())
+}
+
+// agg accumulates per-campaign aggregates shared by several tables.
+type agg struct {
+	injectedRuns int
+	failures     int
+	sucRec       int
+	segFault     int
+	illegal      int
+	hang         int
+	assertion    int
+	sysFailures  int
+	correlated   int
+	perceived    stats.Sample
+	actual       stats.Sample
+	recovery     stats.Sample
+}
+
+func (a *agg) add(r inject.Result) {
+	if r.Injected > 0 {
+		a.injectedRuns++
+	}
+	if r.Failed {
+		a.failures++
+		if !r.SystemFailure {
+			a.sucRec++
+		}
+		switch r.Class {
+		case inject.ClassSegFault:
+			a.segFault++
+		case inject.ClassIllegalInstr:
+			a.illegal++
+		case inject.ClassHang:
+			a.hang++
+		case inject.ClassAssertion:
+			a.assertion++
+		}
+	}
+	if r.SystemFailure {
+		a.sysFailures++
+	}
+	if r.Correlated {
+		a.correlated++
+	}
+	if r.Done {
+		a.perceived.AddDuration(r.Perceived)
+		a.actual.AddDuration(r.Actual)
+	}
+	if r.Recovered && r.RecoveryTime > 0 {
+		a.recovery.AddDuration(r.RecoveryTime)
+	}
+}
+
+// campaign runs n seeds of a config generator and aggregates.
+func campaign(n int, seed int64, mk func(seed int64) inject.Config) agg {
+	var a agg
+	for i := 0; i < n; i++ {
+		a.add(inject.Run(mk(seed + int64(i))))
+	}
+	return a
+}
+
+// campaignUntilFailures keeps running until `quota` target failures are
+// observed or maxRuns is exhausted (the paper's register/text methodology:
+// "the goal was to achieve between 90 and 100 error activations per
+// target").
+func campaignUntilFailures(quota, maxRuns int, seed int64, mk func(seed int64) inject.Config) (agg, int) {
+	var a agg
+	runs := 0
+	for a.failures < quota && runs < maxRuns {
+		a.add(inject.Run(mk(seed + int64(runs))))
+		runs++
+	}
+	return a, runs
+}
+
+// fmtDur renders a duration in seconds with two decimals.
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// mergeSample pools src into dst.
+func mergeSample(dst, src *stats.Sample) { dst.Merge(src) }
+
+// newBaselineKernel builds a kernel for standalone (no-SIFT) runs.
+func newBaselineKernel(seed int64) *sim.Kernel {
+	return sim.NewKernel(sim.DefaultConfig(seed))
+}

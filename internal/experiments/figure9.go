@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/san"
+)
+
+// Figure9 solves the Section 5.2 stochastic activity network across a
+// sweep of SIFT failure rates, reporting the probability that a SIFT
+// failure induces a correlated application failure and the resulting
+// application unavailability.
+func Figure9(sc Scale) (*Table, []san.Figure9Point, error) {
+	horizon := 500000.0
+	if sc.Runs >= 50 {
+		horizon = 5e6 // paper-scale runs buy tighter estimates
+	}
+	mttfs := []time.Duration{
+		24 * time.Hour, time.Hour, 10 * time.Minute, time.Minute, 10 * time.Second,
+	}
+	pts, err := san.Figure9Study(san.DefaultFigure9Params(), mttfs, horizon, sc.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:     "figure9",
+		Title:  "SAN model of SIFT-induced application failures (Figure 9)",
+		Header: []string{"SIFT MTTF", "P(app failure | SIFT failure)", "APP UNAVAILABILITY"},
+	}
+	for _, pt := range pts {
+		t.Rows = append(t.Rows, []string{
+			pt.SIFTMTTF.String(),
+			fmt.Sprintf("%.4f", pt.CorrelatedPerSIFTFailure),
+			fmt.Sprintf("%.6f", pt.AppUnavailability),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"even a small correlated-failure probability drives unavailability well above the uncorrelated prediction (Section 5.2, [33])",
+		"injection campaigns observed ~1.6% of SIFT failures inducing application failures")
+	return t, pts, nil
+}

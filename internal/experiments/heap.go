@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reesift/internal/apps/rover"
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+	"reesift/internal/sim"
+)
+
+// table7Targets: heap injections target only the SIFT processes.
+var table7Targets = []inject.TargetKind{
+	inject.TargetFTM, inject.TargetExecArmor, inject.TargetHeartbeat,
+}
+
+// Table7Data carries the blind-heap campaign aggregates.
+type Table7Data struct {
+	Cells map[inject.TargetKind]agg
+}
+
+// Table7 reproduces the heap injection results: repeated single-bit flips
+// into live element state until the target fails. Roughly half the runs
+// show any effect (Section 7.1).
+func Table7(sc Scale) (*Table, *Table7Data, error) {
+	data := &Table7Data{Cells: make(map[inject.TargetKind]agg)}
+	t := &Table{
+		ID:    "table7",
+		Title: "Heap injection results",
+		Header: []string{"TARGET", "RUNS", "FAILURES", "SUC. REC.",
+			"PERCEIVED (s)", "ACTUAL (s)", "RECOVERY (s)"},
+	}
+	for _, target := range table7Targets {
+		target := target
+		a := campaign(sc.Runs, cellSeed(sc.Seed+700000, inject.ModelHeap, target), func(seed int64) inject.Config {
+			return inject.Config{Seed: seed, Model: inject.ModelHeap, Target: target,
+				Apps: []*sift.AppSpec{roverApp()}}
+		})
+		data.Cells[target] = a
+		t.Rows = append(t.Rows, []string{
+			target.String(),
+			fmt.Sprintf("%d", sc.Runs),
+			fmt.Sprintf("%d", a.failures),
+			fmt.Sprintf("%d", a.sucRec),
+			secCell(&a.perceived),
+			secCell(&a.actual),
+			secCell(&a.recovery),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: 54/41/28 failures for FTM/Execution/Heartbeat from 100 runs each; all but one recovered")
+	return t, data, nil
+}
+
+// ftmElements are the five Table 8 targets.
+var ftmElements = []string{
+	"mgr_armor_info", "exec_armor_info", "app_param", "mgr_app_detect", "node_mgmt",
+}
+
+// Table8Data counts system failures per element and phase.
+type Table8Data struct {
+	// Sys[element][mode] counts system failures.
+	Sys map[string]map[inject.SystemFailureMode]int
+	// AssertFired / AssertSaved / SysNoAssert per element (Table 9).
+	AssertFired    map[string]int
+	SysAfterAssert map[string]int
+	SavedByAssert  map[string]int
+	SysNoAssert    map[string]int
+	Injected       map[string]int
+}
+
+// Table8And9 runs the targeted non-pointer heap injections into the five
+// FTM elements (one error per run) and produces both Table 8 (system
+// failures by run phase) and Table 9 (assertion efficiency).
+func Table8And9(sc Scale) (*Table, *Table, *Table8Data, error) {
+	data := &Table8Data{
+		Sys:            make(map[string]map[inject.SystemFailureMode]int),
+		AssertFired:    make(map[string]int),
+		SysAfterAssert: make(map[string]int),
+		SavedByAssert:  make(map[string]int),
+		SysNoAssert:    make(map[string]int),
+		Injected:       make(map[string]int),
+	}
+	modes := []inject.SystemFailureMode{
+		inject.SysRegisterDaemons, inject.SysInstallExecArmors,
+		inject.SysStartApplication, inject.SysUninstallAfterCompletion,
+		inject.SysAppNotCompleted,
+	}
+	for ei, element := range ftmElements {
+		data.Sys[element] = make(map[inject.SystemFailureMode]int)
+		for i := 0; i < sc.TargetedHeapRuns; i++ {
+			res := inject.Run(inject.Config{
+				Seed:    sc.Seed + 800000 + int64(ei)*10000 + int64(i),
+				Model:   inject.ModelHeapData,
+				Target:  inject.TargetFTM,
+				Element: element,
+				Apps:    []*sift.AppSpec{roverApp()},
+			})
+			if res.Injected == 0 {
+				continue
+			}
+			data.Injected[element]++
+			if res.SystemFailure {
+				data.Sys[element][res.SysMode]++
+			}
+			if res.AssertionFired {
+				data.AssertFired[element]++
+				if res.SystemFailure {
+					data.SysAfterAssert[element]++
+				} else {
+					data.SavedByAssert[element]++
+				}
+			} else if res.SystemFailure {
+				data.SysNoAssert[element]++
+			}
+		}
+	}
+	t8 := &Table{
+		ID:    "table8",
+		Title: "System failures observed through targeted heap injections (per FTM element)",
+		Header: []string{"ELEMENT", "UNABLE TO REGISTER DAEMONS", "UNABLE TO INSTALL EXEC ARMORS",
+			"UNABLE TO START APP", "UNABLE TO UNINSTALL", "NOT COMPLETED", "TOTAL"},
+	}
+	for _, element := range ftmElements {
+		row := []string{element}
+		total := 0
+		for _, m := range modes {
+			c := data.Sys[element][m]
+			total += c
+			row = append(row, fmt.Sprintf("%d", c))
+		}
+		row = append(row, fmt.Sprintf("%d", total))
+		t8.Rows = append(t8.Rows, row)
+	}
+	t8.Notes = append(t8.Notes,
+		"paper: 37 system failures total; node_mgmt and mgr_armor_info were the sensitive elements; app_param and mgr_app_detect caused none")
+
+	t9 := &Table{
+		ID:    "table9",
+		Title: "Efficiency of assertion checks in preventing system failures",
+		Header: []string{"ELEMENT", "SYS FAILURES WITHOUT ASSERTION", "SYS FAILURES AFTER ASSERTION",
+			"SUCCESSFUL RECOVERY AFTER ASSERTION"},
+	}
+	totalFired, totalSaved := 0, 0
+	for _, element := range ftmElements {
+		t9.Rows = append(t9.Rows, []string{
+			element,
+			fmt.Sprintf("%d", data.SysNoAssert[element]),
+			fmt.Sprintf("%d", data.SysAfterAssert[element]),
+			fmt.Sprintf("%d", data.SavedByAssert[element]),
+		})
+		totalFired += data.AssertFired[element]
+		totalSaved += data.SavedByAssert[element]
+	}
+	pct := 0.0
+	if totalFired > 0 {
+		pct = 100 * float64(totalSaved) / float64(totalFired)
+	}
+	t9.Notes = append(t9.Notes,
+		fmt.Sprintf("assertions + microcheckpointing prevented system failures in %.0f%% of assertion-detected errors (paper: 58%%)", pct))
+	return t8, t9, data, nil
+}
+
+// Table10Data counts application heap injection outcomes.
+type Table10Data struct {
+	Injected  int
+	NoEffect  int
+	Incorrect int
+	Crash     int
+	Hang      int
+}
+
+// Table10 reproduces the 1,000 single-bit heap injections into the
+// application: most flips land in float mantissas and leave the output
+// within tolerance; a few flip exponent/sign bits (incorrect output) or
+// size fields (crash).
+func Table10(sc Scale) (*Table, *Table10Data, error) {
+	data := &Table10Data{}
+	p := rover.DefaultParams()
+	img := rover.GenerateImage(p.ImageSize, p.Seed)
+	ref, _, err := rover.Analyze(img, p.Clusters)
+	if err != nil {
+		return nil, nil, err
+	}
+	check := func(fs *sim.FS) string { return rover.Verify(fs, 1, ref, p.Tolerance).String() }
+	for i := 0; i < sc.AppHeapRuns; i++ {
+		res := inject.Run(inject.Config{
+			Seed:         sc.Seed + 900000 + int64(i),
+			Model:        inject.ModelAppHeap,
+			Target:       inject.TargetApp,
+			Apps:         []*sift.AppSpec{roverApp()},
+			CheckVerdict: check,
+		})
+		if res.Injected == 0 {
+			continue
+		}
+		data.Injected++
+		switch {
+		case res.Failed && res.Class == inject.ClassHang:
+			data.Hang++
+		case res.Failed:
+			data.Crash++
+		case res.Verdict == "incorrect" || res.Verdict == "missing":
+			data.Incorrect++
+		default:
+			data.NoEffect++
+		}
+	}
+	t := &Table{
+		ID:     "table10",
+		Title:  fmt.Sprintf("Results from %d heap injections into the application", data.Injected),
+		Header: []string{"OUTCOME", "COUNT"},
+		Rows: [][]string{
+			{"No effect (correct output)", fmt.Sprintf("%d", data.NoEffect)},
+			{"Incorrect output", fmt.Sprintf("%d", data.Incorrect)},
+			{"Crash", fmt.Sprintf("%d", data.Crash)},
+			{"Hang", fmt.Sprintf("%d", data.Hang)},
+		},
+		Notes: []string{"paper (1000 injections): 981 no effect / 10 incorrect / 9 crash / 0 hang"},
+	}
+	return t, data, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/apps/otis"
+	"reesift/internal/apps/rover"
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+	"reesift/internal/stats"
+)
+
+// multiAppSpecs builds the Section 8 configuration: Mars Rover and OTIS
+// simultaneously on a six-node testbed, each application's processes on
+// dedicated nodes. The injection subject (OTIS) is Apps[0].
+func multiAppSpecs() []*sift.AppSpec {
+	o := otis.Spec(2, []string{"n3", "n4"}, otis.DefaultParams())
+	r := rover.Spec(1, []string{"n1", "n2"}, rover.DefaultParams())
+	return []*sift.AppSpec{o, r}
+}
+
+// multiAppModels are the error models of the Section 8 campaigns.
+var multiAppModels = []inject.Model{
+	inject.ModelSIGINT, inject.ModelSIGSTOP, inject.ModelRegister, inject.ModelText,
+}
+
+// multiAgg aggregates a two-application campaign.
+type multiAgg struct {
+	agg
+	roverPerceived stats.Sample
+	roverActual    stats.Sample
+	otisPerceived  stats.Sample
+	otisActual     stats.Sample
+}
+
+func (m *multiAgg) addMulti(r inject.Result) {
+	m.add(r)
+	if a, ok := r.PerApp[1]; ok && a.Done {
+		m.roverPerceived.AddDuration(a.Perceived)
+		m.roverActual.AddDuration(a.Actual)
+	}
+	if a, ok := r.PerApp[2]; ok && a.Done {
+		m.otisPerceived.AddDuration(a.Perceived)
+		m.otisActual.AddDuration(a.Actual)
+	}
+}
+
+// Table11And12Data carries the Section 8 aggregates.
+type Table11And12Data struct {
+	BaselineRover stats.Sample
+	BaselineOTIS  stats.Sample
+	// OTISApp and Armors aggregate across error models.
+	OTISApp map[inject.Model]*multiAgg
+	Armors  map[inject.Model]*multiAgg
+}
+
+// Table11And12 reproduces the two-application experiments: Table 11 (mean
+// performance under injection) and Table 12 (error classification). The
+// load of a second application must not degrade recovery: ARMOR recovery
+// time stays near the single-application value, and the perceived/actual
+// difference stays around one second.
+func Table11And12(sc Scale) (*Table, *Table, *Table11And12Data, error) {
+	data := &Table11And12Data{
+		OTISApp: make(map[inject.Model]*multiAgg),
+		Armors:  make(map[inject.Model]*multiAgg),
+	}
+	// Baseline: both applications standalone (no SIFT) on six nodes.
+	baseRuns := maxInt(2, sc.MultiAppRuns/2)
+	for i := 0; i < baseRuns; i++ {
+		k := newBaselineKernel(sc.Seed + 50000 + int64(i))
+		rspec := rover.Spec(1, []string{"n1", "n2"}, rover.DefaultParams())
+		ospec := otis.Spec(2, []string{"n3", "n4"}, otis.DefaultParams())
+		mr := sift.RunStandalone(k, rspec, time.Second)
+		mo := sift.RunStandalone(k, ospec, time.Second)
+		k.Run(20 * time.Minute)
+		if d, ok := mr(); ok {
+			data.BaselineRover.AddDuration(d)
+		}
+		if d, ok := mo(); ok {
+			data.BaselineOTIS.AddDuration(d)
+		}
+		k.Shutdown()
+	}
+
+	armorTargets := []inject.TargetKind{inject.TargetFTM, inject.TargetExecArmor, inject.TargetHeartbeat}
+	for _, model := range multiAppModels {
+		oa := &multiAgg{}
+		for i := 0; i < sc.MultiAppRuns; i++ {
+			oa.addMulti(inject.Run(inject.Config{
+				Seed:  sc.Seed + 60000 + int64(model)*1000 + int64(i),
+				Model: model, Target: inject.TargetApp,
+				Apps: multiAppSpecs(),
+			}))
+		}
+		data.OTISApp[model] = oa
+
+		ar := &multiAgg{}
+		for ti, target := range armorTargets {
+			for i := 0; i < sc.MultiAppRuns; i++ {
+				ar.addMulti(inject.Run(inject.Config{
+					Seed:  sc.Seed + 70000 + int64(model)*3000 + int64(ti)*500 + int64(i),
+					Model: model, Target: target,
+					Apps: multiAppSpecs(),
+				}))
+			}
+		}
+		data.Armors[model] = ar
+	}
+
+	// Table 11: mean performance summary across all models.
+	var otisAll, armorAll multiAgg
+	for _, model := range multiAppModels {
+		mergeMulti(&otisAll, data.OTISApp[model])
+		mergeMulti(&armorAll, data.Armors[model])
+	}
+	t11 := &Table{
+		ID:    "table11",
+		Title: "Performance under error injection with two applications (six nodes)",
+		Header: []string{"TARGET", "ROVER PERCEIVED (s)", "ROVER ACTUAL (s)",
+			"OTIS PERCEIVED (s)", "OTIS ACTUAL (s)", "RECOVERY (s)"},
+		Rows: [][]string{
+			{"Baseline (no SIFT)", "-", secCell(&data.BaselineRover), "-", secCell(&data.BaselineOTIS), "-"},
+			{"OTIS app", secCell(&otisAll.roverPerceived), secCell(&otisAll.roverActual),
+				secCell(&otisAll.otisPerceived), secCell(&otisAll.otisActual), secCell(&otisAll.recovery)},
+			{"ARMORs", secCell(&armorAll.roverPerceived), secCell(&armorAll.roverActual),
+				secCell(&armorAll.otisPerceived), secCell(&armorAll.otisActual), secCell(&armorAll.recovery)},
+		},
+		Notes: []string{"paper: SIFT recovery adds 1-3% to baseline execution; recovery time matches the single-app value"},
+	}
+
+	// Table 12: error classification grouped by model family.
+	t12 := &Table{
+		ID:    "table12",
+		Title: "Error classification with two applications",
+		Header: []string{"TARGET", "FAILURES", "SUC. REC.",
+			"SEG. FAULT", "ILLEGAL", "HANG", "SELF-CHECK"},
+	}
+	group := func(label string, src map[inject.Model]*multiAgg, models []inject.Model) {
+		var g multiAgg
+		for _, m := range models {
+			mergeMulti(&g, src[m])
+		}
+		t12.Rows = append(t12.Rows, []string{
+			label,
+			fmt.Sprintf("%d", g.failures),
+			fmt.Sprintf("%d", g.sucRec),
+			fmt.Sprintf("%d", g.segFault),
+			fmt.Sprintf("%d", g.illegal),
+			fmt.Sprintf("%d", g.hang),
+			fmt.Sprintf("%d", g.assertion),
+		})
+	}
+	sigModels := []inject.Model{inject.ModelSIGINT, inject.ModelSIGSTOP}
+	memModels := []inject.Model{inject.ModelRegister, inject.ModelText}
+	t12.Rows = append(t12.Rows, []string{"-- SIGINT/SIGSTOP --", "", "", "", "", "", ""})
+	group("OTIS app", data.OTISApp, sigModels)
+	group("ARMORs", data.Armors, sigModels)
+	t12.Rows = append(t12.Rows, []string{"-- register/text --", "", "", "", "", "", ""})
+	group("OTIS app", data.OTISApp, memModels)
+	group("ARMORs", data.Armors, memModels)
+	t12.Notes = append(t12.Notes, "paper: all but 2 SIGINT/SIGSTOP and all but 14 register/text errors recovered")
+	return t11, t12, data, nil
+}
+
+func mergeMulti(dst, src *multiAgg) {
+	dst.injectedRuns += src.injectedRuns
+	dst.failures += src.failures
+	dst.sucRec += src.sucRec
+	dst.segFault += src.segFault
+	dst.illegal += src.illegal
+	dst.hang += src.hang
+	dst.assertion += src.assertion
+	dst.sysFailures += src.sysFailures
+	dst.correlated += src.correlated
+	mergeSample(&dst.perceived, &src.perceived)
+	mergeSample(&dst.actual, &src.actual)
+	mergeSample(&dst.recovery, &src.recovery)
+	mergeSample(&dst.roverPerceived, &src.roverPerceived)
+	mergeSample(&dst.roverActual, &src.roverActual)
+	mergeSample(&dst.otisPerceived, &src.otisPerceived)
+	mergeSample(&dst.otisActual, &src.otisActual)
+}

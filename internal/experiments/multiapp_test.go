@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"reesift/internal/inject"
+)
+
+func TestTable11And12MultiAppShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-app campaign is the slowest experiment")
+	}
+	t11, t12, data, err := Table11And12(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t11.Rows) != 3 {
+		t.Fatalf("t11 rows = %d", len(t11.Rows))
+	}
+	if len(t12.Rows) != 6 {
+		t.Fatalf("t12 rows = %d", len(t12.Rows))
+	}
+	// Baselines measured.
+	if data.BaselineRover.N() == 0 || data.BaselineOTIS.N() == 0 {
+		t.Fatal("missing standalone baselines")
+	}
+	// OTIS runs ~2.5x the rover baseline.
+	if data.BaselineOTIS.Mean() <= data.BaselineRover.Mean() {
+		t.Fatalf("OTIS baseline (%.1f) should exceed rover baseline (%.1f)",
+			data.BaselineOTIS.Mean(), data.BaselineRover.Mean())
+	}
+	// ARMOR injections must not sink the applications: across the
+	// campaigns, most runs complete.
+	for model, a := range data.Armors {
+		if a.injectedRuns > 0 && a.sysFailures > a.injectedRuns/2 {
+			t.Fatalf("%v ARMOR campaign: %d/%d system failures", model, a.sysFailures, a.injectedRuns)
+		}
+	}
+	// SIGINT/SIGSTOP into ARMORs: recovery must dominate (paper: all
+	// but 2 of 563 recovered).
+	sig := data.Armors[inject.ModelSIGINT]
+	if sig.failures > 0 && sig.sucRec == 0 {
+		t.Fatal("no SIGINT ARMOR failures recovered in the two-app configuration")
+	}
+}

@@ -1,0 +1,213 @@
+// Package fft is the "external FFT library" of the texture analysis
+// program (Section 3.3): radix-2 complex FFTs, 2-D transforms, and the
+// directional band-pass filtering that extracts oriented texture energy
+// from an image. In the paper each filter invocation runs for about 20
+// seconds on the PowerPC 750 — which is why progress indicators cannot be
+// checked more often than every 20 s; in the reproduction the numeric work
+// is real but small, and the 20 s cost is modelled in virtual time by the
+// application.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT performs an in-place radix-2 decimation-in-time FFT. The length of
+// x must be a power of two.
+func FFT(x []complex128) error {
+	return transform(x, false)
+}
+
+// IFFT performs the inverse transform (normalized by 1/n).
+func IFFT(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j &^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		angle := 2 * math.Pi / float64(length)
+		if !inverse {
+			angle = -angle
+		}
+		wl := cmplx.Exp(complex(0, angle))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// FFT2D transforms a square image in place: rows, then columns. The side
+// must be a power of two.
+func FFT2D(img [][]complex128) error {
+	return transform2D(img, false)
+}
+
+// IFFT2D inverts FFT2D.
+func IFFT2D(img [][]complex128) error {
+	return transform2D(img, true)
+}
+
+func transform2D(img [][]complex128, inverse bool) error {
+	n := len(img)
+	for _, row := range img {
+		if len(row) != n {
+			return fmt.Errorf("fft: image is not square")
+		}
+	}
+	do := FFT
+	if inverse {
+		do = IFFT
+	}
+	for _, row := range img {
+		if err := do(row); err != nil {
+			return err
+		}
+	}
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = img[r][c]
+		}
+		if err := do(col); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			img[r][c] = col[r]
+		}
+	}
+	return nil
+}
+
+// DirectionalFilter extracts oriented texture energy: it transforms the
+// image, keeps only frequency components whose orientation lies within
+// halfWidth radians of theta (and the conjugate sector), inverse
+// transforms, and returns the per-pixel magnitude. This is the texture
+// analysis program's feature extractor: one invocation per image axis
+// (three filters per image in the Mars Rover program).
+func DirectionalFilter(img [][]float64, theta, halfWidth float64) ([][]float64, error) {
+	n := len(img)
+	freq := make([][]complex128, n)
+	for r := range img {
+		if len(img[r]) != n {
+			return nil, fmt.Errorf("fft: image is not square")
+		}
+		freq[r] = make([]complex128, n)
+		for c, v := range img[r] {
+			freq[r][c] = complex(v, 0)
+		}
+	}
+	if err := FFT2D(freq); err != nil {
+		return nil, err
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if r == 0 && c == 0 {
+				freq[r][c] = 0 // remove DC: texture, not brightness
+				continue
+			}
+			// Signed frequency coordinates.
+			fr, fc := float64(r), float64(c)
+			if r > n/2 {
+				fr -= float64(n)
+			}
+			if c > n/2 {
+				fc -= float64(n)
+			}
+			ang := math.Atan2(fr, fc)
+			if !withinSector(ang, theta, halfWidth) {
+				freq[r][c] = 0
+			}
+		}
+	}
+	if err := IFFT2D(freq); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, n)
+	for r := range freq {
+		out[r] = make([]float64, n)
+		for c := range freq[r] {
+			out[r][c] = cmplx.Abs(freq[r][c])
+		}
+	}
+	return out, nil
+}
+
+// withinSector reports whether angle ang (in [-pi, pi]) falls within
+// halfWidth of theta, treating opposite directions as equivalent (the
+// spectrum of a real image is conjugate-symmetric).
+func withinSector(ang, theta, halfWidth float64) bool {
+	d := math.Abs(angleDiff(ang, theta))
+	if d > math.Pi/2 {
+		d = math.Pi - d // fold the conjugate sector
+	}
+	return d <= halfWidth
+}
+
+// angleDiff returns the signed difference between two angles in (-pi, pi].
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	switch {
+	case d > math.Pi:
+		d -= 2 * math.Pi
+	case d <= -math.Pi:
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// SmoothEnergy box-filters a magnitude map with the given radius,
+// converting pointwise filter response into local texture energy.
+func SmoothEnergy(m [][]float64, radius int) [][]float64 {
+	n := len(m)
+	out := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		out[r] = make([]float64, n)
+		for c := 0; c < n; c++ {
+			sum, cnt := 0.0, 0
+			for dr := -radius; dr <= radius; dr++ {
+				for dc := -radius; dc <= radius; dc++ {
+					rr, cc := r+dr, c+dc
+					if rr < 0 || rr >= n || cc < 0 || cc >= n {
+						continue
+					}
+					sum += m[rr][cc]
+					cnt++
+				}
+			}
+			out[r][c] = sum / float64(cnt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of an impulse is flat.
+	x := []complex128{1, 0, 0, 0}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if math.Abs(real(v)-1) > 1e-12 || math.Abs(imag(v)) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 6)); err == nil {
+		t.Fatal("expected error for length 6")
+	}
+	if err := FFT(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestFFTInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 8, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := FFT(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(real(x[i])-real(orig[i])) > 1e-9 || math.Abs(imag(x[i])-imag(orig[i])) > 1e-9 {
+				t.Fatalf("n=%d: roundtrip diverged at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 32
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			a[i] = complex(rng.NormFloat64(), 0)
+			b[i] = complex(rng.NormFloat64(), 0)
+			sum[i] = a[i] + b[i]
+		}
+		_ = FFT(a)
+		_ = FFT(b)
+		_ = FFT(sum)
+		for i := 0; i < n; i++ {
+			if math.Abs(real(sum[i])-real(a[i])-real(b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 128
+	x := make([]complex128, n)
+	timeEnergy := 0.0
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		timeEnergy += real(x[i]) * real(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	freqEnergy := 0.0
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy)/timeEnergy > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 16
+	img := make([][]complex128, n)
+	orig := make([][]complex128, n)
+	for r := range img {
+		img[r] = make([]complex128, n)
+		orig[r] = make([]complex128, n)
+		for c := range img[r] {
+			img[r][c] = complex(rng.Float64(), 0)
+			orig[r][c] = img[r][c]
+		}
+	}
+	if err := FFT2D(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT2D(img); err != nil {
+		t.Fatal(err)
+	}
+	for r := range img {
+		for c := range img[r] {
+			if math.Abs(real(img[r][c])-real(orig[r][c])) > 1e-9 {
+				t.Fatalf("2D roundtrip diverged at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+// stripes draws a sinusoidal grating with the given orientation: 0 means
+// variation along columns (vertical stripes).
+func stripes(n int, theta float64, freq float64) [][]float64 {
+	img := make([][]float64, n)
+	for r := range img {
+		img[r] = make([]float64, n)
+		for c := range img[r] {
+			phase := freq * (math.Cos(theta)*float64(c) + math.Sin(theta)*float64(r))
+			img[r][c] = math.Sin(2 * math.Pi * phase / float64(n))
+		}
+	}
+	return img
+}
+
+func energy(m [][]float64) float64 {
+	sum := 0.0
+	for _, row := range m {
+		for _, v := range row {
+			sum += v * v
+		}
+	}
+	return sum
+}
+
+func TestDirectionalFilterSelectsOrientation(t *testing.T) {
+	const n = 64
+	vertical := stripes(n, 0, 8) // energy along the 0-rad axis
+	horizontal := stripes(n, math.Pi/2, 8)
+
+	// A filter aimed at 0 rad should respond to vertical stripes and
+	// suppress horizontal ones.
+	onTarget, err := DirectionalFilter(vertical, 0, math.Pi/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offTarget, err := DirectionalFilter(horizontal, 0, math.Pi/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eOn, eOff := energy(onTarget), energy(offTarget)
+	if eOn < 100*eOff {
+		t.Fatalf("directional selectivity too weak: on=%v off=%v", eOn, eOff)
+	}
+}
+
+func TestDirectionalFilterRemovesDC(t *testing.T) {
+	const n = 16
+	flat := make([][]float64, n)
+	for r := range flat {
+		flat[r] = make([]float64, n)
+		for c := range flat[r] {
+			flat[r][c] = 7.5 // constant brightness, no texture
+		}
+	}
+	out, err := DirectionalFilter(flat, 0, math.Pi/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := energy(out); e > 1e-12 {
+		t.Fatalf("flat image produced texture energy %v", e)
+	}
+}
+
+func TestSmoothEnergyPreservesMean(t *testing.T) {
+	const n = 8
+	m := make([][]float64, n)
+	for r := range m {
+		m[r] = make([]float64, n)
+		for c := range m[r] {
+			m[r][c] = float64(r*n + c)
+		}
+	}
+	sm := SmoothEnergy(m, 1)
+	if len(sm) != n || len(sm[0]) != n {
+		t.Fatal("shape changed")
+	}
+	// A constant map must be unchanged by smoothing.
+	flat := make([][]float64, n)
+	for r := range flat {
+		flat[r] = make([]float64, n)
+		for c := range flat[r] {
+			flat[r][c] = 3
+		}
+	}
+	for _, row := range SmoothEnergy(flat, 2) {
+		for _, v := range row {
+			if math.Abs(v-3) > 1e-12 {
+				t.Fatalf("constant map changed: %v", v)
+			}
+		}
+	}
+}
+
+func TestAngleDiffProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 10), math.Mod(b, 10)
+		d := angleDiff(a, b)
+		return d > -math.Pi-1e-9 && d <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

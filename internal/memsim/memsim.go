@@ -1,0 +1,367 @@
+// Package memsim models the memory of a simulated process for fault
+// injection purposes: a register file and a text segment whose corruption
+// manifests the way the paper's ptrace-level bit flips did.
+//
+// The paper's register and text-segment injections (Section 6) flip real
+// PowerPC bits and observe the outcome at the granularity of segmentation
+// fault / illegal instruction / hang / assertion, plus occasional silent
+// corruption that escapes in a message or a checkpoint. A Go reproduction
+// cannot flip hardware register bits, so this package models the *location
+// classes* whose corruption produces each outcome:
+//
+//   - a flipped pointer register dereferences an unmapped address
+//     (segmentation fault);
+//   - a flipped branch-target register jumps into garbage (illegal
+//     instruction);
+//   - a flipped loop or synchronisation variable spins or deadlocks
+//     (hang);
+//   - flipped live data propagates silently — into element state, an
+//     outgoing message, or the checkpoint buffer — until an assertion or a
+//     downstream process trips over it;
+//   - a flipped dead register is overwritten before anyone reads it
+//     (no effect), which is the common case and the reason the paper
+//     needed ~6,000 register injections to obtain ~340 failures.
+//
+// Injection places a pending error whose manifestation class is drawn from
+// a calibrated profile; *activation* happens when the owning process
+// performs work (Step), matching the paper's definition: "an error is said
+// to be activated if program execution accesses the erroneous value".
+// Everything downstream of activation — detection, recovery, checkpoint
+// corruption, crash loops, correlated failures — is handled mechanistically
+// by the ARMOR runtime and is not modelled here.
+package memsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Outcome classifies how an activated error manifests.
+type Outcome int
+
+// Outcomes. OutcomeNone means a pending error existed but nothing activated
+// this step.
+const (
+	OutcomeNone Outcome = iota
+	// OutcomeSegfault crashes the process with a segmentation fault.
+	OutcomeSegfault
+	// OutcomeIllegalInstr crashes the process with an illegal
+	// instruction exception.
+	OutcomeIllegalInstr
+	// OutcomeHang sends the process into a non-terminating state.
+	OutcomeHang
+	// OutcomeCorruptState silently corrupts in-process dynamic data
+	// (element state). Assertions may or may not catch it.
+	OutcomeCorruptState
+	// OutcomeCorruptMessage corrupts the next outgoing message without
+	// crashing the sender (a fail-silence violation).
+	OutcomeCorruptMessage
+	// OutcomeCorruptCheckpoint corrupts the process's checkpoint buffer
+	// before the process crashes (the paper's crash-restore-crash loop
+	// trigger).
+	OutcomeCorruptCheckpoint
+	// OutcomeReceiveOmission makes the process deaf: it stops receiving
+	// incoming messages while still believing it is healthy (the paper's
+	// Heartbeat ARMOR system-failure mode).
+	OutcomeReceiveOmission
+)
+
+// String returns a short label for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNone:
+		return "none"
+	case OutcomeSegfault:
+		return "segfault"
+	case OutcomeIllegalInstr:
+		return "illegal-instruction"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeCorruptState:
+		return "corrupt-state"
+	case OutcomeCorruptMessage:
+		return "corrupt-message"
+	case OutcomeCorruptCheckpoint:
+		return "corrupt-checkpoint"
+	case OutcomeReceiveOmission:
+		return "receive-omission"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Space identifies which memory space an error was injected into.
+type Space int
+
+// Memory spaces targeted by the paper's injectors.
+const (
+	SpaceRegister Space = iota + 1
+	SpaceText
+	SpaceHeap
+)
+
+// String returns the space name.
+func (s Space) String() string {
+	switch s {
+	case SpaceRegister:
+		return "register"
+	case SpaceText:
+		return "text"
+	case SpaceHeap:
+		return "heap"
+	default:
+		return fmt.Sprintf("Space(%d)", int(s))
+	}
+}
+
+// ClassWeights gives the relative probability that a *manifesting* error in
+// a space belongs to each location class. Weights need not sum to 1.
+type ClassWeights struct {
+	Segfault          float64
+	IllegalInstr      float64
+	Hang              float64
+	CorruptState      float64
+	CorruptMessage    float64
+	CorruptCheckpoint float64
+	ReceiveOmission   float64
+}
+
+func (w ClassWeights) total() float64 {
+	return w.Segfault + w.IllegalInstr + w.Hang + w.CorruptState +
+		w.CorruptMessage + w.CorruptCheckpoint + w.ReceiveOmission
+}
+
+// draw picks an outcome according to the weights.
+func (w ClassWeights) draw(rng *rand.Rand) Outcome {
+	t := w.total()
+	if t <= 0 {
+		return OutcomeNone
+	}
+	x := rng.Float64() * t
+	for _, c := range []struct {
+		w float64
+		o Outcome
+	}{
+		{w.Segfault, OutcomeSegfault},
+		{w.IllegalInstr, OutcomeIllegalInstr},
+		{w.Hang, OutcomeHang},
+		{w.CorruptState, OutcomeCorruptState},
+		{w.CorruptMessage, OutcomeCorruptMessage},
+		{w.CorruptCheckpoint, OutcomeCorruptCheckpoint},
+		{w.ReceiveOmission, OutcomeReceiveOmission},
+	} {
+		if x < c.w {
+			return c.o
+		}
+		x -= c.w
+	}
+	return OutcomeSegfault
+}
+
+// Profile calibrates a target's memory model.
+type Profile struct {
+	// Register and Text give the outcome mix for errors that do
+	// manifest, per space.
+	Register ClassWeights
+	Text     ClassWeights
+	// RegisterLiveFrac is the probability that an injected register
+	// error lands in a live register at all; dead-register errors are
+	// overwritten before use and never activate.
+	RegisterLiveFrac float64
+	// RegisterActivation is the per-work-unit probability that a live
+	// pending register error is read.
+	RegisterActivation float64
+	// RegisterDecay is the per-work-unit probability that a live pending
+	// register error is overwritten before being read (expires).
+	RegisterDecay float64
+	// TextHotFrac is the probability that a text-segment error lands in
+	// a function that the process actually executes. The paper targeted
+	// "only the most frequently used registers and functions", so this
+	// is high relative to a uniform flip but below 1.
+	TextHotFrac float64
+	// TextActivation is the per-work-unit probability that a hot pending
+	// text error's function is called.
+	TextActivation float64
+}
+
+// ARMORProfile returns the manifestation mix calibrated from the paper's
+// Table 6 ARMOR rows (FTM, Execution ARMOR, Heartbeat ARMOR aggregated):
+// register failures were ~73% segfault / 7% illegal instruction / 16% hang
+// / ~3% assertion-detected state corruption, with rare message escapes;
+// text failures shifted toward illegal instructions (~33%) and carried the
+// propagation cases (corrupted checkpoints, corrupted outgoing messages,
+// receive omissions) that produced all 11 of Section 6's system failures.
+func ARMORProfile() Profile {
+	return Profile{
+		Register: ClassWeights{
+			Segfault:          0.705,
+			IllegalInstr:      0.07,
+			Hang:              0.155,
+			CorruptState:      0.060,
+			CorruptMessage:    0.007,
+			CorruptCheckpoint: 0.003,
+		},
+		Text: ClassWeights{
+			Segfault:          0.525,
+			IllegalInstr:      0.29,
+			Hang:              0.09,
+			CorruptState:      0.060,
+			CorruptMessage:    0.015,
+			CorruptCheckpoint: 0.012,
+			ReceiveOmission:   0.008,
+		},
+		RegisterLiveFrac:   0.30,
+		RegisterActivation: 0.20,
+		RegisterDecay:      0.45,
+		TextHotFrac:        0.45,
+		TextActivation:     0.25,
+	}
+}
+
+// AppProfile returns the manifestation mix for the applications (Table 6
+// app rows): no internal assertions, a higher hang share for register
+// errors (long FFT loops), and text errors split between segfaults and
+// illegal instructions. Application errors do not corrupt ARMOR
+// checkpoints; silent data corruption surfaces as out-of-tolerance output,
+// which the application verifier judges.
+func AppProfile() Profile {
+	return Profile{
+		Register: ClassWeights{
+			Segfault:     0.74,
+			IllegalInstr: 0.045,
+			Hang:         0.21,
+			CorruptState: 0.005,
+		},
+		Text: ClassWeights{
+			Segfault:     0.50,
+			IllegalInstr: 0.27,
+			Hang:         0.22,
+			CorruptState: 0.01,
+		},
+		RegisterLiveFrac:   0.30,
+		RegisterActivation: 0.20,
+		RegisterDecay:      0.45,
+		TextHotFrac:        0.45,
+		TextActivation:     0.25,
+	}
+}
+
+// pendingError is an injected but not-yet-activated error.
+type pendingError struct {
+	space   Space
+	outcome Outcome // pre-drawn at injection time for determinism
+	live    bool    // dead errors never activate
+}
+
+// Memory is the simulated memory image of one process.
+type Memory struct {
+	rng  *rand.Rand
+	prof Profile
+
+	pending []pendingError
+
+	// Counters for campaign accounting.
+	Injected  int
+	Activated int
+	Expired   int
+}
+
+// New creates a memory image with the given profile. The random source
+// must be the kernel's, so campaigns stay deterministic.
+func New(rng *rand.Rand, prof Profile) *Memory {
+	return &Memory{rng: rng, prof: prof}
+}
+
+// InjectRegister flips a bit in a register. The manifestation class is
+// drawn now; whether it ever activates depends on Step.
+func (m *Memory) InjectRegister() {
+	m.Injected++
+	live := m.rng.Float64() < m.prof.RegisterLiveFrac
+	m.pending = append(m.pending, pendingError{
+		space:   SpaceRegister,
+		outcome: m.prof.Register.draw(m.rng),
+		live:    live,
+	})
+}
+
+// InjectText flips a bit in the text segment. Text errors persist until
+// activated or the process image is discarded (process death); they never
+// decay, which is why the paper found text errors more dangerous than
+// register errors.
+func (m *Memory) InjectText() {
+	m.Injected++
+	hot := m.rng.Float64() < m.prof.TextHotFrac
+	m.pending = append(m.pending, pendingError{
+		space:   SpaceText,
+		outcome: m.prof.Text.draw(m.rng),
+		live:    hot,
+	})
+}
+
+// Pending reports the number of injected errors that have neither
+// activated nor expired.
+func (m *Memory) Pending() int { return len(m.pending) }
+
+// Step models one unit of work (processing a message event, computing a
+// filter block). It returns the outcome of the first error activated
+// during this unit, or OutcomeNone.
+func (m *Memory) Step() Outcome {
+	if len(m.pending) == 0 {
+		return OutcomeNone
+	}
+	kept := m.pending[:0]
+	var fired Outcome = OutcomeNone
+	for _, e := range m.pending {
+		if fired != OutcomeNone {
+			kept = append(kept, e)
+			continue
+		}
+		if !e.live {
+			// Dead-register / cold-function error: for registers it
+			// expires quickly, for text it lingers harmlessly.
+			if e.space == SpaceRegister {
+				m.Expired++
+				continue
+			}
+			kept = append(kept, e)
+			continue
+		}
+		switch e.space {
+		case SpaceRegister:
+			r := m.rng.Float64()
+			switch {
+			case r < m.prof.RegisterActivation:
+				fired = e.outcome
+				m.Activated++
+			case r < m.prof.RegisterActivation+m.prof.RegisterDecay:
+				m.Expired++
+			default:
+				kept = append(kept, e)
+			}
+		case SpaceText:
+			if m.rng.Float64() < m.prof.TextActivation {
+				fired = e.outcome
+				m.Activated++
+			} else {
+				kept = append(kept, e)
+			}
+		default:
+			kept = append(kept, e)
+		}
+	}
+	m.pending = kept
+	return fired
+}
+
+// Clear drops all pending errors. Used when a process dies: its register
+// file and text image die with it (recovered ARMORs get a fresh image
+// copied from the daemon).
+func (m *Memory) Clear() { m.pending = nil }
+
+// FlipBit flips bit `bit` (0-63) of a uint64 — a helper shared by the heap
+// injectors, which corrupt real serialized state rather than modelled
+// locations.
+func FlipBit(v uint64, bit uint) uint64 { return v ^ (1 << (bit % 64)) }
+
+// FlipByteBit flips bit `bit` (0-7) of a byte.
+func FlipByteBit(b byte, bit uint) byte { return b ^ (1 << (bit % 8)) }

@@ -1,0 +1,213 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeadRegisterErrorsNeverActivate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prof := ARMORProfile()
+	prof.RegisterLiveFrac = 0 // every injection lands in a dead register
+	m := New(rng, prof)
+	for i := 0; i < 100; i++ {
+		m.InjectRegister()
+	}
+	for i := 0; i < 1000; i++ {
+		if o := m.Step(); o != OutcomeNone {
+			t.Fatalf("dead register error activated: %v", o)
+		}
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("dead register errors should expire, %d pending", m.Pending())
+	}
+	if m.Expired != 100 {
+		t.Fatalf("expired = %d, want 100", m.Expired)
+	}
+}
+
+func TestLiveRegisterErrorEventuallyActivatesOrDecays(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prof := ARMORProfile()
+	prof.RegisterLiveFrac = 1
+	m := New(rng, prof)
+	m.InjectRegister()
+	for i := 0; i < 10000 && m.Pending() > 0; i++ {
+		m.Step()
+	}
+	if m.Pending() != 0 {
+		t.Fatal("live register error neither activated nor decayed")
+	}
+	if m.Activated+m.Expired != 1 {
+		t.Fatalf("activated=%d expired=%d", m.Activated, m.Expired)
+	}
+}
+
+func TestTextErrorsPersistUntilActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prof := ARMORProfile()
+	prof.TextHotFrac = 1
+	prof.TextActivation = 0.5
+	m := New(rng, prof)
+	m.InjectText()
+	steps := 0
+	for m.Pending() > 0 {
+		if m.Step() != OutcomeNone {
+			break
+		}
+		steps++
+		if steps > 10000 {
+			t.Fatal("hot text error never activated")
+		}
+	}
+	if m.Activated != 1 {
+		t.Fatalf("activated = %d", m.Activated)
+	}
+}
+
+func TestColdTextErrorsLingerHarmlessly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prof := ARMORProfile()
+	prof.TextHotFrac = 0
+	m := New(rng, prof)
+	m.InjectText()
+	for i := 0; i < 500; i++ {
+		if o := m.Step(); o != OutcomeNone {
+			t.Fatalf("cold text error activated: %v", o)
+		}
+	}
+	if m.Pending() != 1 {
+		t.Fatalf("cold text error should linger, pending = %d", m.Pending())
+	}
+}
+
+func TestOutcomeMixMatchesARMORRegisterCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prof := ARMORProfile()
+	prof.RegisterLiveFrac = 1
+	counts := make(map[Outcome]int)
+	const n = 20000
+	m := New(rng, prof)
+	for i := 0; i < n; i++ {
+		m.InjectRegister()
+		for {
+			o := m.Step()
+			if o != OutcomeNone {
+				counts[o]++
+				break
+			}
+			if m.Pending() == 0 { // decayed
+				break
+			}
+		}
+		m.Clear()
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no activations")
+	}
+	segFrac := float64(counts[OutcomeSegfault]) / float64(total)
+	// Table 6 ARMOR rows: roughly 73% of register failures were
+	// segmentation faults. Allow a generous band.
+	if segFrac < 0.60 || segFrac > 0.80 {
+		t.Fatalf("segfault fraction = %.3f, want ~0.70", segFrac)
+	}
+	hangFrac := float64(counts[OutcomeHang]) / float64(total)
+	if hangFrac < 0.08 || hangFrac > 0.25 {
+		t.Fatalf("hang fraction = %.3f, want ~0.155", hangFrac)
+	}
+}
+
+func TestTextMixHasMoreIllegalInstructions(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	prof := ARMORProfile()
+	regIll := prof.Register.IllegalInstr / prof.Register.total()
+	txtIll := prof.Text.IllegalInstr / prof.Text.total()
+	if txtIll <= regIll {
+		t.Fatalf("text illegal-instruction share (%.3f) should exceed register share (%.3f)", txtIll, regIll)
+	}
+	_ = rng
+}
+
+func TestTextCarriesPropagationOutcomes(t *testing.T) {
+	p := ARMORProfile()
+	if p.Text.CorruptCheckpoint <= 0 || p.Text.CorruptMessage <= 0 || p.Text.ReceiveOmission <= 0 {
+		t.Fatal("ARMOR text profile must include the propagation classes that caused the paper's system failures")
+	}
+	if p.Register.ReceiveOmission != 0 {
+		t.Fatal("register errors did not cause receive omissions in the paper")
+	}
+}
+
+func TestAppProfileHasNoCheckpointCorruption(t *testing.T) {
+	p := AppProfile()
+	if p.Register.CorruptCheckpoint != 0 || p.Text.CorruptCheckpoint != 0 {
+		t.Fatal("applications have no ARMOR checkpoint to corrupt")
+	}
+	if p.Register.ReceiveOmission != 0 || p.Text.ReceiveOmission != 0 {
+		t.Fatal("app profile should not model receive omission")
+	}
+}
+
+func TestClearDropsPending(t *testing.T) {
+	m := New(rand.New(rand.NewSource(7)), ARMORProfile())
+	m.InjectText()
+	m.InjectRegister()
+	m.Clear()
+	if m.Pending() != 0 {
+		t.Fatal("Clear left pending errors")
+	}
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(v uint64, bit uint) bool {
+		return FlipBit(FlipBit(v, bit), bit) == v && FlipBit(v, bit) != v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipByteBitInvolution(t *testing.T) {
+	f := func(b byte, bit uint) bool {
+		return FlipByteBit(FlipByteBit(b, bit), bit) == b && FlipByteBit(b, bit) != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	runOnce := func() []Outcome {
+		rng := rand.New(rand.NewSource(42))
+		m := New(rng, ARMORProfile())
+		var outs []Outcome
+		for i := 0; i < 200; i++ {
+			m.InjectRegister()
+			m.InjectText()
+			outs = append(outs, m.Step())
+		}
+		return outs
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o := OutcomeNone; o <= OutcomeReceiveOmission; o++ {
+		if o.String() == "" {
+			t.Fatalf("outcome %d has empty string", o)
+		}
+	}
+	if SpaceRegister.String() != "register" || SpaceText.String() != "text" || SpaceHeap.String() != "heap" {
+		t.Fatal("space strings wrong")
+	}
+}

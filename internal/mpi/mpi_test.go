@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"reesift/internal/sim"
+)
+
+// testConn is a minimal Conn over a raw sim process with a stash.
+type testConn struct {
+	p     *sim.Proc
+	stash []sim.Msg
+}
+
+func (c *testConn) Process() *sim.Proc { return c.p }
+
+func (c *testConn) RecvMatch(timeout time.Duration, pred func(sim.Msg) bool) (sim.Msg, bool) {
+	for i, m := range c.stash {
+		if pred(m) {
+			c.stash = append(c.stash[:i], c.stash[i+1:]...)
+			return m, true
+		}
+	}
+	deadline := c.p.Now() + timeout
+	for {
+		remain := deadline - c.p.Now()
+		if remain <= 0 {
+			return sim.Msg{}, false
+		}
+		m, ok := c.p.RecvTimeout(remain)
+		if !ok {
+			return sim.Msg{}, false
+		}
+		if pred(m) {
+			return m, true
+		}
+		c.stash = append(c.stash, m)
+	}
+}
+
+func newMPIKernel(t *testing.T) *sim.Kernel {
+	t.Helper()
+	k := sim.NewKernel(sim.DefaultConfig(11))
+	t.Cleanup(k.Shutdown)
+	return k
+}
+
+// spawnWorld runs a 3-rank world; each rank's body receives its World.
+func spawnWorld(t *testing.T, k *sim.Kernel, body func(w *World, rank int)) {
+	t.Helper()
+	a := k.AddNode("a")
+	b := k.AddNode("b")
+	workers := map[int]sim.PID{}
+	leaderReady := make(chan struct{}) // never used across goroutines; placeholder
+	_ = leaderReady
+	var worker func(rank int) func(*sim.Proc)
+	worker = func(rank int) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			c := &testConn{p: p}
+			w, err := JoinWorker(c, 7, rank, 30*time.Second)
+			if err != nil {
+				p.Exit(1, err.Error())
+			}
+			body(w, rank)
+		}
+	}
+	workers[1] = k.Spawn(b, "r1", sim.NoPID, worker(1))
+	workers[2] = k.Spawn(a, "r2", sim.NoPID, worker(2))
+	k.Spawn(a, "r0", sim.NoPID, func(p *sim.Proc) {
+		c := &testConn{p: p}
+		w, err := NewLeader(c, 7, 3, workers, 30*time.Second)
+		if err != nil {
+			p.Exit(1, err.Error())
+		}
+		body(w, 0)
+	})
+}
+
+func TestWorldFormation(t *testing.T) {
+	k := newMPIKernel(t)
+	sizes := make(map[int]int)
+	spawnWorld(t, k, func(w *World, rank int) {
+		sizes[rank] = w.Size()
+	})
+	k.Run(time.Minute)
+	for rank := 0; rank < 3; rank++ {
+		if sizes[rank] != 3 {
+			t.Fatalf("rank %d saw world size %d", rank, sizes[rank])
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	k := newMPIKernel(t)
+	var got []float64
+	spawnWorld(t, k, func(w *World, rank int) {
+		switch rank {
+		case 0:
+			w.Send(1, "data", []float64{1, 2, 3})
+		case 1:
+			d, err := w.Recv(0, "data", 20*time.Second)
+			if err == nil {
+				got = d
+			}
+		}
+	})
+	k.Run(time.Minute)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExchangeIsSymmetric(t *testing.T) {
+	k := newMPIKernel(t)
+	results := make(map[int]float64)
+	spawnWorld(t, k, func(w *World, rank int) {
+		if rank == 2 {
+			return
+		}
+		peer := 1 - rank
+		out := []float64{float64(rank + 10)}
+		in, err := w.Exchange(peer, "bound", out, 20*time.Second)
+		if err == nil && len(in) == 1 {
+			results[rank] = in[0]
+		}
+	})
+	k.Run(time.Minute)
+	if results[0] != 11 || results[1] != 10 {
+		t.Fatalf("exchange results %v", results)
+	}
+}
+
+func TestBarrierAlignsRanks(t *testing.T) {
+	k := newMPIKernel(t)
+	after := make(map[int]time.Duration)
+	spawnWorld(t, k, func(w *World, rank int) {
+		// Ranks arrive at very different times.
+		w.conn.Process().Sleep(time.Duration(rank) * 5 * time.Second)
+		if err := w.Barrier(time.Minute); err != nil {
+			return
+		}
+		after[rank] = w.conn.Process().Now()
+	})
+	k.Run(5 * time.Minute)
+	if len(after) != 3 {
+		t.Fatalf("only %d ranks passed the barrier", len(after))
+	}
+	for rank, ts := range after {
+		if ts < 10*time.Second {
+			t.Fatalf("rank %d passed the barrier at %v, before the slowest rank arrived", rank, ts)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	k := newMPIKernel(t)
+	var rows [][]float64
+	spawnWorld(t, k, func(w *World, rank int) {
+		data := []float64{float64(rank), float64(rank * rank)}
+		out, err := w.Gather(data, "g", 30*time.Second)
+		if rank == 0 && err == nil {
+			rows = out
+		}
+	})
+	k.Run(time.Minute)
+	if len(rows) != 3 {
+		t.Fatalf("gathered %d rows", len(rows))
+	}
+	for r := 0; r < 3; r++ {
+		if rows[r][0] != float64(r) || rows[r][1] != float64(r*r) {
+			t.Fatalf("row %d = %v", r, rows[r])
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	k := newMPIKernel(t)
+	got := make(map[int]float64)
+	spawnWorld(t, k, func(w *World, rank int) {
+		d, err := w.Bcast([]float64{42}, "b", 30*time.Second)
+		if err == nil && len(d) == 1 {
+			got[rank] = d[0]
+		}
+	})
+	k.Run(time.Minute)
+	for rank := 0; rank < 3; rank++ {
+		if got[rank] != 42 {
+			t.Fatalf("rank %d got %v", rank, got[rank])
+		}
+	}
+}
+
+func TestLeaderStartupTimeoutWhenWorkerMissing(t *testing.T) {
+	k := newMPIKernel(t)
+	a := k.AddNode("a")
+	var startupErr error
+	k.Spawn(a, "r0", sim.NoPID, func(p *sim.Proc) {
+		c := &testConn{p: p}
+		// Worker PID 999 does not exist: the world never forms.
+		_, startupErr = NewLeader(c, 7, 2, map[int]sim.PID{1: 999}, 5*time.Second)
+	})
+	k.Run(time.Minute)
+	if startupErr == nil {
+		t.Fatal("expected startup timeout")
+	}
+}
+
+func TestRecvTimesOutOnDeadPeer(t *testing.T) {
+	k := newMPIKernel(t)
+	var recvErr error
+	var killPID sim.PID
+	spawnWorld(t, k, func(w *World, rank int) {
+		switch rank {
+		case 0:
+			killPID = w.PID(1)
+			_, recvErr = w.Recv(1, "never", 10*time.Second)
+		case 1:
+			w.conn.Process().Sleep(time.Hour)
+		}
+	})
+	k.Schedule(2*time.Second, func() {
+		if killPID != sim.NoPID {
+			k.Kill(killPID, "SIGINT")
+		}
+	})
+	k.Run(time.Hour)
+	if recvErr == nil {
+		t.Fatal("expected receive timeout from dead peer")
+	}
+}

@@ -1,0 +1,316 @@
+// Package san implements stochastic activity networks — the modelling
+// formalism of Section 5.2's Figure 9 — with a Monte-Carlo solver.
+//
+// A SAN is a stochastic Petri net variant: places hold tokens, timed
+// activities fire after exponentially distributed delays while enabled,
+// and instantaneous activities fire immediately when enabled. Enabling
+// predicates and firing functions are arbitrary marking functions (the
+// "input gates" and "output gates" of the formalism).
+package san
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Marking maps place names to token counts.
+type Marking map[string]int
+
+// clone copies a marking.
+func (m Marking) clone() Marking {
+	out := make(Marking, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TimedActivity fires after an exponential delay with the given rate while
+// continuously enabled. Delays are resampled when the activity becomes
+// enabled (enabling memory policy: race with enabling memory, the common
+// SAN semantics).
+type TimedActivity struct {
+	Name string
+	// Rate is the exponential firing rate (1/mean-delay in seconds).
+	Rate float64
+	// Enabled is the input-gate predicate.
+	Enabled func(m Marking) bool
+	// Fire is the output function mutating the marking.
+	Fire func(m Marking)
+}
+
+// InstantActivity fires immediately when enabled. Earlier activities in
+// the model's list have priority.
+type InstantActivity struct {
+	Name    string
+	Enabled func(m Marking) bool
+	Fire    func(m Marking)
+}
+
+// Model is a stochastic activity network.
+type Model struct {
+	Initial Marking
+	Timed   []*TimedActivity
+	Instant []*InstantActivity
+}
+
+// Result aggregates a Monte-Carlo run.
+type Result struct {
+	// Time is the simulated horizon.
+	Time float64
+	// TimeIn accumulates total time with at least one token per place.
+	TimeIn map[string]float64
+	// Firings counts activity firings by name.
+	Firings map[string]int
+}
+
+// Fraction returns the fraction of time a place was marked.
+func (r *Result) Fraction(place string) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return r.TimeIn[place] / r.Time
+}
+
+// Rate returns firings per unit time for an activity.
+func (r *Result) Rate(activity string) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(r.Firings[activity]) / r.Time
+}
+
+// Simulate runs the network for the given horizon with a seeded source.
+func (m *Model) Simulate(horizon float64, seed int64) (*Result, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("san: non-positive horizon")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mark := m.Initial.clone()
+	res := &Result{TimeIn: make(map[string]float64), Firings: make(map[string]int)}
+	now := 0.0
+
+	// settle fires instantaneous activities to quiescence.
+	settle := func() error {
+		for guard := 0; ; guard++ {
+			if guard > 10000 {
+				return fmt.Errorf("san: instantaneous activity livelock")
+			}
+			fired := false
+			for _, a := range m.Instant {
+				if a.Enabled(mark) {
+					a.Fire(mark)
+					res.Firings[a.Name]++
+					fired = true
+					break
+				}
+			}
+			if !fired {
+				return nil
+			}
+		}
+	}
+	if err := settle(); err != nil {
+		return nil, err
+	}
+	for now < horizon {
+		// Sample competing delays for enabled timed activities.
+		best := -1
+		bestDelay := math.Inf(1)
+		for i, a := range m.Timed {
+			if a.Rate <= 0 || !a.Enabled(mark) {
+				continue
+			}
+			d := rng.ExpFloat64() / a.Rate
+			if d < bestDelay {
+				best, bestDelay = i, d
+			}
+		}
+		if best < 0 {
+			// Absorbing marking: accumulate the rest of the horizon.
+			for place, tokens := range mark {
+				if tokens > 0 {
+					res.TimeIn[place] += horizon - now
+				}
+			}
+			now = horizon
+			break
+		}
+		step := math.Min(bestDelay, horizon-now)
+		for place, tokens := range mark {
+			if tokens > 0 {
+				res.TimeIn[place] += step
+			}
+		}
+		now += step
+		if step < bestDelay {
+			break // horizon reached mid-delay
+		}
+		a := m.Timed[best]
+		a.Fire(mark)
+		res.Firings[a.Name]++
+		if err := settle(); err != nil {
+			return nil, err
+		}
+	}
+	res.Time = now
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// The Figure 9 model: SIFT-induced application failures.
+// ---------------------------------------------------------------------------
+
+// Figure9Params parameterizes the Figure 9 network.
+type Figure9Params struct {
+	// SIFTMTTF is the SIFT process mean time to failure.
+	SIFTMTTF time.Duration
+	// SIFTRecovery is the SIFT process mean recovery time (~0.5 s).
+	SIFTRecovery time.Duration
+	// InterfacePeriod is the mean time between application attempts to
+	// interface with the local SIFT process (the progress-indicator
+	// period, 20 s for the texture program).
+	InterfacePeriod time.Duration
+	// InterfaceService is the mean time the interface interaction
+	// takes once the SIFT process is available.
+	InterfaceService time.Duration
+	// AppTimeout is the mean time a blocked application waits before
+	// giving up (failing).
+	AppTimeout time.Duration
+	// AppRecovery is the mean application restart time.
+	AppRecovery time.Duration
+}
+
+// DefaultFigure9Params uses the testbed's characteristic values.
+func DefaultFigure9Params() Figure9Params {
+	return Figure9Params{
+		SIFTMTTF:         10 * time.Minute,
+		SIFTRecovery:     500 * time.Millisecond,
+		InterfacePeriod:  20 * time.Second,
+		InterfaceService: 100 * time.Millisecond,
+		AppTimeout:       10 * time.Second,
+		AppRecovery:      5 * time.Second,
+	}
+}
+
+// Figure9Model builds the stochastic activity network of Figure 9: the
+// application moves app_okay -> app_block when it attempts to interface
+// with the SIFT process; an instantaneous activity completes the
+// interface when the SIFT process is healthy; a blocked application whose
+// SIFT process is down either resumes on SIFT recovery or times out into
+// app_fail; application recovery is conditioned on the SIFT process being
+// healthy, because the SIFT process is what detects and restarts the
+// application.
+func Figure9Model(p Figure9Params) *Model {
+	rate := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return 1 / d.Seconds()
+	}
+	return &Model{
+		Initial: Marking{"app_okay": 1, "sift_okay": 1},
+		Instant: []*InstantActivity{
+			{
+				Name:    "interface_granted",
+				Enabled: func(m Marking) bool { return m["app_block"] > 0 && m["sift_okay"] > 0 },
+				Fire: func(m Marking) {
+					m["app_block"]--
+					m["app_interface"]++
+				},
+			},
+		},
+		Timed: []*TimedActivity{
+			{
+				Name:    "app_interface_rate",
+				Rate:    rate(p.InterfacePeriod),
+				Enabled: func(m Marking) bool { return m["app_okay"] > 0 },
+				Fire: func(m Marking) {
+					m["app_okay"]--
+					m["app_block"]++
+				},
+			},
+			{
+				Name:    "interface_done",
+				Rate:    rate(p.InterfaceService),
+				Enabled: func(m Marking) bool { return m["app_interface"] > 0 },
+				Fire: func(m Marking) {
+					m["app_interface"]--
+					m["app_okay"]++
+				},
+			},
+			{
+				Name:    "sift_lambda",
+				Rate:    rate(p.SIFTMTTF),
+				Enabled: func(m Marking) bool { return m["sift_okay"] > 0 },
+				Fire: func(m Marking) {
+					m["sift_okay"]--
+					m["sift_fail"]++
+				},
+			},
+			{
+				Name:    "sift_mu",
+				Rate:    rate(p.SIFTRecovery),
+				Enabled: func(m Marking) bool { return m["sift_fail"] > 0 },
+				Fire: func(m Marking) {
+					m["sift_fail"]--
+					m["sift_okay"]++
+				},
+			},
+			{
+				Name:    "app_timeout",
+				Rate:    rate(p.AppTimeout),
+				Enabled: func(m Marking) bool { return m["app_block"] > 0 && m["sift_fail"] > 0 },
+				Fire: func(m Marking) {
+					m["app_block"]--
+					m["app_fail"]++
+				},
+			},
+			{
+				Name: "app_rho",
+				Rate: rate(p.AppRecovery),
+				// Recovery conditioned on the SIFT process being
+				// healthy: it performs the restart.
+				Enabled: func(m Marking) bool { return m["app_fail"] > 0 && m["sift_okay"] > 0 },
+				Fire: func(m Marking) {
+					m["app_fail"]--
+					m["app_okay"]++
+				},
+			},
+		},
+	}
+}
+
+// Figure9Point is one row of the Figure 9 study.
+type Figure9Point struct {
+	SIFTMTTF time.Duration
+	// CorrelatedPerSIFTFailure is the fraction of SIFT failures that
+	// induce an application failure.
+	CorrelatedPerSIFTFailure float64
+	// AppUnavailability is the fraction of time the application is
+	// failed or blocked.
+	AppUnavailability float64
+}
+
+// Figure9Study sweeps the SIFT failure rate and reports correlated-failure
+// probability and application unavailability.
+func Figure9Study(base Figure9Params, mttfs []time.Duration, horizon float64, seed int64) ([]Figure9Point, error) {
+	var out []Figure9Point
+	for i, mttf := range mttfs {
+		p := base
+		p.SIFTMTTF = mttf
+		res, err := Figure9Model(p).Simulate(horizon, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		pt := Figure9Point{SIFTMTTF: mttf}
+		if f := res.Firings["sift_lambda"]; f > 0 {
+			pt.CorrelatedPerSIFTFailure = float64(res.Firings["app_timeout"]) / float64(f)
+		}
+		pt.AppUnavailability = res.Fraction("app_fail") + res.Fraction("app_block")
+		out = append(out, pt)
+	}
+	return out, nil
+}

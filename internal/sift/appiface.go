@@ -1,0 +1,280 @@
+package sift
+
+import (
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/memsim"
+	"reesift/internal/sim"
+)
+
+// AppLauncher is an application entry point: the body of one MPI rank.
+type AppLauncher func(ac *AppContext)
+
+// AppSpec describes an application submission.
+type AppSpec struct {
+	ID    AppID
+	Name  string
+	Ranks int
+	// Nodes assigns a hostname per rank (cycled if shorter).
+	Nodes []string
+	// Launcher is the rank body.
+	Launcher AppLauncher
+	// PIPeriod is the progress-indicator period announced to the
+	// Execution ARMORs (20 s for the texture analysis program: it
+	// cannot be checked more often because each FFT filter runs that
+	// long).
+	PIPeriod time.Duration
+	// PICreateDelay defers progress-indicator creation past
+	// application startup; the paper's OTIS runs were vulnerable to
+	// hangs injected before the indicators existed.
+	PICreateDelay time.Duration
+	// MPIStartTimeout bounds how long rank 0 waits for the other ranks
+	// to join the world before aborting the application.
+	MPIStartTimeout time.Duration
+	// MemProfile, if non-nil, gives application processes a simulated
+	// memory image for register/text injection.
+	MemProfile *memsim.Profile
+	// Standalone runs the application without the SIFT environment:
+	// the SIFT interface calls become no-ops. It provides the paper's
+	// "Baseline No SIFT" measurement (Table 3).
+	Standalone bool
+	// InterruptPI selects the interrupt-driven hang detection design
+	// discussed in Section 5.1: each progress indicator resets a
+	// watchdog in the Execution ARMOR, so hangs are detected within one
+	// period instead of up to two — at the cost of coupling the
+	// updating and checking paths.
+	InterruptPI bool
+}
+
+// AppContext is the per-process runtime handed to an application rank: the
+// paper's "SIFT interface" (progress indicators, exit notification)
+// plus process plumbing (attachment, message demultiplexing) that the MPI
+// layer shares.
+type AppContext struct {
+	Proc *sim.Proc
+	Env  *Environment
+	App  *AppSpec
+	Rank int
+	// Restart is how many times the application has been restarted.
+	Restart int
+
+	// AID is this process's pseudo-ARMOR address.
+	AID core.AID
+	// ExecAID is the local Execution ARMOR.
+	ExecAID core.AID
+
+	daemonPID sim.PID
+	seq       uint64
+	stash     []sim.Msg
+
+	// Mem is the simulated memory image (register/text injection), nil
+	// when the application is not a target.
+	Mem *memsim.Memory
+	// Corrupted is set when an activated data error should perturb the
+	// application's numeric heap; the application checks and applies it
+	// at its next compute step.
+	Corrupted bool
+
+	// heapF64 and heapInt are the application's registered dynamic
+	// data: the real float64 matrices and the integer size/index fields
+	// that the heap injector (Table 10) flips bits in.
+	heapF64 []HeapF64
+	heapInt []HeapInt
+}
+
+// HeapF64 names a float64 region of application heap data.
+type HeapF64 struct {
+	Name string
+	Data []float64
+}
+
+// HeapInt names an integer field of application heap data (sizes and
+// indices — the fields whose corruption crashes rather than perturbs).
+type HeapInt struct {
+	Name string
+	P    *int
+}
+
+// RegisterHeapF64 exposes a float64 array for heap injection.
+func (ac *AppContext) RegisterHeapF64(name string, data []float64) {
+	ac.heapF64 = append(ac.heapF64, HeapF64{Name: name, Data: data})
+}
+
+// RegisterHeapInt exposes an integer field for heap injection.
+func (ac *AppContext) RegisterHeapInt(name string, p *int) {
+	ac.heapInt = append(ac.heapInt, HeapInt{Name: name, P: p})
+}
+
+// HeapFloats returns the registered float regions.
+func (ac *AppContext) HeapFloats() []HeapF64 { return ac.heapF64 }
+
+// HeapInts returns the registered integer fields.
+func (ac *AppContext) HeapInts() []HeapInt { return ac.heapInt }
+
+// Process returns the simulated process (it implements mpi.Conn together
+// with RecvMatch).
+func (ac *AppContext) Process() *sim.Proc { return ac.Proc }
+
+// Attach registers the process with its local daemon so envelopes
+// addressed to its pseudo-AID arrive (the one-way channel of Section 3.2
+// plus the return path for acknowledgments).
+func (ac *AppContext) Attach() {
+	if ac.App.Standalone {
+		return
+	}
+	ac.Proc.Send(ac.daemonPID, LocalAttach{ID: ac.AID, PID: ac.Proc.Self()})
+}
+
+// Step models one unit of application work for the fault injectors: it
+// applies any activated register/text error. Crash and hang manifestations
+// take effect immediately; data corruption latches into Corrupted for the
+// numeric kernels to fold in.
+func (ac *AppContext) Step() {
+	if ac.Mem == nil {
+		return
+	}
+	switch ac.Mem.Step() {
+	case memsim.OutcomeNone:
+	case memsim.OutcomeSegfault:
+		ac.Proc.Crash(core.ReasonSegfault)
+	case memsim.OutcomeIllegalInstr:
+		ac.Proc.Crash(core.ReasonIllegal)
+	case memsim.OutcomeHang:
+		ac.Proc.Hang()
+	default:
+		ac.Corrupted = true
+	}
+}
+
+// sendReliableBlocking transmits an event to dst and blocks until the
+// acknowledgment arrives, retransmitting every two seconds. This blocking
+// is load-bearing for the paper's correlated failures: an application
+// trying to reach a recovering Execution ARMOR blocks here until the ARMOR
+// is back.
+func (ac *AppContext) sendReliableBlocking(dst core.AID, kind core.EventKind, data interface{}) {
+	if ac.App.Standalone {
+		return
+	}
+	ac.seq++
+	env := core.Envelope{
+		Src: ac.AID, Dst: dst, Seq: ac.seq,
+		Events: []core.Event{{Kind: kind, Data: data}},
+	}
+	for {
+		ac.Proc.Send(ac.daemonPID, env)
+		if ac.waitAck(dst, env.Seq, 2*time.Second) {
+			return
+		}
+	}
+}
+
+// waitAck waits for an ack of (dst, seq), stashing every other message for
+// later consumption by RecvMatch.
+func (ac *AppContext) waitAck(from core.AID, seq uint64, timeout time.Duration) bool {
+	deadline := ac.Proc.Now() + timeout
+	for {
+		remain := deadline - ac.Proc.Now()
+		if remain <= 0 {
+			return false
+		}
+		m, ok := ac.Proc.RecvTimeout(remain)
+		if !ok {
+			return false
+		}
+		if env, ok := m.Payload.(core.Envelope); ok && env.Ack && env.Src == from && env.AckSeq == seq {
+			return true
+		}
+		ac.stash = append(ac.stash, m)
+	}
+}
+
+// RecvMatch returns the first pending or arriving message satisfying pred,
+// waiting up to timeout. Non-matching arrivals are stashed, preserving
+// order.
+func (ac *AppContext) RecvMatch(timeout time.Duration, pred func(sim.Msg) bool) (sim.Msg, bool) {
+	for i, m := range ac.stash {
+		if pred(m) {
+			ac.stash = append(ac.stash[:i], ac.stash[i+1:]...)
+			return m, true
+		}
+	}
+	deadline := ac.Proc.Now() + timeout
+	for {
+		remain := deadline - ac.Proc.Now()
+		if remain <= 0 {
+			return sim.Msg{}, false
+		}
+		m, ok := ac.Proc.RecvTimeout(remain)
+		if !ok {
+			return sim.Msg{}, false
+		}
+		// Acks arriving outside a blocking send are stale
+		// retransmission acks; drop them.
+		if env, ok := m.Payload.(core.Envelope); ok && env.Ack {
+			continue
+		}
+		if pred(m) {
+			return m, true
+		}
+		ac.stash = append(ac.stash, m)
+	}
+}
+
+// PICreate announces the progress indicator to the local Execution ARMOR
+// ("the application must tell the Execution ARMOR at what frequency to
+// check for progress indicator updates").
+func (ac *AppContext) PICreate(period time.Duration) {
+	ac.sendReliableBlocking(ac.ExecAID, EvPICreate, PICreate{AppID: ac.App.ID, Rank: ac.Rank, Period: period})
+}
+
+// Progress sends one progress-indicator update. It blocks until the
+// Execution ARMOR acknowledges it.
+func (ac *AppContext) Progress(counter uint64) {
+	ac.sendReliableBlocking(ac.ExecAID, EvProgress, Progress{AppID: ac.App.ID, Rank: ac.Rank, Counter: counter})
+}
+
+// NotifyExiting tells the Execution ARMOR the process is terminating
+// normally, so the exit is not misread as a crash (Section 3.3).
+func (ac *AppContext) NotifyExiting() {
+	ac.sendReliableBlocking(ac.ExecAID, EvAppExiting, AppExiting{AppID: ac.App.ID, Rank: ac.Rank})
+}
+
+// SendPIDs reports the remotely launched ranks' PIDs to the FTM (Table 1,
+// step 6).
+func (ac *AppContext) SendPIDs(pids map[int]sim.PID) {
+	ac.sendReliableBlocking(AIDFTM, EvAppPIDs, AppPIDs{AppID: ac.App.ID, PIDs: pids})
+}
+
+// WaitChannelOpen blocks a non-rank-0 process until its Execution ARMOR
+// establishes the monitoring channel (Table 1, step 7). It returns false
+// on timeout — the blocked-slave condition of Figure 8.
+func (ac *AppContext) WaitChannelOpen(timeout time.Duration) bool {
+	if ac.App.Standalone {
+		return true
+	}
+	_, ok := ac.RecvMatch(timeout, func(m sim.Msg) bool {
+		env, isEnv := m.Payload.(core.Envelope)
+		if !isEnv || len(env.Events) == 0 {
+			return false
+		}
+		_, isOpen := env.Events[0].Data.(ChannelOpen)
+		return isOpen
+	})
+	return ok
+}
+
+// SpawnRank launches another rank of the same application on the given
+// node (the MPI implementation's remote-launch protocol, Table 1 step 5).
+// The new process is not a child of anyone relevant: its Execution ARMOR
+// watches it through the process table.
+func (ac *AppContext) SpawnRank(node string, rank int) sim.PID {
+	return ac.Env.launchApp(nil, ac.App, rank, ac.Restart)
+}
+
+// SharedFS returns the cluster-wide stable storage (application input,
+// output, and status files).
+func (ac *AppContext) SharedFS() *sim.FS { return ac.Env.K.SharedFS() }
+
+// Rand returns the deterministic random source.
+func (ac *AppContext) Rand() func() float64 { return ac.Env.K.Rand().Float64 }

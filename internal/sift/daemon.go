@@ -1,0 +1,341 @@
+package sift
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/sim"
+)
+
+// DaemonBootstrap is the one-time static configuration the SCC pushes to a
+// daemon at environment initialization: the peers' process addresses and
+// the well-known ARMOR placements.
+type DaemonBootstrap struct {
+	// DaemonPIDs maps hostname to daemon process.
+	DaemonPIDs map[string]sim.PID
+	// NodeOf seeds the location cache (daemon AIDs, SCC).
+	NodeOf map[core.AID]string
+	// SCCPID lets daemons deliver envelopes addressed to the SCC.
+	SCCPID sim.PID
+}
+
+// LocalAttach registers a non-ARMOR process (an application linked with
+// the SIFT interface) with its local daemon so envelopes addressed to its
+// pseudo-AID can be delivered.
+type LocalAttach struct {
+	ID  core.AID
+	PID sim.PID
+}
+
+// Daemon is the per-node gateway process (Section 3.1): it installs ARMOR
+// processes on its node, routes ARMOR-to-ARMOR messages, detects crash
+// failures of local ARMORs through waitpid, detects hang failures through
+// periodic are-you-alive inquiries, and notifies the FTM to initiate
+// recovery.
+//
+// A daemon is itself an ARMOR (it embeds the runtime for its own element
+// and liveness handling), but its routing tables are soft state: daemon
+// failures are treated as node failures (Section 3.3), so nothing here
+// needs checkpointing.
+type Daemon struct {
+	env  *Environment
+	node *sim.Node
+	aid  core.AID
+
+	armor *core.Armor
+	proc  *sim.Proc
+
+	// localPID maps AIDs of local ARMORs and attached applications to
+	// processes.
+	localPID map[core.AID]sim.PID
+	// nodeOf is the remote location cache.
+	nodeOf map[core.AID]string
+	// daemonPIDs maps hostnames to peer daemons.
+	daemonPIDs map[string]sim.PID
+	sccPID     sim.PID
+
+	// children maps locally installed ARMOR processes back to AIDs.
+	children map[sim.PID]core.AID
+	// expectedDeath suppresses failure notification for intentional
+	// kills (reinstall, uninstall).
+	expectedDeath map[sim.PID]bool
+
+	// ayaOutstanding tracks which local ARMORs have not answered the
+	// current are-you-alive round.
+	ayaOutstanding map[core.AID]bool
+
+	installDelay time.Duration
+	ayaPeriod    time.Duration
+}
+
+// daemonElem carries the daemon's subscribed behaviour inside the ARMOR
+// runtime.
+type daemonElem struct {
+	d *Daemon
+}
+
+type ayaRoundTag struct{}
+
+// NewDaemon constructs the daemon for a node.
+func NewDaemon(env *Environment, node *sim.Node, aid core.AID) *Daemon {
+	d := &Daemon{
+		env:            env,
+		node:           node,
+		aid:            aid,
+		localPID:       make(map[core.AID]sim.PID),
+		nodeOf:         make(map[core.AID]string),
+		daemonPIDs:     make(map[string]sim.PID),
+		children:       make(map[sim.PID]core.AID),
+		expectedDeath:  make(map[sim.PID]bool),
+		ayaOutstanding: make(map[core.AID]bool),
+		installDelay:   env.cfg.InstallDelay,
+		ayaPeriod:      env.cfg.DaemonAYAPeriod,
+	}
+	el := &daemonElem{d: d}
+	d.armor = core.New(core.Config{
+		ID:        aid,
+		Name:      "daemon-" + node.Name(),
+		Elements:  []core.Element{el},
+		SendLower: d.route,
+		OnForward: d.forward,
+	})
+	return d
+}
+
+// AID returns the daemon's ARMOR ID.
+func (d *Daemon) AID() core.AID { return d.aid }
+
+// Run is the daemon process body.
+func (d *Daemon) Run(p *sim.Proc) {
+	d.proc = p
+	d.armor.Start(p)
+	for {
+		m := p.Recv()
+		switch pl := m.Payload.(type) {
+		case DaemonBootstrap:
+			for host, pid := range pl.DaemonPIDs {
+				d.daemonPIDs[host] = pid
+			}
+			for aid, host := range pl.NodeOf {
+				d.nodeOf[aid] = host
+			}
+			d.sccPID = pl.SCCPID
+		case LocalAttach:
+			d.localPID[pl.ID] = pl.PID
+		default:
+			d.armor.Dispatch(p, m)
+		}
+	}
+}
+
+// route transmits envelopes originated by the daemon's own runtime and is
+// also the final hop for forwarded traffic.
+func (d *Daemon) route(p *sim.Proc, env core.Envelope) {
+	d.deliver(p, env)
+}
+
+// forward handles envelopes addressed to other ARMORs (the gateway role).
+func (d *Daemon) forward(ctx *core.Ctx, env core.Envelope) {
+	env.Hops++
+	if env.Hops > 4 {
+		return
+	}
+	d.deliver(ctx.Proc, env)
+}
+
+// deliver resolves the destination AID and sends the envelope on. An
+// invalid or unknown destination is detected here — at the daemon, after
+// the error has already escaped the sending process, which is the paper's
+// "detection occurs too late" observation about the node_mgmt escape.
+func (d *Daemon) deliver(p *sim.Proc, env core.Envelope) {
+	if !env.Dst.Valid() {
+		d.env.Log.Add(p.Now(), "invalid-destination", fmt.Sprintf("src=%s dst=0", env.Src))
+		return
+	}
+	if pid, ok := d.localPID[env.Dst]; ok {
+		p.Send(pid, env)
+		return
+	}
+	if env.Dst == AIDSCC && d.sccPID != sim.NoPID {
+		p.Send(d.sccPID, env)
+		return
+	}
+	if host, ok := d.nodeOf[env.Dst]; ok && host != d.node.Name() {
+		if pid, ok := d.daemonPIDs[host]; ok {
+			p.Send(pid, env)
+			return
+		}
+	}
+	d.env.Log.Add(p.Now(), "unroutable-destination", env.Dst.String())
+}
+
+// Name implements core.Element.
+func (e *daemonElem) Name() string { return "daemon_core" }
+
+// Subscriptions implements core.Element.
+func (e *daemonElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{
+		EvInstallArmor, EvUninstallArmor, EvLocation,
+		core.EventChildExit, core.EventIAmAlive,
+	}
+}
+
+// Start arms the local are-you-alive round.
+func (e *daemonElem) Start(ctx *core.Ctx) {
+	ctx.After(e.Name(), e.d.ayaPeriod, ayaRoundTag{})
+}
+
+// Handle implements core.Element.
+func (e *daemonElem) Handle(ctx *core.Ctx, ev core.Event) {
+	switch ev.Kind {
+	case EvInstallArmor:
+		ins, ok := ev.Data.(InstallArmor)
+		if !ok {
+			return
+		}
+		e.d.install(ctx, ins.Spec)
+	case EvUninstallArmor:
+		un, ok := ev.Data.(UninstallArmor)
+		if !ok {
+			return
+		}
+		e.d.uninstall(ctx, un.ID)
+	case EvLocation:
+		loc, ok := ev.Data.(Location)
+		if !ok {
+			return
+		}
+		e.d.nodeOf[loc.ID] = loc.Node
+	case core.EventChildExit:
+		ce, ok := ev.Data.(sim.ChildExit)
+		if !ok {
+			return
+		}
+		e.d.childDied(ctx, ce)
+	case core.EventIAmAlive:
+		delete(e.d.ayaOutstanding, ctx.From)
+	case core.EventTimer:
+		if _, ok := ev.Data.(ayaRoundTag); ok {
+			e.d.ayaRound(ctx)
+		}
+	}
+}
+
+// Snapshot implements core.Element. Daemon state is soft (daemon failure
+// is a node failure), so nothing is checkpointed.
+func (e *daemonElem) Snapshot() []byte { return nil }
+
+// Restore implements core.Element.
+func (e *daemonElem) Restore(data []byte) error { return nil }
+
+// Check implements core.Element.
+func (e *daemonElem) Check() error { return nil }
+
+var _ core.Starter = (*daemonElem)(nil)
+
+// install spawns an ARMOR process on this node. Installing over a live
+// ARMOR with the same AID kills the old process first (the reinstall
+// semantics the Heartbeat ARMOR's false-positive FTM recovery relies on).
+// Rather than loading the executable from network storage, the daemon
+// copies its own process image — the fork-based trick of Section 3.4 —
+// modelled here as a fixed install delay.
+func (d *Daemon) install(ctx *core.Ctx, spec ArmorSpec) {
+	if old, ok := d.localPID[spec.ID]; ok && ctx.Proc.Kernel().Alive(old) {
+		d.expectedDeath[old] = true
+		ctx.Proc.Kernel().Kill(old, "reinstall")
+	}
+	// Fork + element configuration time.
+	ctx.Proc.Sleep(d.installDelay)
+	armor := d.env.buildArmor(spec, d.node.Name())
+	pid := ctx.Proc.SpawnChild(d.node, spec.Name, armor.Run)
+	d.localPID[spec.ID] = pid
+	d.children[pid] = spec.ID
+	d.env.registerArmorProc(spec, armor, pid, d.node.Name())
+	d.env.Log.Add(ctx.Now(), "armor-installed", fmt.Sprintf("%s kind=%s node=%s", spec.ID, spec.Kind, d.node.Name()))
+}
+
+// uninstall removes a local ARMOR cleanly (no failure notification) and
+// discards its checkpoint.
+func (d *Daemon) uninstall(ctx *core.Ctx, id core.AID) {
+	pid, ok := d.localPID[id]
+	if !ok {
+		return
+	}
+	d.expectedDeath[pid] = true
+	ctx.Proc.Kernel().Kill(pid, "uninstall")
+	delete(d.localPID, id)
+	d.node.RAMDisk().Remove(fmt.Sprintf("ckpt/%d", uint64(id)))
+	d.env.Log.Add(ctx.Now(), "armor-uninstalled", id.String())
+}
+
+// childDied is the waitpid path: crash failures of local ARMORs are
+// detected essentially immediately.
+func (d *Daemon) childDied(ctx *core.Ctx, ce sim.ChildExit) {
+	aid, ok := d.children[ce.Child]
+	if !ok {
+		return
+	}
+	delete(d.children, ce.Child)
+	delete(d.ayaOutstanding, aid)
+	if d.localPID[aid] == ce.Child {
+		delete(d.localPID, aid)
+	}
+	if d.expectedDeath[ce.Child] {
+		delete(d.expectedDeath, ce.Child)
+		return
+	}
+	d.env.Log.Add(ctx.Now(), "armor-crash-detected", fmt.Sprintf("%s reason=%q", aid, ce.Reason))
+	if aid != AIDFTM {
+		// FTM failures are detected *and acted on* solely by the
+		// Heartbeat ARMOR; the daemon's waitpid observation is not the
+		// acting detection, so it does not open the recovery window.
+		d.env.Log.Detect(ctx.Now(), aid, ce.Reason, false)
+	}
+	d.notifyFailure(ctx, aid, false, ce.Reason)
+}
+
+// ayaRound sends are-you-alive inquiries to the local ARMORs and kills any
+// that did not answer the previous round (hang detection).
+func (d *Daemon) ayaRound(ctx *core.Ctx) {
+	// Collect AIDs deterministically.
+	aids := make([]core.AID, 0, len(d.children))
+	for pid, aid := range d.children {
+		if ctx.Proc.Kernel().Alive(pid) {
+			aids = append(aids, aid)
+		}
+	}
+	sort.Slice(aids, func(i, j int) bool { return aids[i] < aids[j] })
+	for _, aid := range aids {
+		if d.ayaOutstanding[aid] {
+			// No reply since last round: hang failure. Kill the
+			// process so its state is gone, then recover it.
+			pid := d.localPID[aid]
+			d.env.Log.Add(ctx.Now(), "armor-hang-detected", aid.String())
+			if aid != AIDFTM {
+				d.env.Log.Detect(ctx.Now(), aid, "hang", true)
+			}
+			d.expectedDeath[pid] = true
+			ctx.Proc.Kernel().Kill(pid, "hang recovery")
+			delete(d.localPID, aid)
+			delete(d.children, pid)
+			delete(d.ayaOutstanding, aid)
+			d.notifyFailure(ctx, aid, true, "hang")
+			continue
+		}
+		d.ayaOutstanding[aid] = true
+		ctx.SendUnreliable(aid, core.EventAreYouAlive, nil)
+	}
+	ctx.After("daemon_core", d.ayaPeriod, ayaRoundTag{})
+}
+
+// notifyFailure reports a failed local ARMOR to the FTM — unless the
+// failed ARMOR *is* the FTM, whose failures are detected solely by the
+// Heartbeat ARMOR (Section 5.3).
+func (d *Daemon) notifyFailure(ctx *core.Ctx, aid core.AID, hang bool, reason string) {
+	if aid == AIDFTM {
+		return
+	}
+	ctx.Send(AIDFTM, EvArmorFailed, ArmorFailed{ID: aid, Hang: hang, Reason: reason})
+}

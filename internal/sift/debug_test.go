@@ -1,0 +1,35 @@
+package sift
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"reesift/internal/sim"
+)
+
+// TestDebugFTMCrash is a scaffolding test used while developing; it keeps
+// a verbose trace of the FTM recovery flow.
+func TestDebugFTMCrash(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug trace (run with -v -run TestDebugFTMCrash)")
+	}
+	k := sim.NewKernel(sim.DefaultConfig(6))
+	defer k.Shutdown()
+	k.SetTrace(func(at time.Duration, format string, args []interface{}) {
+		fmt.Printf("%8.3fs TRACE %s\n", at.Seconds(), fmt.Sprintf(format, args...))
+	})
+	env := New(k, DefaultEnvConfig("n1", "n2", "n3", "n4", "n5", "n6"))
+	env.Setup()
+	a1 := testAppSpec(1, 5, 2*time.Second)
+	a1.Nodes = []string{"n1", "n2"}
+	a2 := testAppSpec(2, 7, 2*time.Second)
+	a2.Nodes = []string{"n3", "n4"}
+	h1 := env.Submit(a1, 5*time.Second)
+	h2 := env.Submit(a2, 5*time.Second)
+	k.Run(3 * time.Minute)
+	for _, e := range env.Log.Entries {
+		fmt.Printf("%8.3fs %-28s %s\n", e.At.Seconds(), e.Kind, e.Detail)
+	}
+	fmt.Printf("done1=%v done2=%v\n", h1.Done, h2.Done)
+}

@@ -1,0 +1,612 @@
+package sift
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/memsim"
+	"reesift/internal/sim"
+)
+
+// EnvConfig configures a SIFT environment deployment.
+type EnvConfig struct {
+	// Nodes are the cluster hostnames (the testbed's 4 or 6 PowerPC
+	// boards).
+	Nodes []string
+	// FTMNode hosts the Fault Tolerance Manager; HeartbeatNode hosts
+	// the Heartbeat ARMOR and must differ from FTMNode.
+	FTMNode       string
+	HeartbeatNode string
+	// FTMHeartbeatPeriod is the FTM-to-daemon heartbeat period
+	// (10 s in the paper; swept 5-30 s in Table 5).
+	FTMHeartbeatPeriod time.Duration
+	// HeartbeatArmorPeriod is the Heartbeat-ARMOR-to-FTM period (10 s).
+	HeartbeatArmorPeriod time.Duration
+	// DaemonAYAPeriod is the daemon-to-local-ARMOR are-you-alive period
+	// (10 s).
+	DaemonAYAPeriod time.Duration
+	// InstallDelay models the daemon's fork-based process installation
+	// (the dominant part of the ~0.5 s ARMOR recovery time).
+	InstallDelay time.Duration
+	// AppStartDelay models application process startup (exec, linking,
+	// MPI initialization).
+	AppStartDelay time.Duration
+	// FixRegistrationRace enables the Figure 10 fix (register the
+	// Execution ARMOR in the FTM's table before instructing the daemon
+	// to install it). The paper's final configuration has it fixed.
+	FixRegistrationRace bool
+	// SCCCommandDelay spaces the SCC's initialization commands (daemon
+	// registrations), giving the environment a realistic setup phase
+	// during which the FTM's node and ARMOR tables are being written.
+	SCCCommandDelay time.Duration
+	// SharedCheckpoints commits microcheckpoints to the cluster-wide
+	// nonvolatile store instead of each node's local RAM disk.
+	// Section 3.4: "Tolerating node failures requires that the
+	// checkpoints be saved to a centralized location" — with this off
+	// (the paper's experimental default), a migrated ARMOR starts with
+	// empty state.
+	SharedCheckpoints bool
+	// DisableSelfChecks turns off every element assertion — the
+	// ablation of the paper's Section 7/9 claim that assertions plus
+	// microcheckpointing prevent system failures.
+	DisableSelfChecks bool
+	// MemTargets attaches simulated memory images (register/text
+	// injection) to specific ARMORs by AID.
+	MemTargets map[core.AID]memsim.Profile
+}
+
+// DefaultEnvConfig returns the paper's experimental configuration on the
+// given nodes: all periods 10 s, race fixed.
+func DefaultEnvConfig(nodes ...string) EnvConfig {
+	if len(nodes) == 0 {
+		nodes = []string{"node-a1", "node-a2", "node-b1", "node-b2"}
+	}
+	return EnvConfig{
+		Nodes:                nodes,
+		FTMNode:              nodes[0],
+		HeartbeatNode:        nodes[1%len(nodes)],
+		FTMHeartbeatPeriod:   10 * time.Second,
+		HeartbeatArmorPeriod: 10 * time.Second,
+		DaemonAYAPeriod:      10 * time.Second,
+		InstallDelay:         450 * time.Millisecond,
+		AppStartDelay:        400 * time.Millisecond,
+		FixRegistrationRace:  true,
+		SCCCommandDelay:      400 * time.Millisecond,
+	}
+}
+
+// Environment assembles and observes a running SIFT deployment. The
+// observational state (Log, PID oracles) exists for the experiment
+// harness; the SIFT processes themselves communicate only through
+// simulated messages.
+type Environment struct {
+	K   *sim.Kernel
+	Log *EventLog
+	cfg EnvConfig
+
+	nodes     []*sim.Node
+	daemons   map[string]*Daemon
+	daemonPID map[string]sim.PID
+
+	scc    *sccProc
+	sccPID sim.PID
+
+	armors    map[core.AID]*core.Armor
+	procOfAID map[core.AID]sim.PID
+	appSpecs  map[AppID]*AppSpec
+	appMem    map[appKey]*memsim.Memory
+	appPID    map[appKey]sim.PID
+	appCtx    map[appKey]*AppContext
+	handles   map[AppID]*AppHandle
+
+	// AppDoneHook fires (in kernel context) when the SCC learns an
+	// application completed; harnesses use it to stop the run early.
+	AppDoneHook func(AppID)
+}
+
+type appKey struct {
+	app  AppID
+	rank int
+}
+
+// AppHandle tracks one submission from the SCC's point of view.
+type AppHandle struct {
+	App         *AppSpec
+	SubmittedAt time.Duration
+	DoneAt      time.Duration
+	Done        bool
+	Restarts    int
+}
+
+// PerceivedTime returns the perceived application execution time
+// (submission to SCC notification, Figure 5).
+func (h *AppHandle) PerceivedTime() (time.Duration, bool) {
+	if !h.Done {
+		return 0, false
+	}
+	return h.DoneAt - h.SubmittedAt, true
+}
+
+// New creates an environment on a fresh kernel. Call Setup to install the
+// SIFT processes.
+func New(k *sim.Kernel, cfg EnvConfig) *Environment {
+	if cfg.FTMHeartbeatPeriod <= 0 {
+		cfg.FTMHeartbeatPeriod = 10 * time.Second
+	}
+	if cfg.HeartbeatArmorPeriod <= 0 {
+		cfg.HeartbeatArmorPeriod = 10 * time.Second
+	}
+	if cfg.DaemonAYAPeriod <= 0 {
+		cfg.DaemonAYAPeriod = 10 * time.Second
+	}
+	if cfg.InstallDelay <= 0 {
+		cfg.InstallDelay = 450 * time.Millisecond
+	}
+	if cfg.AppStartDelay <= 0 {
+		cfg.AppStartDelay = 400 * time.Millisecond
+	}
+	return &Environment{
+		K:         k,
+		Log:       NewEventLog(),
+		cfg:       cfg,
+		daemons:   make(map[string]*Daemon),
+		daemonPID: make(map[string]sim.PID),
+		armors:    make(map[core.AID]*core.Armor),
+		procOfAID: make(map[core.AID]sim.PID),
+		appSpecs:  make(map[AppID]*AppSpec),
+		appMem:    make(map[appKey]*memsim.Memory),
+		appPID:    make(map[appKey]sim.PID),
+		appCtx:    make(map[appKey]*AppContext),
+		handles:   make(map[AppID]*AppHandle),
+	}
+}
+
+// Setup performs Table 1 step 1: create the nodes, install a daemon on
+// each, start the SCC, and let the SCC install the FTM and register the
+// daemons (which in turn installs the Heartbeat ARMOR). Runs take effect
+// as the kernel executes.
+func (e *Environment) Setup() {
+	for i, name := range e.cfg.Nodes {
+		n := e.K.AddNode(name)
+		e.nodes = append(e.nodes, n)
+		d := NewDaemon(e, n, AIDDaemon(i))
+		e.daemons[name] = d
+		pid := e.K.Spawn(n, "daemon-"+name, sim.NoPID, d.Run)
+		e.daemonPID[name] = pid
+	}
+	ground := e.K.AddNode("scc-ground")
+	e.scc = &sccProc{env: e, seen: make(map[string]bool)}
+	e.sccPID = e.K.Spawn(ground, "scc", sim.NoPID, e.scc.Run)
+
+	// Push static bootstrap tables to the daemons.
+	nodeOf := make(map[core.AID]string, len(e.cfg.Nodes))
+	for i, name := range e.cfg.Nodes {
+		nodeOf[AIDDaemon(i)] = name
+	}
+	nodeOf[AIDFTM] = e.cfg.FTMNode
+	nodeOf[AIDHeartbeat] = e.cfg.HeartbeatNode
+	for _, name := range e.cfg.Nodes {
+		boot := DaemonBootstrap{
+			DaemonPIDs: e.daemonPID,
+			NodeOf:     nodeOf,
+			SCCPID:     e.sccPID,
+		}
+		e.K.SendExternal(e.daemonPID[name], boot)
+	}
+}
+
+// Submit schedules an application submission through the SCC at virtual
+// time at, returning the handle the harness polls after the run.
+func (e *Environment) Submit(app *AppSpec, at time.Duration) *AppHandle {
+	if app.MPIStartTimeout <= 0 {
+		app.MPIStartTimeout = 10 * time.Second
+	}
+	h := &AppHandle{App: app}
+	e.handles[app.ID] = h
+	e.appSpecs[app.ID] = app
+	delay := at - e.K.Now()
+	e.K.Schedule(delay, func() {
+		e.K.SendExternal(e.sccPID, sccSubmit{App: app})
+	})
+	return h
+}
+
+// Handle returns the submission handle for an application.
+func (e *Environment) Handle(id AppID) *AppHandle { return e.handles[id] }
+
+// appSpec looks up a submitted application spec (used by the FTM when
+// rebuilding Execution ARMOR install specs during recovery).
+func (e *Environment) appSpec(id AppID) *AppSpec { return e.appSpecs[id] }
+
+// DaemonAID returns the daemon AID for a hostname.
+func (e *Environment) DaemonAID(host string) core.AID {
+	for i, n := range e.cfg.Nodes {
+		if n == host {
+			return AIDDaemon(i)
+		}
+	}
+	return core.InvalidAID
+}
+
+// ProcOf returns the current process of an ARMOR (the injection oracle).
+func (e *Environment) ProcOf(aid core.AID) sim.PID { return e.procOfAID[aid] }
+
+// ArmorOf returns the live ARMOR object (the targeted heap injector
+// corrupts element fields through it).
+func (e *Environment) ArmorOf(aid core.AID) *core.Armor { return e.armors[aid] }
+
+// AppProc returns the current process of an application rank.
+func (e *Environment) AppProc(app AppID, rank int) sim.PID {
+	return e.appPID[appKey{app, rank}]
+}
+
+// AppMem returns the simulated memory image of an application rank, nil
+// if the application has no memory profile.
+func (e *Environment) AppMem(app AppID, rank int) *memsim.Memory {
+	return e.appMem[appKey{app, rank}]
+}
+
+// AppCtx returns the live application context of a rank (the heap
+// injector reaches the registered heap regions through it).
+func (e *Environment) AppCtx(app AppID, rank int) *AppContext {
+	return e.appCtx[appKey{app, rank}]
+}
+
+// Config returns the environment configuration.
+func (e *Environment) Config() EnvConfig { return e.cfg }
+
+// buildArmor constructs an ARMOR process image for a daemon install on
+// the given node. The node matters: the ARMOR's lower layer is its *local*
+// daemon, which after a migration is not the node named in the original
+// placement.
+func (e *Environment) buildArmor(spec ArmorSpec, node string) *core.Armor {
+	sendViaDaemon := func(p *sim.Proc, env core.Envelope) {
+		p.Send(e.daemonPID[node], env)
+	}
+	cfg := core.Config{
+		ID:              spec.ID,
+		Name:            spec.Name,
+		SendLower:       sendViaDaemon,
+		AutoRestore:     spec.AutoRestore,
+		AwaitRestore:    spec.AwaitRestore,
+		NotifyInstalled: spec.NotifyInstalled,
+		DisableChecks:   e.cfg.DisableSelfChecks,
+	}
+	if e.cfg.SharedCheckpoints {
+		cfg.Store = e.K.SharedFS()
+	}
+	if prof, ok := e.cfg.MemTargets[spec.ID]; ok {
+		cfg.Mem = memsim.New(e.K.Rand(), prof)
+	}
+	switch spec.Kind {
+	case KindFTM:
+		f := NewFTM(e, FTMConfig{
+			HeartbeatPeriod:     e.cfg.FTMHeartbeatPeriod,
+			FixRegistrationRace: e.cfg.FixRegistrationRace,
+			HeartbeatNode:       e.cfg.HeartbeatNode,
+			SCC:                 AIDSCC,
+		})
+		cfg.Elements = append(f.Elements(), &submitElem{ftm: f})
+	case KindHeartbeat:
+		cfg.Elements = []core.Element{&HeartbeatElem{
+			env:       e,
+			FTMNode:   e.cfg.FTMNode,
+			FTMDaemon: e.DaemonAID(e.cfg.FTMNode),
+			Period:    e.cfg.HeartbeatArmorPeriod,
+		}}
+	case KindExecution:
+		cfg.Elements = []core.Element{&ExecElem{
+			env:             e,
+			App:             spec.App,
+			Rank:            spec.Rank,
+			InterruptDriven: spec.App != nil && spec.App.InterruptPI,
+		}}
+	default:
+		cfg.Elements = nil
+	}
+	return core.New(cfg)
+}
+
+// registerArmorProc records a fresh ARMOR process in the oracles and
+// completes any pending recovery measurement.
+func (e *Environment) registerArmorProc(spec ArmorSpec, armor *core.Armor, pid sim.PID, node string) {
+	e.armors[spec.ID] = armor
+	e.procOfAID[spec.ID] = pid
+	e.Log.RecoveryDone(e.K.Now(), spec.ID)
+}
+
+// launchApp starts one application rank. When spawner is non-nil the
+// process becomes the spawner's child (the rank-0 / Execution ARMOR
+// relationship); otherwise it is a free-standing process watched through
+// the process table.
+func (e *Environment) launchApp(spawner *sim.Proc, app *AppSpec, rank, restart int) sim.PID {
+	nodeName := app.Nodes[rank%len(app.Nodes)]
+	node := e.K.Node(nodeName)
+	name := fmt.Sprintf("%s-r%d", app.Name, rank)
+	var mem *memsim.Memory
+	if app.MemProfile != nil {
+		mem = memsim.New(e.K.Rand(), *app.MemProfile)
+	}
+	body := func(p *sim.Proc) {
+		ac := &AppContext{
+			Proc:      p,
+			Env:       e,
+			App:       app,
+			Rank:      rank,
+			Restart:   restart,
+			AID:       AIDApp(app.ID, rank),
+			ExecAID:   AIDExec(app.ID, rank),
+			daemonPID: e.daemonPID[nodeName],
+			Mem:       mem,
+		}
+		e.appCtx[appKey{app.ID, rank}] = ac
+		// The communication channel exists as soon as the process is
+		// forked; application initialization (exec, linking, MPI init)
+		// happens afterwards.
+		ac.Attach()
+		p.Sleep(e.cfg.AppStartDelay)
+		if rank == 0 && restart > 0 {
+			// The restarted application is now running its code: the
+			// recovery window (failure detection to process restart)
+			// closes here.
+			e.Log.AppRecoveryDone(p.Now(), app.ID)
+		}
+		app.Launcher(ac)
+		e.Log.Add(p.Now(), "app-rank-exit", fmt.Sprintf("app=%d rank=%d restart=%d", app.ID, rank, restart))
+	}
+	var pid sim.PID
+	if spawner != nil {
+		pid = spawner.SpawnChild(node, name, body)
+	} else {
+		pid = e.K.Spawn(node, name, sim.NoPID, body)
+	}
+	key := appKey{app.ID, rank}
+	e.appPID[key] = pid
+	if mem != nil {
+		e.appMem[key] = mem
+	}
+	return pid
+}
+
+// RunStandalone executes an application on the cluster without any SIFT
+// processes — the paper's "Baseline No SIFT" configuration (Table 3). It
+// returns the actual execution time (first rank start to last rank exit)
+// once the kernel has been run.
+func RunStandalone(k *sim.Kernel, app *AppSpec, startAt time.Duration) func() (time.Duration, bool) {
+	app.Standalone = true
+	env := New(k, EnvConfig{
+		Nodes:         app.Nodes,
+		FTMNode:       app.Nodes[0],
+		HeartbeatNode: app.Nodes[len(app.Nodes)-1],
+	})
+	for _, name := range app.Nodes {
+		if k.Node(name) == nil {
+			k.AddNode(name)
+		}
+	}
+	env.appSpecs[app.ID] = app
+	var startedAt time.Duration
+	exits := 0
+	var endedAt time.Duration
+	k.Schedule(startAt, func() {
+		startedAt = k.Now()
+		env.launchApp(nil, app, 0, 0)
+	})
+	return func() (time.Duration, bool) {
+		exits = env.Log.Count("app-rank-exit")
+		if exits < app.Ranks {
+			return 0, false
+		}
+		last, _ := env.Log.Last("app-rank-exit")
+		endedAt = last.At
+		return endedAt - startedAt, true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SCC: the trusted Spacecraft Control Computer driver.
+// ---------------------------------------------------------------------------
+
+// sccSubmit is the external command (from the experiment harness, standing
+// in for the ground station) asking the SCC to submit an application.
+type sccSubmit struct {
+	App *AppSpec
+}
+
+// sccProc performs the SCC's Table 1 duties: install the FTM, register the
+// daemons, submit applications, and receive completion reports. It is
+// hosted on rad-hard hardware and is never a fault-injection target.
+type sccProc struct {
+	env  *Environment
+	proc *sim.Proc
+	seq  uint64
+	// seen dedups reliable envelopes from the FTM.
+	seen  map[string]bool
+	stash []sim.Msg
+}
+
+// Run is the SCC process body.
+func (s *sccProc) Run(p *sim.Proc) {
+	s.proc = p
+	// Step 1b: install the FTM through the daemon on its node.
+	ftmSpec := ArmorSpec{
+		ID:              AIDFTM,
+		Kind:            KindFTM,
+		Name:            "ftm",
+		NotifyInstalled: AIDSCC,
+	}
+	s.sendReliable(s.env.DaemonAID(s.env.cfg.FTMNode), EvInstallArmor, InstallArmor{Spec: ftmSpec})
+	// Wait for the FTM's install acknowledgment.
+	s.waitEvent(30*time.Second, core.EventInstalled)
+	// Step 1c: register every daemon with the FTM (this also triggers
+	// the Heartbeat ARMOR install on its node). Commands are spaced by
+	// the uplink command delay, giving the run a real setup phase.
+	for i, name := range s.env.cfg.Nodes {
+		s.proc.Sleep(s.env.cfg.SCCCommandDelay)
+		s.sendReliable(AIDFTM, EvRegisterDaemon, RegisterDaemon{Hostname: name, DaemonAID: AIDDaemon(i)})
+	}
+	s.env.Log.Add(p.Now(), "sift-initialized", "")
+	for {
+		m := s.nextMsg()
+		switch pl := m.Payload.(type) {
+		case sccSubmit:
+			h := s.env.handles[pl.App.ID]
+			h.SubmittedAt = p.Now()
+			s.env.Log.Add(p.Now(), "app-submit", fmt.Sprintf("app=%d", pl.App.ID))
+			s.sendReliable(AIDFTM, EvSubmitApp, SubmitApp{App: pl.App})
+		case core.Envelope:
+			s.handleEnvelope(pl)
+		}
+	}
+}
+
+// nextMsg pops a stashed message or blocks for a new one.
+func (s *sccProc) nextMsg() sim.Msg {
+	if len(s.stash) > 0 {
+		m := s.stash[0]
+		s.stash = s.stash[1:]
+		return m
+	}
+	return s.proc.Recv()
+}
+
+func (s *sccProc) handleEnvelope(env core.Envelope) {
+	if env.Ack {
+		return
+	}
+	if env.Seq > 0 {
+		key := fmt.Sprintf("%d:%d", env.Src, env.Seq)
+		dup := s.seen[key]
+		s.seen[key] = true
+		s.ack(env)
+		if dup {
+			return
+		}
+	}
+	for _, ev := range env.Events {
+		if ev.Kind != EvAppDone {
+			continue
+		}
+		done, ok := ev.Data.(AppDone)
+		if !ok {
+			continue
+		}
+		h := s.env.handles[done.AppID]
+		if h == nil || h.Done {
+			continue
+		}
+		h.Done = true
+		h.DoneAt = s.proc.Now()
+		h.Restarts = done.Restarts
+		s.env.Log.Add(s.proc.Now(), "scc-notified", fmt.Sprintf("app=%d restarts=%d", done.AppID, done.Restarts))
+		if s.env.AppDoneHook != nil {
+			s.env.AppDoneHook(done.AppID)
+		}
+	}
+}
+
+// ack acknowledges a reliable envelope back through the sender's daemon.
+func (s *sccProc) ack(env core.Envelope) {
+	reply := core.Envelope{Src: AIDSCC, Dst: env.Src, Ack: true, AckSeq: env.Seq}
+	s.route(reply)
+}
+
+// sendReliable transmits an event and blocks until acknowledged,
+// retransmitting every 2 s. The SCC's persistence is what lets submissions
+// survive FTM failures during the setup phase (Figure 7).
+func (s *sccProc) sendReliable(dst core.AID, kind core.EventKind, data interface{}) {
+	s.seq++
+	env := core.Envelope{
+		Src: AIDSCC, Dst: dst, Seq: s.seq,
+		Events: []core.Event{{Kind: kind, Data: data}},
+	}
+	for {
+		s.route(env)
+		if s.waitAck(dst, env.Seq, 2*time.Second) {
+			return
+		}
+	}
+}
+
+// route sends an envelope via the FTM node's daemon (the SCC's uplink
+// attaches there).
+func (s *sccProc) route(env core.Envelope) {
+	if env.Dst.Valid() {
+		if host := s.hostOf(env.Dst); host != "" {
+			s.proc.Send(s.env.daemonPID[host], env)
+			return
+		}
+	}
+	s.proc.Send(s.env.daemonPID[s.env.cfg.FTMNode], env)
+}
+
+func (s *sccProc) hostOf(aid core.AID) string {
+	for i, name := range s.env.cfg.Nodes {
+		if AIDDaemon(i) == aid {
+			return name
+		}
+	}
+	if aid == AIDFTM {
+		return s.env.cfg.FTMNode
+	}
+	if aid == AIDHeartbeat {
+		return s.env.cfg.HeartbeatNode
+	}
+	return ""
+}
+
+func (s *sccProc) waitAck(from core.AID, seq uint64, timeout time.Duration) bool {
+	deadline := s.proc.Now() + timeout
+	for {
+		remain := deadline - s.proc.Now()
+		if remain <= 0 {
+			return false
+		}
+		m, ok := s.proc.RecvTimeout(remain)
+		if !ok {
+			return false
+		}
+		if env, isEnv := m.Payload.(core.Envelope); isEnv && env.Ack && env.Src == from && env.AckSeq == seq {
+			return true
+		}
+		s.stash = append(s.stash, m)
+	}
+}
+
+// waitEvent blocks until an envelope containing the given event kind
+// arrives (stashing everything else), or the timeout passes.
+func (s *sccProc) waitEvent(timeout time.Duration, kind core.EventKind) bool {
+	deadline := s.proc.Now() + timeout
+	for {
+		remain := deadline - s.proc.Now()
+		if remain <= 0 {
+			return false
+		}
+		m, ok := s.proc.RecvTimeout(remain)
+		if !ok {
+			return false
+		}
+		if env, isEnv := m.Payload.(core.Envelope); isEnv {
+			if env.Ack {
+				continue
+			}
+			if env.Seq > 0 {
+				key := fmt.Sprintf("%d:%d", env.Src, env.Seq)
+				dup := s.seen[key]
+				s.seen[key] = true
+				s.ack(env)
+				if dup {
+					continue
+				}
+			}
+			for _, ev := range env.Events {
+				if ev.Kind == kind {
+					return true
+				}
+			}
+			continue
+		}
+		s.stash = append(s.stash, m)
+	}
+}

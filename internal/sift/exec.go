@@ -1,0 +1,415 @@
+package sift
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/sim"
+)
+
+// ExecElem is the application-monitoring element of an Execution ARMOR
+// (Section 3.1): it launches the rank-0 MPI process as a child, detects
+// application crashes (waitpid for its child, process-table polling for
+// ranks it did not launch), detects application hangs through
+// progress-indicator polling (Figure 6), and notifies the FTM of
+// application failures.
+type ExecElem struct {
+	env *Environment
+
+	App  *AppSpec
+	Rank int
+
+	// AppPID is the overseen process (0 until bound).
+	AppPID sim.PID
+	// Child is true while AppPID is our own child (waitpid covers it);
+	// after an ARMOR recovery the new process is not the app's parent
+	// and falls back to process-table polling like the other ranks.
+	Child bool
+	// Launched counts launches performed by this ARMOR (rank 0).
+	Launched int64
+	// NormalExit is set when the application announces a clean exit.
+	NormalExit bool
+	// ExpectKill suppresses failure reporting for FTM-ordered kills.
+	ExpectKill bool
+	// Completed latches after the completion notification is sent.
+	Completed bool
+
+	// Progress-indicator state (Figure 6): the application updates
+	// Counter via EvProgress; a poll at PIPeriod compares against
+	// PrevCounter. PICreated gates hang detection entirely — before the
+	// application announces its indicator, hangs are undetectable.
+	PICreated   bool
+	PIPeriod    time.Duration
+	Counter     uint64
+	PrevCounter uint64
+	FirstCheck  bool
+
+	// piEpoch invalidates progress-check timer chains from a previous
+	// application incarnation: a relaunch bumps the epoch so a stale
+	// in-flight check cannot consume the fresh chain's grace period and
+	// raise a false hang alarm.
+	piEpoch int64
+
+	// InterruptDriven selects the Section 5.1 watchdog design: each
+	// progress indicator resets a timer that expires one period (plus
+	// slack) after the last update, bounding detection latency to ~one
+	// period instead of up to two.
+	InterruptDriven bool
+	watchdog        *sim.Event
+
+	pollPeriod time.Duration
+}
+
+type piCheckTag struct{ epoch int64 }
+type watchdogTag struct{ epoch int64 }
+type procPollTag struct{}
+
+// watchdogSlack returns the margin added to the watchdog period: a
+// quarter period absorbs initialization gaps and messaging jitter in the
+// application's send cadence so healthy runs raise no false alarms, while
+// keeping the detection bound well under the polling design's two
+// periods.
+func watchdogSlack(period time.Duration) time.Duration { return period / 4 }
+
+// Name implements core.Element.
+func (e *ExecElem) Name() string { return "app_mon" }
+
+// Subscriptions implements core.Element.
+func (e *ExecElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{
+		EvLaunchApp, EvAppPID, EvPICreate, EvProgress,
+		EvAppExiting, EvKillApp, core.EventChildExit,
+	}
+}
+
+// Start arms the process-table poll used for ranks this ARMOR did not
+// launch (and for its own rank after a recovery).
+func (e *ExecElem) Start(ctx *core.Ctx) {
+	if e.pollPeriod <= 0 {
+		e.pollPeriod = 2 * time.Second
+	}
+	ctx.After(e.Name(), e.pollPeriod, procPollTag{})
+	if e.PICreated {
+		// Recovered mid-run: resume hang checking.
+		e.FirstCheck = true
+		e.piEpoch++
+		if e.InterruptDriven {
+			e.armWatchdog(ctx)
+		} else {
+			ctx.After(e.Name(), e.PIPeriod, piCheckTag{epoch: e.piEpoch})
+		}
+	}
+}
+
+// Handle implements core.Element.
+func (e *ExecElem) Handle(ctx *core.Ctx, ev core.Event) {
+	switch ev.Kind {
+	case EvLaunchApp:
+		la, ok := ev.Data.(LaunchApp)
+		if !ok || la.AppID != e.App.ID {
+			return
+		}
+		e.launch(ctx, la)
+	case EvAppPID:
+		ap, ok := ev.Data.(AppPID)
+		if !ok || ap.AppID != e.App.ID || ap.Rank != e.Rank {
+			return
+		}
+		e.bind(ctx, ap)
+	case EvPICreate:
+		pc, ok := ev.Data.(PICreate)
+		if !ok || pc.AppID != e.App.ID || pc.Rank != e.Rank {
+			return
+		}
+		e.PICreated = true
+		e.PIPeriod = pc.Period
+		e.FirstCheck = true
+		e.Counter, e.PrevCounter = 0, 0
+		e.piEpoch++
+		if e.InterruptDriven {
+			e.armWatchdog(ctx)
+		} else {
+			ctx.After(e.Name(), e.PIPeriod, piCheckTag{epoch: e.piEpoch})
+		}
+	case EvProgress:
+		pr, ok := ev.Data.(Progress)
+		if !ok || pr.AppID != e.App.ID || pr.Rank != e.Rank {
+			return
+		}
+		e.Counter = pr.Counter
+		if e.InterruptDriven && e.PICreated {
+			// The update interrupts the checking thread and resets
+			// its watchdog (Section 5.1).
+			e.armWatchdog(ctx)
+		}
+	case EvAppExiting:
+		ax, ok := ev.Data.(AppExiting)
+		if !ok || ax.AppID != e.App.ID || ax.Rank != e.Rank {
+			return
+		}
+		e.NormalExit = true
+		e.PICreated = false
+		if !e.Completed {
+			e.Completed = true
+			ctx.Send(AIDFTM, EvAppComplete, AppComplete{AppID: e.App.ID, Rank: e.Rank})
+		}
+	case EvKillApp:
+		ka, ok := ev.Data.(KillApp)
+		if !ok || ka.AppID != e.App.ID {
+			return
+		}
+		e.kill(ctx)
+	case core.EventChildExit:
+		ce, ok := ev.Data.(sim.ChildExit)
+		if !ok || ce.Child != e.AppPID {
+			return
+		}
+		e.childExited(ctx, ce)
+	case core.EventTimer:
+		switch tag := ev.Data.(type) {
+		case piCheckTag:
+			e.piCheck(ctx, tag)
+		case watchdogTag:
+			e.watchdogFired(ctx, tag)
+		case procPollTag:
+			e.procPoll(ctx)
+		}
+	}
+}
+
+// launch starts (or restarts) the application's rank-0 process as a child
+// of this ARMOR (Table 1, step 4).
+func (e *ExecElem) launch(ctx *core.Ctx, la LaunchApp) {
+	if e.Rank != 0 {
+		return
+	}
+	e.resetRun()
+	ctx.Armor.ResetPeer(AIDApp(e.App.ID, e.Rank))
+	e.Launched++
+	pid := e.env.launchApp(ctx.Proc, e.App, 0, la.Restart)
+	e.AppPID = pid
+	e.Child = true
+	if la.Restart == 0 && e.Launched == 1 {
+		e.env.Log.Add(ctx.Now(), "app-started", fmt.Sprintf("app=%d pid=%d", e.App.ID, pid))
+	} else {
+		e.env.Log.Add(ctx.Now(), "app-relaunched", fmt.Sprintf("app=%d restart=%d", e.App.ID, la.Restart))
+	}
+}
+
+// bind attaches a rank this ARMOR did not launch (Table 1, step 7) and
+// opens the monitoring channel toward the application process.
+func (e *ExecElem) bind(ctx *core.Ctx, ap AppPID) {
+	e.resetRun()
+	ctx.Armor.ResetPeer(AIDApp(e.App.ID, e.Rank))
+	e.AppPID = ap.PID
+	e.Child = false
+	ctx.Send(AIDApp(e.App.ID, e.Rank), EvChannelOpen, ChannelOpen{AppID: e.App.ID, Rank: e.Rank})
+}
+
+func (e *ExecElem) resetRun() {
+	e.NormalExit = false
+	e.ExpectKill = false
+	e.Completed = false
+	e.PICreated = false
+	e.Counter, e.PrevCounter = 0, 0
+	e.piEpoch++
+}
+
+// kill terminates the local application process during whole-application
+// recovery and acknowledges the FTM.
+func (e *ExecElem) kill(ctx *core.Ctx) {
+	e.ExpectKill = true
+	e.PICreated = false
+	if e.AppPID != sim.NoPID && ctx.Proc.Kernel().Alive(e.AppPID) {
+		ctx.Proc.Kernel().Kill(e.AppPID, "application recovery")
+	}
+	ctx.Send(AIDFTM, EvKillAppDone, KillAppDone{AppID: e.App.ID, Rank: e.Rank})
+}
+
+// childExited is the waitpid path for the rank-0 child: crashes are
+// detected immediately.
+func (e *ExecElem) childExited(ctx *core.Ctx, ce sim.ChildExit) {
+	if e.NormalExit || e.Completed {
+		return
+	}
+	if e.ExpectKill {
+		e.ExpectKill = false
+		return
+	}
+	e.env.Log.Add(ctx.Now(), "app-crash-detected", fmt.Sprintf("app=%d rank=%d reason=%q", e.App.ID, e.Rank, ce.Reason))
+	e.env.Log.DetectApp(ctx.Now(), e.App.ID, e.Rank, ce.Reason, false)
+	ctx.Send(AIDFTM, EvAppFailed, AppFailed{AppID: e.App.ID, Rank: e.Rank, Reason: ce.Reason})
+	e.AppPID = sim.NoPID
+}
+
+// procPoll checks the process table for ranks without a parent-child link
+// (Section 3.3: "the other Execution ARMORs periodically check that their
+// MPI processes are still in the operating system's process table").
+func (e *ExecElem) procPoll(ctx *core.Ctx) {
+	defer ctx.After(e.Name(), e.pollPeriod, procPollTag{})
+	if e.AppPID == sim.NoPID || e.Child || e.NormalExit || e.Completed || e.ExpectKill {
+		return
+	}
+	if ctx.Proc.Kernel().Alive(e.AppPID) {
+		return
+	}
+	e.env.Log.Add(ctx.Now(), "app-crash-detected", fmt.Sprintf("app=%d rank=%d reason=proc-table", e.App.ID, e.Rank))
+	e.env.Log.DetectApp(ctx.Now(), e.App.ID, e.Rank, "crash", false)
+	ctx.Send(AIDFTM, EvAppFailed, AppFailed{AppID: e.App.ID, Rank: e.Rank, Reason: "crash"})
+	e.AppPID = sim.NoPID
+}
+
+// armWatchdog (re)starts the interrupt-driven watchdog: it expires one
+// period plus slack after the most recent progress indicator.
+func (e *ExecElem) armWatchdog(ctx *core.Ctx) {
+	if e.watchdog != nil {
+		e.watchdog.Cancel()
+	}
+	e.watchdog = ctx.After(e.Name(), e.PIPeriod+watchdogSlack(e.PIPeriod), watchdogTag{epoch: e.piEpoch})
+}
+
+// watchdogFired is the interrupt-driven hang verdict: no progress
+// indicator arrived within a full period of the previous one.
+func (e *ExecElem) watchdogFired(ctx *core.Ctx, tag watchdogTag) {
+	if tag.epoch != e.piEpoch {
+		return
+	}
+	if !e.PICreated || e.NormalExit || e.Completed || e.ExpectKill {
+		return
+	}
+	e.PICreated = false
+	e.env.Log.Add(ctx.Now(), "app-hang-detected", fmt.Sprintf("app=%d rank=%d counter=%d (watchdog)", e.App.ID, e.Rank, e.Counter))
+	e.env.Log.DetectApp(ctx.Now(), e.App.ID, e.Rank, "hang", true)
+	ctx.Send(AIDFTM, EvAppFailed, AppFailed{AppID: e.App.ID, Rank: e.Rank, Hang: true, Reason: "watchdog expired"})
+}
+
+// piCheck is the Figure 6 polling rule: if the progress counter is
+// unchanged between two consecutive checks, the application has hung.
+// Detection latency is therefore between one and two checking periods.
+func (e *ExecElem) piCheck(ctx *core.Ctx, tag piCheckTag) {
+	if tag.epoch != e.piEpoch {
+		return // stale chain from a previous incarnation
+	}
+	if !e.PICreated || e.NormalExit || e.Completed || e.ExpectKill {
+		return
+	}
+	defer ctx.After(e.Name(), e.PIPeriod, piCheckTag{epoch: tag.epoch})
+	if e.FirstCheck {
+		e.FirstCheck = false
+		e.PrevCounter = e.Counter
+		return
+	}
+	if e.Counter != e.PrevCounter {
+		e.PrevCounter = e.Counter
+		return
+	}
+	// Hung: no progress across a full checking interval.
+	e.PICreated = false
+	e.env.Log.Add(ctx.Now(), "app-hang-detected", fmt.Sprintf("app=%d rank=%d counter=%d", e.App.ID, e.Rank, e.Counter))
+	e.env.Log.DetectApp(ctx.Now(), e.App.ID, e.Rank, "hang", true)
+	ctx.Send(AIDFTM, EvAppFailed, AppFailed{AppID: e.App.ID, Rank: e.Rank, Hang: true, Reason: "progress indicator unchanged"})
+}
+
+// Snapshot implements core.Element.
+func (e *ExecElem) Snapshot() []byte {
+	var enc core.Encoder
+	enc.PutU64(uint64(e.App.ID))
+	enc.PutI64(int64(e.Rank))
+	enc.PutU64(uint64(e.AppPID))
+	enc.PutBool(e.Child)
+	enc.PutI64(e.Launched)
+	enc.PutBool(e.NormalExit)
+	enc.PutBool(e.ExpectKill)
+	enc.PutBool(e.Completed)
+	enc.PutBool(e.PICreated)
+	enc.PutI64(int64(e.PIPeriod))
+	enc.PutU64(e.Counter)
+	enc.PutU64(e.PrevCounter)
+	return enc.Bytes()
+}
+
+// Restore implements core.Element.
+func (e *ExecElem) Restore(data []byte) error {
+	d := core.NewDecoder(data)
+	app := d.U64()
+	rank := d.I64()
+	appPID := d.U64()
+	_ = d.Bool() // Child: never restored — see below
+	launched := d.I64()
+	normalExit := d.Bool()
+	expectKill := d.Bool()
+	completed := d.Bool()
+	piCreated := d.Bool()
+	piPeriod := time.Duration(d.I64())
+	counter := d.U64()
+	prev := d.U64()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	if app != uint64(e.App.ID) || rank != int64(e.Rank) {
+		return fmt.Errorf("app_mon: checkpoint for app %d rank %d, armor bound to app %d rank %d: %w",
+			app, rank, e.App.ID, e.Rank, core.ErrCorrupt)
+	}
+	e.AppPID = sim.PID(appPID)
+	// The recovered process is not the application's parent; fall back
+	// to process-table polling even for rank 0.
+	e.Child = false
+	e.Launched = launched
+	e.NormalExit = normalExit
+	e.ExpectKill = expectKill
+	e.Completed = completed
+	e.PICreated = piCreated
+	e.PIPeriod = piPeriod
+	e.Counter, e.PrevCounter = counter, prev
+	return nil
+}
+
+// Check implements core.Element.
+func (e *ExecElem) Check() error {
+	if e.Rank < 0 || e.Rank >= 64 {
+		return fmt.Errorf("rank %d out of range", e.Rank)
+	}
+	if e.Launched < 0 || e.Launched > 10000 {
+		return fmt.Errorf("launch count %d", e.Launched)
+	}
+	if e.PICreated && (e.PIPeriod <= 0 || e.PIPeriod > time.Hour) {
+		return fmt.Errorf("progress period %v", e.PIPeriod)
+	}
+	return nil
+}
+
+// HeapFields implements core.HeapInjectable.
+func (e *ExecElem) HeapFields() []core.HeapField {
+	return []core.HeapField{
+		{
+			Name: "app_mon.appPID",
+			Bits: 16,
+			Get:  func() uint64 { return uint64(e.AppPID) },
+			Set:  func(v uint64) { e.AppPID = sim.PID(v) },
+		},
+		{
+			Name: "app_mon.counter",
+			Bits: 32,
+			Get:  func() uint64 { return e.Counter },
+			Set:  func(v uint64) { e.Counter = v },
+		},
+		{
+			Name: "app_mon.piPeriod",
+			Bits: 48,
+			Get:  func() uint64 { return uint64(e.PIPeriod) },
+			Set:  func(v uint64) { e.PIPeriod = time.Duration(v) },
+		},
+		{
+			Name: "app_mon.launched",
+			Bits: 8,
+			Get:  func() uint64 { return uint64(e.Launched) },
+			Set:  func(v uint64) { e.Launched = int64(v) },
+		},
+	}
+}
+
+var (
+	_ core.Starter        = (*ExecElem)(nil)
+	_ core.HeapInjectable = (*ExecElem)(nil)
+)

@@ -1,0 +1,146 @@
+package sift
+
+import (
+	"testing"
+	"time"
+
+	"reesift/internal/sim"
+)
+
+// TestInterruptDrivenHangDetectionHalvesLatency checks the Section 5.1
+// alternative design: with the watchdog, hang detection latency is bounded
+// by one progress-indicator period (plus slack) instead of two.
+func TestInterruptDrivenHangDetectionHalvesLatency(t *testing.T) {
+	latency := func(interrupt bool, seed int64) time.Duration {
+		k := sim.NewKernel(sim.DefaultConfig(seed))
+		defer k.Shutdown()
+		env := New(k, DefaultEnvConfig())
+		env.Setup()
+		piPeriod := 4 * time.Second
+		app := testAppSpec(1, 10, piPeriod)
+		app.InterruptPI = interrupt
+		h := env.Submit(app, 5*time.Second)
+		// Hang right after a progress update lands: the worst case for
+		// polling (latency -> 2 periods), the best case to show the
+		// watchdog's one-period bound.
+		hangAt := 20100 * time.Millisecond
+		k.Schedule(hangAt, func() {
+			if pid := env.AppProc(1, 0); pid != sim.NoPID {
+				k.Suspend(pid)
+			}
+		})
+		env.AppDoneHook = func(AppID) { k.Stop() }
+		k.Run(10 * time.Minute)
+		if !h.Done {
+			t.Fatalf("interrupt=%v: app did not recover", interrupt)
+		}
+		for _, d := range env.Log.AppDetections {
+			if d.Hang {
+				return d.At - hangAt
+			}
+		}
+		t.Fatalf("interrupt=%v: no hang detection", interrupt)
+		return 0
+	}
+	polling := latency(false, 61)
+	watchdog := latency(true, 61)
+	piPeriod := 4 * time.Second
+	if watchdog > piPeriod+watchdogSlack(piPeriod)+time.Second {
+		t.Fatalf("watchdog latency %v exceeds one period + slack", watchdog)
+	}
+	if polling <= watchdog {
+		t.Fatalf("polling latency (%v) should exceed watchdog latency (%v) for a post-update hang", polling, watchdog)
+	}
+}
+
+// TestInterruptDrivenNoFalseAlarms: a healthy run under the watchdog
+// design must not trigger spurious restarts.
+func TestInterruptDrivenNoFalseAlarms(t *testing.T) {
+	k := sim.NewKernel(sim.DefaultConfig(62))
+	defer k.Shutdown()
+	env := New(k, DefaultEnvConfig())
+	env.Setup()
+	app := testAppSpec(1, 8, 2*time.Second)
+	app.InterruptPI = true
+	h := env.Submit(app, 5*time.Second)
+	env.AppDoneHook = func(AppID) { k.Stop() }
+	k.Run(10 * time.Minute)
+	if !h.Done || h.Restarts != 0 {
+		t.Fatalf("done=%v restarts=%d (false alarm?)", h.Done, h.Restarts)
+	}
+}
+
+// TestSharedCheckpointsSurviveNodeFailure: with centralized checkpoint
+// storage, an Execution ARMOR migrated off a failed node restores its
+// state; with node-local storage (the paper's default) the state is lost.
+func TestSharedCheckpointsSurviveNodeFailure(t *testing.T) {
+	restored := func(shared bool) bool {
+		k := sim.NewKernel(sim.DefaultConfig(63))
+		defer k.Shutdown()
+		cfg := DefaultEnvConfig()
+		cfg.SharedCheckpoints = shared
+		env := New(k, cfg)
+		env.Setup()
+		app := testAppSpec(1, 20, 2*time.Second)
+		env.Submit(app, 5*time.Second)
+		// Crash the node hosting the rank-1 Execution ARMOR mid-run.
+		k.Schedule(20*time.Second, func() { k.CrashNode("node-a2") })
+		k.Run(60 * time.Second)
+		armor := env.ArmorOf(AIDExec(1, 1))
+		if armor == nil {
+			t.Fatal("no migrated Execution ARMOR")
+		}
+		return armor.Restored
+	}
+	if restored(false) {
+		t.Fatal("node-local checkpoints must not survive a node failure (Section 3.4)")
+	}
+	if !restored(true) {
+		t.Fatal("centralized checkpoints must survive a node failure")
+	}
+}
+
+// TestDisabledSelfChecksLetCorruptionLinger: the ablation knob — with
+// assertions off, a corrupted element field that a Check would catch stays
+// in the FTM unnoticed.
+func TestDisabledSelfChecksLetCorruptionLinger(t *testing.T) {
+	crashes := func(disable bool) int {
+		k := sim.NewKernel(sim.DefaultConfig(64))
+		defer k.Shutdown()
+		cfg := DefaultEnvConfig()
+		cfg.DisableSelfChecks = disable
+		env := New(k, cfg)
+		env.Setup()
+		app := testAppSpec(1, 8, 2*time.Second)
+		env.Submit(app, 5*time.Second)
+		// Corrupt a checked FTM field mid-run: node_mgmt runs its
+		// assertions on every heartbeat round, so a zeroed daemon AID
+		// is caught within one period when checks are on.
+		k.Schedule(12*time.Second, func() {
+			ftm := env.ArmorOf(AIDFTM)
+			if ftm == nil {
+				return
+			}
+			nm, ok := ftm.Element("node_mgmt").(*NodeMgmtElem)
+			if !ok || len(nm.Nodes) == 0 {
+				return
+			}
+			nm.Nodes[0].DaemonAID = 0
+		})
+		env.AppDoneHook = func(AppID) { k.Stop() }
+		k.Run(5 * time.Minute)
+		n := 0
+		for _, d := range env.Log.Detections {
+			if d.ID == AIDFTM {
+				n++
+			}
+		}
+		return n
+	}
+	if got := crashes(false); got == 0 {
+		t.Fatal("with self-checks on, the corruption should kill the FTM (assertion)")
+	}
+	if got := crashes(true); got != 0 {
+		t.Fatalf("with self-checks ablated, the FTM should sail on corrupted (%d detections)", got)
+	}
+}

@@ -1,0 +1,1261 @@
+package sift
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"reesift/internal/core"
+)
+
+// Well-known ARMOR IDs. Everything else is derived deterministically.
+const (
+	AIDFTM       core.AID = 1
+	AIDHeartbeat core.AID = 2
+	AIDSCC       core.AID = 900
+)
+
+// AIDDaemon returns the AID of the daemon on the i-th node.
+func AIDDaemon(i int) core.AID { return core.AID(10 + i) }
+
+// AIDExec returns the Execution ARMOR AID for an application rank.
+func AIDExec(app AppID, rank int) core.AID {
+	return core.AID(1000 + 100*uint64(app) + uint64(rank))
+}
+
+// AIDApp returns the pseudo-AID under which an application process
+// attaches to the SIFT communication fabric.
+func AIDApp(app AppID, rank int) core.AID {
+	return core.AID(5000 + 100*uint64(app) + uint64(rank))
+}
+
+// Armor status values tracked in mgr_armor_info.
+const (
+	statusInstalling int64 = iota + 1
+	statusUp
+	statusFailed
+	statusRecovering
+)
+
+// FTMConfig tunes the Fault Tolerance Manager.
+type FTMConfig struct {
+	// HeartbeatPeriod is the FTM-to-daemon are-you-alive period
+	// (10 s in the paper's experiments; swept in Table 5).
+	HeartbeatPeriod time.Duration
+	// FixRegistrationRace controls the Figure 10 bug: when false, the
+	// FTM registers a subordinate ARMOR only after the install
+	// acknowledgment arrives, so an early failure notification races
+	// the registration and the ARMOR is never recovered. The shipped
+	// configuration registers before instructing the daemon (true).
+	FixRegistrationRace bool
+	// HeartbeatNode is the hostname on which the FTM installs the
+	// Heartbeat ARMOR once that node's daemon registers. It must differ
+	// from the FTM's node to tolerate single-node failures.
+	HeartbeatNode string
+	// HeartbeatArmorPeriod is the Heartbeat-ARMOR-to-FTM polling period
+	// carried in the Heartbeat ARMOR's install spec.
+	HeartbeatArmorPeriod time.Duration
+	// SCC is the AID the FTM reports application status to.
+	SCC core.AID
+}
+
+// FTM aggregates the five heap-injectable elements of Table 8 plus the
+// recovery and SCC-interface logic that spans them. The elements share the
+// struct (they are co-located in one process) but snapshot and checkpoint
+// independently.
+type FTM struct {
+	env *Environment
+	cfg FTMConfig
+
+	NodeMgmt  *NodeMgmtElem
+	ArmorInfo *MgrArmorInfoElem
+	ExecInfo  *ExecArmorInfoElem
+	AppParam  *AppParamElem
+	AppDetect *MgrAppDetectElem
+}
+
+// NewFTM builds the element set for a Fault Tolerance Manager.
+func NewFTM(env *Environment, cfg FTMConfig) *FTM {
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = 10 * time.Second
+	}
+	if !cfg.SCC.Valid() {
+		cfg.SCC = AIDSCC
+	}
+	f := &FTM{env: env, cfg: cfg}
+	f.NodeMgmt = &NodeMgmtElem{ftm: f}
+	f.ArmorInfo = &MgrArmorInfoElem{ftm: f}
+	f.ExecInfo = &ExecArmorInfoElem{ftm: f}
+	f.AppParam = &AppParamElem{ftm: f}
+	f.AppDetect = &MgrAppDetectElem{ftm: f}
+	return f
+}
+
+// Elements returns the FTM's element list in delivery order.
+func (f *FTM) Elements() []core.Element {
+	return []core.Element{f.NodeMgmt, f.ArmorInfo, f.ExecInfo, f.AppParam, f.AppDetect}
+}
+
+// ---------------------------------------------------------------------------
+// node_mgmt: node table, hostname-to-daemon translation, daemon heartbeats.
+// ---------------------------------------------------------------------------
+
+type nodeRec struct {
+	Hostname  string
+	DaemonAID core.AID
+	Alive     bool
+	// AwaitingReply is true while a heartbeat reply is outstanding.
+	AwaitingReply bool
+	Missed        int64
+}
+
+// NodeMgmtElem stores information about the nodes, including the resident
+// daemon and hostname (Table 8). It translates hostnames to daemon IDs;
+// per the paper, a failed translation yields the default daemon ID of
+// zero, and the FTM "currently does not check to make sure that the
+// returned daemon ID is nonzero" — the corruption escape route that caused
+// 14 of the element's 17 assertion-detected errors to become system
+// failures.
+type NodeMgmtElem struct {
+	ftm   *FTM
+	Nodes []nodeRec
+}
+
+type hbRoundTag struct{}
+
+// Name implements core.Element.
+func (e *NodeMgmtElem) Name() string { return "node_mgmt" }
+
+// Subscriptions implements core.Element.
+func (e *NodeMgmtElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{EvRegisterDaemon, core.EventIAmAlive}
+}
+
+// Start arms the daemon heartbeat round timer.
+func (e *NodeMgmtElem) Start(ctx *core.Ctx) {
+	ctx.After(e.Name(), e.ftm.cfg.HeartbeatPeriod, hbRoundTag{})
+}
+
+// Handle implements core.Element.
+func (e *NodeMgmtElem) Handle(ctx *core.Ctx, ev core.Event) {
+	switch ev.Kind {
+	case EvRegisterDaemon:
+		reg, ok := ev.Data.(RegisterDaemon)
+		if !ok {
+			return
+		}
+		e.register(ctx, reg)
+	case core.EventIAmAlive:
+		// A daemon answered this round's heartbeat.
+		for i := range e.Nodes {
+			if e.Nodes[i].DaemonAID == ctx.From {
+				e.Nodes[i].AwaitingReply = false
+				e.Nodes[i].Missed = 0
+			}
+		}
+	case core.EventTimer:
+		if _, ok := ev.Data.(hbRoundTag); ok {
+			e.heartbeatRound(ctx)
+		}
+	}
+}
+
+func (e *NodeMgmtElem) register(ctx *core.Ctx, reg RegisterDaemon) {
+	for _, n := range e.Nodes {
+		if n.Hostname == reg.Hostname {
+			return // already registered
+		}
+	}
+	e.Nodes = append(e.Nodes, nodeRec{Hostname: reg.Hostname, DaemonAID: reg.DaemonAID, Alive: true})
+	e.ftm.ArmorInfo.recordArmor(reg.DaemonAID, KindDaemon, reg.Hostname, statusUp)
+	ctx.Touch(e.ftm.ArmorInfo)
+	e.ftm.env.Log.Add(ctx.Now(), "daemon-registered", reg.Hostname)
+	if reg.Hostname == e.ftm.cfg.HeartbeatNode {
+		// Table 1, step 1c: install the Heartbeat ARMOR through this
+		// node's daemon.
+		spec := ArmorSpec{
+			ID:              AIDHeartbeat,
+			Kind:            KindHeartbeat,
+			Name:            "heartbeat",
+			NotifyInstalled: AIDFTM,
+		}
+		e.ftm.ArmorInfo.recordArmor(AIDHeartbeat, KindHeartbeat, reg.Hostname, statusInstalling)
+		ctx.Touch(e.ftm.ArmorInfo)
+		ctx.Send(reg.DaemonAID, EvInstallArmor, InstallArmor{Spec: spec})
+	}
+}
+
+// heartbeatRound sends are-you-alive to every registered daemon and
+// declares nodes whose previous inquiry went unanswered failed.
+func (e *NodeMgmtElem) heartbeatRound(ctx *core.Ctx) {
+	for i := range e.Nodes {
+		n := &e.Nodes[i]
+		if !n.Alive {
+			continue
+		}
+		if n.AwaitingReply {
+			n.Missed++
+			// "If the FTM does not receive a response by the next
+			// heartbeat round, it assumes that the node has failed."
+			n.Alive = false
+			e.ftm.env.Log.Add(ctx.Now(), "node-declared-failed", n.Hostname)
+			e.ftm.recoverNode(ctx, n.Hostname)
+			continue
+		}
+		n.AwaitingReply = true
+		ctx.SendUnreliable(n.DaemonAID, core.EventAreYouAlive, nil)
+	}
+	ctx.After(e.Name(), e.ftm.cfg.HeartbeatPeriod, hbRoundTag{})
+}
+
+// Translate maps a hostname to its daemon AID, returning the default
+// daemon ID of zero when the lookup fails (faithfully reproducing the
+// paper's escape).
+func (e *NodeMgmtElem) Translate(hostname string) core.AID {
+	for _, n := range e.Nodes {
+		if n.Hostname == hostname {
+			return n.DaemonAID
+		}
+	}
+	return core.InvalidAID
+}
+
+// FirstAliveNode returns a live hostname other than exclude, for
+// migration.
+func (e *NodeMgmtElem) FirstAliveNode(exclude string) string {
+	for _, n := range e.Nodes {
+		if n.Alive && n.Hostname != exclude {
+			return n.Hostname
+		}
+	}
+	return ""
+}
+
+// Snapshot implements core.Element.
+func (e *NodeMgmtElem) Snapshot() []byte {
+	var enc core.Encoder
+	enc.PutU64(uint64(len(e.Nodes)))
+	for _, n := range e.Nodes {
+		enc.PutString(n.Hostname)
+		enc.PutU64(uint64(n.DaemonAID))
+		enc.PutBool(n.Alive)
+		enc.PutBool(n.AwaitingReply)
+		enc.PutI64(n.Missed)
+	}
+	return enc.Bytes()
+}
+
+// Restore implements core.Element.
+func (e *NodeMgmtElem) Restore(data []byte) error {
+	d := core.NewDecoder(data)
+	n := d.U64()
+	if n > 1024 {
+		return fmt.Errorf("node_mgmt: %d nodes: %w", n, core.ErrCorrupt)
+	}
+	nodes := make([]nodeRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		nodes = append(nodes, nodeRec{
+			Hostname:      d.String(),
+			DaemonAID:     core.AID(d.U64()),
+			Alive:         d.Bool(),
+			AwaitingReply: d.Bool(),
+			Missed:        d.I64(),
+		})
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	e.Nodes = nodes
+	return nil
+}
+
+// Check implements core.Element: hostnames must be non-empty and daemon
+// IDs valid for registered nodes. (A corrupted hostname *string content*
+// is not detectable — no assertion can know what a hostname should spell —
+// which is how node_mgmt data errors escape as translation misses.)
+func (e *NodeMgmtElem) Check() error {
+	for i, n := range e.Nodes {
+		if len(n.Hostname) == 0 || len(n.Hostname) > 64 {
+			return fmt.Errorf("node %d: hostname length %d", i, len(n.Hostname))
+		}
+		if n.DaemonAID == core.InvalidAID {
+			return fmt.Errorf("node %d (%s): zero daemon ID", i, n.Hostname)
+		}
+		if n.Missed < 0 || n.Missed > 100 {
+			return fmt.Errorf("node %d: missed count %d", i, n.Missed)
+		}
+	}
+	return nil
+}
+
+// HeapFields implements core.HeapInjectable. Hostname bytes and daemon
+// AIDs are the element's dynamic data; both were "repeatedly written to
+// during the initialization phases" in the paper and were the most
+// sensitive to propagation.
+func (e *NodeMgmtElem) HeapFields() []core.HeapField {
+	var fields []core.HeapField
+	for i := range e.Nodes {
+		i := i
+		fields = append(fields,
+			core.HeapField{
+				Name: fmt.Sprintf("node_mgmt.daemonAID[%d]", i),
+				Bits: 16, // small IDs: flips stay in a plausible range
+				Get:  func() uint64 { return uint64(e.Nodes[i].DaemonAID) },
+				Set:  func(v uint64) { e.Nodes[i].DaemonAID = core.AID(v) },
+			},
+			core.HeapField{
+				Name: fmt.Sprintf("node_mgmt.hostname[%d]", i),
+				Bits: 64,
+				Get:  func() uint64 { return packString(e.Nodes[i].Hostname) },
+				Set:  func(v uint64) { e.Nodes[i].Hostname = unpackString(e.Nodes[i].Hostname, v) },
+			},
+		)
+	}
+	return fields
+}
+
+// packString views the first 8 bytes of a string as a word.
+func packString(s string) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(s); i++ {
+		v |= uint64(s[i]) << (8 * uint(i))
+	}
+	return v
+}
+
+// unpackString writes a word back over the first 8 bytes of a string.
+func unpackString(s string, v uint64) string {
+	b := []byte(s)
+	for i := 0; i < 8 && i < len(b); i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+	return string(b)
+}
+
+var (
+	_ core.Starter        = (*NodeMgmtElem)(nil)
+	_ core.HeapInjectable = (*NodeMgmtElem)(nil)
+)
+
+// ---------------------------------------------------------------------------
+// mgr_armor_info: subordinate ARMOR registry and recovery.
+// ---------------------------------------------------------------------------
+
+type armorRec struct {
+	ID     core.AID
+	Kind   int64
+	Node   string
+	Status int64
+}
+
+// MgrArmorInfoElem stores information about subordinate ARMORs such as
+// location and composition (Table 8), and drives their recovery.
+type MgrArmorInfoElem struct {
+	ftm  *FTM
+	Recs []armorRec
+}
+
+// Name implements core.Element.
+func (e *MgrArmorInfoElem) Name() string { return "mgr_armor_info" }
+
+// Subscriptions implements core.Element.
+func (e *MgrArmorInfoElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{core.EventInstalled, EvArmorFailed}
+}
+
+// Handle implements core.Element.
+func (e *MgrArmorInfoElem) Handle(ctx *core.Ctx, ev core.Event) {
+	switch ev.Kind {
+	case core.EventInstalled:
+		ack, ok := ev.Data.(core.InstallAck)
+		if !ok {
+			return
+		}
+		e.markUp(ctx, ack.ID)
+	case EvArmorFailed:
+		fail, ok := ev.Data.(ArmorFailed)
+		if !ok {
+			return
+		}
+		e.recover(ctx, fail)
+	}
+}
+
+func (e *MgrArmorInfoElem) find(id core.AID) *armorRec {
+	for i := range e.Recs {
+		if e.Recs[i].ID == id {
+			return &e.Recs[i]
+		}
+	}
+	return nil
+}
+
+// recordArmor registers a subordinate ARMOR. With the Figure 10 fix this
+// happens *before* the install instruction is sent.
+func (e *MgrArmorInfoElem) recordArmor(id core.AID, kind ArmorKind, node string, status int64) {
+	if r := e.find(id); r != nil {
+		r.Kind, r.Node, r.Status = int64(kind), node, status
+		return
+	}
+	e.Recs = append(e.Recs, armorRec{ID: id, Kind: int64(kind), Node: node, Status: status})
+}
+
+func (e *MgrArmorInfoElem) markUp(ctx *core.Ctx, id core.AID) {
+	r := e.find(id)
+	if r == nil {
+		// Figure 10(b): an install acknowledgment for an ARMOR the FTM
+		// has no record of. With the race fix enabled this cannot
+		// happen; without it, register now (too late for any failure
+		// notification that already arrived).
+		e.recordArmor(id, KindExecution, "", statusUp)
+		r = e.find(id)
+	}
+	wasRecovering := r.Status == statusRecovering
+	r.Status = statusUp
+	e.ftm.env.Log.Add(ctx.Now(), "armor-up", id.String())
+	if !wasRecovering {
+		e.ftm.onArmorInstalled(ctx, id)
+	}
+}
+
+// recover handles a daemon's failure notification for a local ARMOR.
+func (e *MgrArmorInfoElem) recover(ctx *core.Ctx, fail ArmorFailed) {
+	r := e.find(fail.ID)
+	if r == nil {
+		// Figure 10(b): no record of this ARMOR — the notification
+		// thread aborts and the ARMOR is never recovered.
+		e.ftm.env.Log.Add(ctx.Now(), "failure-notification-aborted", fail.ID.String())
+		return
+	}
+	r.Status = statusRecovering
+	spec := e.ftm.rebuildSpec(r)
+	if spec == nil {
+		return
+	}
+	daemon := e.ftm.NodeMgmt.Translate(r.Node)
+	// Faithful to the paper: no check that daemon != 0. A corrupted
+	// node_mgmt translation escapes here and is detected only by the
+	// FTM's local daemon as an invalid destination — too late.
+	ctx.Send(daemon, EvInstallArmor, InstallArmor{Spec: *spec})
+	e.ftm.env.Log.Add(ctx.Now(), "armor-recovery-initiated", fail.ID.String())
+}
+
+// Snapshot implements core.Element.
+func (e *MgrArmorInfoElem) Snapshot() []byte {
+	var enc core.Encoder
+	enc.PutU64(uint64(len(e.Recs)))
+	for _, r := range e.Recs {
+		enc.PutU64(uint64(r.ID))
+		enc.PutI64(r.Kind)
+		enc.PutString(r.Node)
+		enc.PutI64(r.Status)
+	}
+	return enc.Bytes()
+}
+
+// Restore implements core.Element.
+func (e *MgrArmorInfoElem) Restore(data []byte) error {
+	d := core.NewDecoder(data)
+	n := d.U64()
+	if n > 4096 {
+		return fmt.Errorf("mgr_armor_info: %d records: %w", n, core.ErrCorrupt)
+	}
+	recs := make([]armorRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		recs = append(recs, armorRec{
+			ID:     core.AID(d.U64()),
+			Kind:   d.I64(),
+			Node:   d.String(),
+			Status: d.I64(),
+		})
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	e.Recs = recs
+	return nil
+}
+
+// Check implements core.Element.
+func (e *MgrArmorInfoElem) Check() error {
+	for i, r := range e.Recs {
+		if r.ID == core.InvalidAID {
+			return fmt.Errorf("record %d: zero ARMOR ID", i)
+		}
+		if r.Kind < int64(KindFTM) || r.Kind > int64(KindDaemon) {
+			return fmt.Errorf("record %d: kind %d out of range", i, r.Kind)
+		}
+		if r.Status < statusInstalling || r.Status > statusRecovering {
+			return fmt.Errorf("record %d: status %d out of range", i, r.Status)
+		}
+	}
+	return nil
+}
+
+// HeapFields implements core.HeapInjectable.
+func (e *MgrArmorInfoElem) HeapFields() []core.HeapField {
+	var fields []core.HeapField
+	for i := range e.Recs {
+		i := i
+		fields = append(fields,
+			core.HeapField{
+				Name: fmt.Sprintf("mgr_armor_info.id[%d]", i),
+				Bits: 16,
+				Get:  func() uint64 { return uint64(e.Recs[i].ID) },
+				Set:  func(v uint64) { e.Recs[i].ID = core.AID(v) },
+			},
+			core.HeapField{
+				Name: fmt.Sprintf("mgr_armor_info.status[%d]", i),
+				Bits: 8,
+				Get:  func() uint64 { return uint64(e.Recs[i].Status) },
+				Set:  func(v uint64) { e.Recs[i].Status = int64(v) },
+			},
+			core.HeapField{
+				Name: fmt.Sprintf("mgr_armor_info.node[%d]", i),
+				Bits: 64,
+				Get:  func() uint64 { return packString(e.Recs[i].Node) },
+				Set:  func(v uint64) { e.Recs[i].Node = unpackString(e.Recs[i].Node, v) },
+			},
+		)
+	}
+	return fields
+}
+
+var _ core.HeapInjectable = (*MgrArmorInfoElem)(nil)
+
+// ---------------------------------------------------------------------------
+// exec_armor_info: Execution ARMOR to application bindings.
+// ---------------------------------------------------------------------------
+
+type execRec struct {
+	ArmorID core.AID
+	App     uint64
+	Rank    int64
+	Node    string
+	// AppStatus: 1 launching, 2 running, 3 completed, 4 failed.
+	AppStatus int64
+}
+
+// ExecArmorInfoElem stores information about each Execution ARMOR such as
+// the status of the subordinate application (Table 8).
+type ExecArmorInfoElem struct {
+	ftm  *FTM
+	Recs []execRec
+}
+
+// Name implements core.Element.
+func (e *ExecArmorInfoElem) Name() string { return "exec_armor_info" }
+
+// Subscriptions implements core.Element.
+func (e *ExecArmorInfoElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{EvAppPIDs}
+}
+
+// Handle implements core.Element: forwards rank PIDs from the rank-0
+// process to the Execution ARMORs overseeing ranks 1..n-1 (Table 1,
+// step 6-7).
+func (e *ExecArmorInfoElem) Handle(ctx *core.Ctx, ev core.Event) {
+	pids, ok := ev.Data.(AppPIDs)
+	if !ok {
+		return
+	}
+	ranks := make([]int, 0, len(pids.PIDs))
+	for rank := range pids.PIDs {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		if rank == 0 {
+			continue
+		}
+		for _, r := range e.Recs {
+			if r.App == uint64(pids.AppID) && r.Rank == int64(rank) {
+				ctx.Send(r.ArmorID, EvAppPID, AppPID{AppID: pids.AppID, Rank: rank, PID: pids.PIDs[rank]})
+			}
+		}
+	}
+}
+
+func (e *ExecArmorInfoElem) add(rec execRec) {
+	for i := range e.Recs {
+		if e.Recs[i].ArmorID == rec.ArmorID {
+			e.Recs[i] = rec
+			return
+		}
+	}
+	e.Recs = append(e.Recs, rec)
+}
+
+func (e *ExecArmorInfoElem) byApp(app AppID) []execRec {
+	var out []execRec
+	for _, r := range e.Recs {
+		if r.App == uint64(app) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+func (e *ExecArmorInfoElem) removeApp(app AppID) {
+	kept := e.Recs[:0]
+	for _, r := range e.Recs {
+		if r.App != uint64(app) {
+			kept = append(kept, r)
+		}
+	}
+	e.Recs = kept
+}
+
+// Snapshot implements core.Element.
+func (e *ExecArmorInfoElem) Snapshot() []byte {
+	var enc core.Encoder
+	enc.PutU64(uint64(len(e.Recs)))
+	for _, r := range e.Recs {
+		enc.PutU64(uint64(r.ArmorID))
+		enc.PutU64(r.App)
+		enc.PutI64(r.Rank)
+		enc.PutString(r.Node)
+		enc.PutI64(r.AppStatus)
+	}
+	return enc.Bytes()
+}
+
+// Restore implements core.Element.
+func (e *ExecArmorInfoElem) Restore(data []byte) error {
+	d := core.NewDecoder(data)
+	n := d.U64()
+	if n > 4096 {
+		return fmt.Errorf("exec_armor_info: %d records: %w", n, core.ErrCorrupt)
+	}
+	recs := make([]execRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		recs = append(recs, execRec{
+			ArmorID:   core.AID(d.U64()),
+			App:       d.U64(),
+			Rank:      d.I64(),
+			Node:      d.String(),
+			AppStatus: d.I64(),
+		})
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	e.Recs = recs
+	return nil
+}
+
+// Check implements core.Element.
+func (e *ExecArmorInfoElem) Check() error {
+	for i, r := range e.Recs {
+		if r.ArmorID == core.InvalidAID {
+			return fmt.Errorf("record %d: zero ARMOR ID", i)
+		}
+		if r.Rank < 0 || r.Rank >= 64 {
+			return fmt.Errorf("record %d: rank %d out of range", i, r.Rank)
+		}
+		if r.AppStatus < 0 || r.AppStatus > 4 {
+			return fmt.Errorf("record %d: app status %d", i, r.AppStatus)
+		}
+	}
+	return nil
+}
+
+// HeapFields implements core.HeapInjectable.
+func (e *ExecArmorInfoElem) HeapFields() []core.HeapField {
+	var fields []core.HeapField
+	for i := range e.Recs {
+		i := i
+		fields = append(fields,
+			core.HeapField{
+				Name: fmt.Sprintf("exec_armor_info.armorID[%d]", i),
+				Bits: 16,
+				Get:  func() uint64 { return uint64(e.Recs[i].ArmorID) },
+				Set:  func(v uint64) { e.Recs[i].ArmorID = core.AID(v) },
+			},
+			core.HeapField{
+				Name: fmt.Sprintf("exec_armor_info.rank[%d]", i),
+				Bits: 8,
+				Get:  func() uint64 { return uint64(e.Recs[i].Rank) },
+				Set:  func(v uint64) { e.Recs[i].Rank = int64(v) },
+			},
+			core.HeapField{
+				Name: fmt.Sprintf("exec_armor_info.appStatus[%d]", i),
+				Bits: 8,
+				Get:  func() uint64 { return uint64(e.Recs[i].AppStatus) },
+				Set:  func(v uint64) { e.Recs[i].AppStatus = int64(v) },
+			},
+		)
+	}
+	return fields
+}
+
+var _ core.HeapInjectable = (*ExecArmorInfoElem)(nil)
+
+// ---------------------------------------------------------------------------
+// app_param: submitted application parameters.
+// ---------------------------------------------------------------------------
+
+type appRec struct {
+	App      uint64
+	Name     string
+	Ranks    int64
+	Restarts int64
+	Nodes    []string
+}
+
+// AppParamElem stores information about applications such as executable
+// name, command-line arguments, and number of restarts (Table 8). In the
+// paper's experiments this element's data was substantially read-only
+// after submission, which is why none of its corruptions caused system
+// failures.
+type AppParamElem struct {
+	ftm  *FTM
+	Recs []appRec
+}
+
+// Name implements core.Element.
+func (e *AppParamElem) Name() string { return "app_param" }
+
+// Subscriptions implements core.Element.
+func (e *AppParamElem) Subscriptions() []core.EventKind { return nil }
+
+// Handle implements core.Element.
+func (e *AppParamElem) Handle(ctx *core.Ctx, ev core.Event) {}
+
+func (e *AppParamElem) find(app AppID) *appRec {
+	for i := range e.Recs {
+		if e.Recs[i].App == uint64(app) {
+			return &e.Recs[i]
+		}
+	}
+	return nil
+}
+
+func (e *AppParamElem) add(app *AppSpec) {
+	if e.find(app.ID) != nil {
+		return
+	}
+	nodes := make([]string, len(app.Nodes))
+	copy(nodes, app.Nodes)
+	e.Recs = append(e.Recs, appRec{
+		App:   uint64(app.ID),
+		Name:  app.Name,
+		Ranks: int64(app.Ranks),
+		Nodes: nodes,
+	})
+}
+
+// Snapshot implements core.Element.
+func (e *AppParamElem) Snapshot() []byte {
+	var enc core.Encoder
+	enc.PutU64(uint64(len(e.Recs)))
+	for _, r := range e.Recs {
+		enc.PutU64(r.App)
+		enc.PutString(r.Name)
+		enc.PutI64(r.Ranks)
+		enc.PutI64(r.Restarts)
+		enc.PutU64(uint64(len(r.Nodes)))
+		for _, n := range r.Nodes {
+			enc.PutString(n)
+		}
+	}
+	return enc.Bytes()
+}
+
+// Restore implements core.Element.
+func (e *AppParamElem) Restore(data []byte) error {
+	d := core.NewDecoder(data)
+	n := d.U64()
+	if n > 1024 {
+		return fmt.Errorf("app_param: %d records: %w", n, core.ErrCorrupt)
+	}
+	recs := make([]appRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		r := appRec{
+			App:      d.U64(),
+			Name:     d.String(),
+			Ranks:    d.I64(),
+			Restarts: d.I64(),
+		}
+		nn := d.U64()
+		if nn > 64 {
+			return fmt.Errorf("app_param: %d nodes: %w", nn, core.ErrCorrupt)
+		}
+		for j := uint64(0); j < nn; j++ {
+			r.Nodes = append(r.Nodes, d.String())
+		}
+		recs = append(recs, r)
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	e.Recs = recs
+	return nil
+}
+
+// Check implements core.Element.
+func (e *AppParamElem) Check() error {
+	for i, r := range e.Recs {
+		if r.Ranks < 1 || r.Ranks > 64 {
+			return fmt.Errorf("record %d: ranks %d", i, r.Ranks)
+		}
+		if r.Restarts < 0 || r.Restarts > 1000 {
+			return fmt.Errorf("record %d: restarts %d", i, r.Restarts)
+		}
+		if len(r.Name) == 0 {
+			return fmt.Errorf("record %d: empty name", i)
+		}
+	}
+	return nil
+}
+
+// HeapFields implements core.HeapInjectable.
+func (e *AppParamElem) HeapFields() []core.HeapField {
+	var fields []core.HeapField
+	for i := range e.Recs {
+		i := i
+		fields = append(fields,
+			core.HeapField{
+				Name: fmt.Sprintf("app_param.restarts[%d]", i),
+				Bits: 8,
+				Get:  func() uint64 { return uint64(e.Recs[i].Restarts) },
+				Set:  func(v uint64) { e.Recs[i].Restarts = int64(v) },
+			},
+			core.HeapField{
+				Name: fmt.Sprintf("app_param.name[%d]", i),
+				Bits: 64,
+				Get:  func() uint64 { return packString(e.Recs[i].Name) },
+				Set:  func(v uint64) { e.Recs[i].Name = unpackString(e.Recs[i].Name, v) },
+			},
+		)
+	}
+	return fields
+}
+
+var _ core.HeapInjectable = (*AppParamElem)(nil)
+
+// ---------------------------------------------------------------------------
+// mgr_app_detect: application completion detection and recovery.
+// ---------------------------------------------------------------------------
+
+type detectRec struct {
+	App        uint64
+	Ranks      int64
+	Completed  uint64 // bitmask of completed ranks
+	Recovering bool
+	KillsLeft  uint64 // bitmask of ranks whose kill-ack is pending
+	Done       bool
+}
+
+// MgrAppDetectElem detects that all processes of an MPI application have
+// terminated and initiates recovery if necessary (Table 8).
+type MgrAppDetectElem struct {
+	ftm  *FTM
+	Recs []detectRec
+}
+
+// Name implements core.Element.
+func (e *MgrAppDetectElem) Name() string { return "mgr_app_detect" }
+
+// Subscriptions implements core.Element.
+func (e *MgrAppDetectElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{EvAppComplete, EvAppFailed, EvKillAppDone}
+}
+
+func (e *MgrAppDetectElem) find(app AppID) *detectRec {
+	for i := range e.Recs {
+		if e.Recs[i].App == uint64(app) {
+			return &e.Recs[i]
+		}
+	}
+	return nil
+}
+
+func (e *MgrAppDetectElem) add(app AppID, ranks int) {
+	if e.find(app) != nil {
+		return
+	}
+	e.Recs = append(e.Recs, detectRec{App: uint64(app), Ranks: int64(ranks)})
+}
+
+// Handle implements core.Element.
+func (e *MgrAppDetectElem) Handle(ctx *core.Ctx, ev core.Event) {
+	switch ev.Kind {
+	case EvAppComplete:
+		done, ok := ev.Data.(AppComplete)
+		if !ok {
+			return
+		}
+		e.complete(ctx, done)
+	case EvAppFailed:
+		fail, ok := ev.Data.(AppFailed)
+		if !ok {
+			return
+		}
+		e.appFailed(ctx, fail)
+	case EvKillAppDone:
+		ack, ok := ev.Data.(KillAppDone)
+		if !ok {
+			return
+		}
+		e.killAck(ctx, ack)
+	}
+}
+
+func (e *MgrAppDetectElem) complete(ctx *core.Ctx, done AppComplete) {
+	r := e.find(done.AppID)
+	if r == nil || r.Done {
+		return
+	}
+	r.Completed |= 1 << uint(done.Rank)
+	all := uint64(1)<<uint(r.Ranks) - 1
+	if r.Completed != all {
+		return
+	}
+	// Upon receiving all termination notifications, the FTM uninstalls
+	// the Execution ARMORs and reports to the SCC (Table 1, step 13).
+	r.Done = true
+	e.ftm.finishApp(ctx, done.AppID)
+}
+
+func (e *MgrAppDetectElem) appFailed(ctx *core.Ctx, fail AppFailed) {
+	r := e.find(fail.AppID)
+	if r == nil || r.Done || r.Recovering {
+		return
+	}
+	r.Recovering = true
+	r.Completed = 0
+	e.ftm.env.Log.Add(ctx.Now(), "app-failure-reported", fmt.Sprintf("app=%d rank=%d hang=%v reason=%s", fail.AppID, fail.Rank, fail.Hang, fail.Reason))
+	// Kill every rank, then relaunch through the rank-0 Execution ARMOR.
+	execs := e.ftm.ExecInfo.byApp(fail.AppID)
+	r.KillsLeft = 0
+	for _, ex := range execs {
+		r.KillsLeft |= 1 << uint(ex.Rank)
+		ctx.Send(ex.ArmorID, EvKillApp, KillApp{AppID: fail.AppID})
+	}
+	if len(execs) == 0 {
+		r.Recovering = false
+	}
+}
+
+func (e *MgrAppDetectElem) killAck(ctx *core.Ctx, ack KillAppDone) {
+	r := e.find(ack.AppID)
+	if r == nil || !r.Recovering {
+		return
+	}
+	r.KillsLeft &^= 1 << uint(ack.Rank)
+	if r.KillsLeft != 0 {
+		return
+	}
+	r.Recovering = false
+	if p := e.ftm.AppParam.find(ack.AppID); p != nil {
+		p.Restarts++
+		ctx.Touch(e.ftm.AppParam)
+	}
+	// The relaunched application processes number their messages from
+	// one again; forget the dead incarnation's channels.
+	for rank := int64(0); rank < r.Ranks; rank++ {
+		ctx.Armor.ResetPeer(AIDApp(ack.AppID, int(rank)))
+	}
+	for _, ex := range e.ftm.ExecInfo.byApp(ack.AppID) {
+		if ex.Rank == 0 {
+			restarts := int64(0)
+			if p := e.ftm.AppParam.find(ack.AppID); p != nil {
+				restarts = p.Restarts
+			}
+			ctx.Send(ex.ArmorID, EvLaunchApp, LaunchApp{AppID: ack.AppID, Restart: int(restarts)})
+		}
+	}
+	e.ftm.env.Log.Add(ctx.Now(), "app-restart-initiated", fmt.Sprintf("app=%d", ack.AppID))
+}
+
+// Snapshot implements core.Element.
+func (e *MgrAppDetectElem) Snapshot() []byte {
+	var enc core.Encoder
+	enc.PutU64(uint64(len(e.Recs)))
+	for _, r := range e.Recs {
+		enc.PutU64(r.App)
+		enc.PutI64(r.Ranks)
+		enc.PutU64(r.Completed)
+		enc.PutBool(r.Recovering)
+		enc.PutU64(r.KillsLeft)
+		enc.PutBool(r.Done)
+	}
+	return enc.Bytes()
+}
+
+// Restore implements core.Element.
+func (e *MgrAppDetectElem) Restore(data []byte) error {
+	d := core.NewDecoder(data)
+	n := d.U64()
+	if n > 1024 {
+		return fmt.Errorf("mgr_app_detect: %d records: %w", n, core.ErrCorrupt)
+	}
+	recs := make([]detectRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		recs = append(recs, detectRec{
+			App:        d.U64(),
+			Ranks:      d.I64(),
+			Completed:  d.U64(),
+			Recovering: d.Bool(),
+			KillsLeft:  d.U64(),
+			Done:       d.Bool(),
+		})
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	e.Recs = recs
+	return nil
+}
+
+// Check implements core.Element. Besides range checks, the rank count is
+// cross-validated against app_param — a data-structure integrity check
+// between co-located elements. This is what kept mgr_app_detect's data
+// errors from ever causing system failures in the paper (Table 8: zero
+// across all phases; Table 9: every detected error recovered).
+func (e *MgrAppDetectElem) Check() error {
+	for i, r := range e.Recs {
+		if r.Ranks < 1 || r.Ranks > 64 {
+			return fmt.Errorf("record %d: ranks %d", i, r.Ranks)
+		}
+		if p := e.ftm.AppParam.find(AppID(r.App)); p != nil && p.Ranks != r.Ranks {
+			return fmt.Errorf("record %d: rank count %d disagrees with app_param (%d)", i, r.Ranks, p.Ranks)
+		}
+		all := uint64(1)<<uint(r.Ranks) - 1
+		if r.Completed&^all != 0 {
+			return fmt.Errorf("record %d: completed mask %x beyond rank count", i, r.Completed)
+		}
+		if r.KillsLeft&^all != 0 {
+			return fmt.Errorf("record %d: kill mask %x beyond rank count", i, r.KillsLeft)
+		}
+	}
+	return nil
+}
+
+// HeapFields implements core.HeapInjectable.
+func (e *MgrAppDetectElem) HeapFields() []core.HeapField {
+	var fields []core.HeapField
+	for i := range e.Recs {
+		i := i
+		fields = append(fields,
+			core.HeapField{
+				Name: fmt.Sprintf("mgr_app_detect.completed[%d]", i),
+				Bits: 8,
+				Get:  func() uint64 { return e.Recs[i].Completed },
+				Set:  func(v uint64) { e.Recs[i].Completed = v },
+			},
+			core.HeapField{
+				Name: fmt.Sprintf("mgr_app_detect.ranks[%d]", i),
+				Bits: 8,
+				Get:  func() uint64 { return uint64(e.Recs[i].Ranks) },
+				Set:  func(v uint64) { e.Recs[i].Ranks = int64(v) },
+			},
+		)
+	}
+	return fields
+}
+
+var _ core.HeapInjectable = (*MgrAppDetectElem)(nil)
+
+// ---------------------------------------------------------------------------
+// FTM cross-element orchestration.
+// ---------------------------------------------------------------------------
+
+// submitElem is a thin element that receives SCC submissions and drives
+// the cross-element submission flow.
+type submitElem struct {
+	ftm *FTM
+}
+
+// Name implements core.Element.
+func (e *submitElem) Name() string { return "scc_interface" }
+
+// Subscriptions implements core.Element.
+func (e *submitElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{EvSubmitApp}
+}
+
+// Handle implements core.Element.
+func (e *submitElem) Handle(ctx *core.Ctx, ev core.Event) {
+	sub, ok := ev.Data.(SubmitApp)
+	if !ok {
+		return
+	}
+	e.ftm.submit(ctx, sub.App)
+}
+
+// Snapshot implements core.Element.
+func (e *submitElem) Snapshot() []byte { return nil }
+
+// Restore implements core.Element.
+func (e *submitElem) Restore(data []byte) error { return nil }
+
+// Check implements core.Element.
+func (e *submitElem) Check() error { return nil }
+
+// submit runs Table 1 steps 2-3: record the application and install one
+// Execution ARMOR per prospective MPI process.
+func (f *FTM) submit(ctx *core.Ctx, app *AppSpec) {
+	if f.AppParam.find(app.ID) != nil {
+		return // duplicate submission
+	}
+	f.AppParam.add(app)
+	ctx.Touch(f.AppParam)
+	f.AppDetect.add(app.ID, app.Ranks)
+	ctx.Touch(f.AppDetect)
+	f.env.Log.Add(ctx.Now(), "app-submitted", fmt.Sprintf("app=%d name=%s", app.ID, app.Name))
+	for rank := 0; rank < app.Ranks; rank++ {
+		node := app.Nodes[rank%len(app.Nodes)]
+		aid := AIDExec(app.ID, rank)
+		spec := ArmorSpec{
+			ID:              aid,
+			Kind:            KindExecution,
+			Name:            fmt.Sprintf("exec-%d-%d", app.ID, rank),
+			NotifyInstalled: AIDFTM,
+			App:             app,
+			Rank:            rank,
+		}
+		f.ExecInfo.add(execRec{ArmorID: aid, App: uint64(app.ID), Rank: int64(rank), Node: node, AppStatus: 1})
+		if f.cfg.FixRegistrationRace {
+			// Fixed Figure 10 race: register before instructing the
+			// daemon to install.
+			f.ArmorInfo.recordArmor(aid, KindExecution, node, statusInstalling)
+		}
+		ctx.Touch(f.ExecInfo)
+		ctx.Touch(f.ArmorInfo)
+		daemon := f.NodeMgmt.Translate(node)
+		ctx.Send(daemon, EvInstallArmor, InstallArmor{Spec: spec})
+		f.broadcastLocation(ctx, aid, node)
+		// The application process itself attaches under a pseudo-AID on
+		// the same node; daemons need it in their location caches to
+		// route acknowledgments back to it.
+		f.broadcastLocation(ctx, AIDApp(app.ID, rank), node)
+	}
+}
+
+// onArmorInstalled fires when a subordinate reports installed; once every
+// Execution ARMOR of an application is up, the FTM launches the rank-0
+// process (Table 1, step 4).
+func (f *FTM) onArmorInstalled(ctx *core.Ctx, id core.AID) {
+	for _, r := range f.ExecInfo.Recs {
+		if r.ArmorID != id {
+			continue
+		}
+		app := AppID(r.App)
+		all := true
+		for _, ex := range f.ExecInfo.byApp(app) {
+			rec := f.ArmorInfo.find(ex.ArmorID)
+			if rec == nil || rec.Status != statusUp {
+				all = false
+			}
+		}
+		if !all {
+			return
+		}
+		for _, ex := range f.ExecInfo.byApp(app) {
+			if ex.Rank == 0 {
+				ctx.Send(ex.ArmorID, EvLaunchApp, LaunchApp{AppID: app})
+			}
+		}
+		return
+	}
+}
+
+// finishApp uninstalls the Execution ARMORs and reports completion to the
+// SCC (Table 1, steps 13).
+func (f *FTM) finishApp(ctx *core.Ctx, app AppID) {
+	restarts := int64(0)
+	if p := f.AppParam.find(app); p != nil {
+		restarts = p.Restarts
+	}
+	for _, ex := range f.ExecInfo.byApp(app) {
+		daemon := f.NodeMgmt.Translate(ex.Node)
+		ctx.Send(daemon, EvUninstallArmor, UninstallArmor{ID: ex.ArmorID})
+	}
+	f.ExecInfo.removeApp(app)
+	ctx.Touch(f.ExecInfo)
+	ctx.Send(f.cfg.SCC, EvAppDone, AppDone{AppID: app, Restarts: int(restarts)})
+	f.env.Log.Add(ctx.Now(), "app-finished", fmt.Sprintf("app=%d restarts=%d", app, restarts))
+}
+
+// rebuildSpec reconstructs the install spec for a failed subordinate.
+func (f *FTM) rebuildSpec(r *armorRec) *ArmorSpec {
+	switch ArmorKind(r.Kind) {
+	case KindHeartbeat:
+		return &ArmorSpec{
+			ID:              r.ID,
+			Kind:            KindHeartbeat,
+			Name:            "heartbeat",
+			AutoRestore:     true,
+			NotifyInstalled: AIDFTM,
+		}
+	case KindExecution:
+		for _, ex := range f.ExecInfo.Recs {
+			if ex.ArmorID == r.ID {
+				app := f.env.appSpec(AppID(ex.App))
+				if app == nil {
+					return nil
+				}
+				return &ArmorSpec{
+					ID:              r.ID,
+					Kind:            KindExecution,
+					Name:            fmt.Sprintf("exec-%d-%d", ex.App, ex.Rank),
+					AutoRestore:     true,
+					NotifyInstalled: AIDFTM,
+					App:             app,
+					Rank:            int(ex.Rank),
+				}
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// recoverNode migrates the ARMORs of a failed node to live nodes
+// (Section 3.4).
+func (f *FTM) recoverNode(ctx *core.Ctx, failed string) {
+	for i := range f.ArmorInfo.Recs {
+		r := &f.ArmorInfo.Recs[i]
+		if r.Node != failed || ArmorKind(r.Kind) == ArmorKind(KindDaemon) {
+			continue
+		}
+		if ArmorKind(r.Kind) == KindFTM {
+			continue // our own recovery is the Heartbeat ARMOR's job
+		}
+		dst := f.NodeMgmt.FirstAliveNode(failed)
+		if dst == "" {
+			return
+		}
+		spec := f.rebuildSpec(r)
+		if spec == nil {
+			continue
+		}
+		r.Node = dst
+		for j := range f.ExecInfo.Recs {
+			if f.ExecInfo.Recs[j].ArmorID == r.ID {
+				f.ExecInfo.Recs[j].Node = dst
+			}
+		}
+		r.Status = statusRecovering
+		ctx.Touch(f.ArmorInfo)
+		ctx.Touch(f.ExecInfo)
+		daemon := f.NodeMgmt.Translate(dst)
+		ctx.Send(daemon, EvInstallArmor, InstallArmor{Spec: *spec})
+		f.broadcastLocation(ctx, r.ID, dst)
+		f.env.Log.Add(ctx.Now(), "armor-migrated", fmt.Sprintf("%s -> %s", r.ID, dst))
+	}
+}
+
+// broadcastLocation updates every daemon's location cache.
+func (f *FTM) broadcastLocation(ctx *core.Ctx, id core.AID, node string) {
+	for _, n := range f.NodeMgmt.Nodes {
+		if !n.Alive {
+			continue
+		}
+		ctx.SendUnreliable(n.DaemonAID, EvLocation, Location{ID: id, Node: node})
+	}
+}

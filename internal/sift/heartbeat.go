@@ -1,0 +1,203 @@
+package sift
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/sim"
+)
+
+// HeartbeatElem is the single element the Heartbeat ARMOR adds beyond the
+// basic set (Section 3.1): it periodically polls the FTM for liveness and
+// drives the two-step FTM recovery when the poll times out.
+//
+// The two-step structure — (1) instruct the FTM's daemon to reinstall the
+// FTM, (2) after the install acknowledgment, instruct the FTM to restore
+// its state from checkpoint — is kept exactly as described, because its
+// failure mode is one of the paper's system failures: a Heartbeat ARMOR
+// suffering receive omissions falsely detects an FTM failure, reinstalls
+// the FTM, never sees the acknowledgment, and never sends the restore,
+// leaving the FTM wedged.
+type HeartbeatElem struct {
+	env *Environment
+
+	// FTMNode is the hostname the FTM runs on.
+	FTMNode string
+	// FTMDaemon is the daemon AID on the FTM's node.
+	FTMDaemon core.AID
+	// Period is the polling period (10 s in the paper).
+	Period time.Duration
+
+	// AwaitingReply marks an outstanding liveness inquiry.
+	AwaitingReply bool
+	// Recovering is true from false/true detection until the restore
+	// command is sent.
+	Recovering bool
+	// Recoveries counts initiated FTM recoveries.
+	Recoveries int64
+}
+
+type ftmPollTag struct{}
+
+// Name implements core.Element.
+func (e *HeartbeatElem) Name() string { return "ftm_watch" }
+
+// Subscriptions implements core.Element.
+func (e *HeartbeatElem) Subscriptions() []core.EventKind {
+	return []core.EventKind{core.EventIAmAlive, core.EventInstalled}
+}
+
+// Start arms the polling timer.
+func (e *HeartbeatElem) Start(ctx *core.Ctx) {
+	ctx.After(e.Name(), e.Period, ftmPollTag{})
+}
+
+// Handle implements core.Element.
+func (e *HeartbeatElem) Handle(ctx *core.Ctx, ev core.Event) {
+	switch ev.Kind {
+	case core.EventIAmAlive:
+		if ctx.From == AIDFTM {
+			e.AwaitingReply = false
+		}
+	case core.EventInstalled:
+		ack, ok := ev.Data.(core.InstallAck)
+		if !ok || ack.ID != AIDFTM || !e.Recovering {
+			return
+		}
+		// Step two: restore the FTM's state from checkpoint.
+		if e.env != nil {
+			e.env.Log.Add(ctx.Now(), "ftm-restore-sent", "")
+		}
+		ctx.Send(AIDFTM, core.EventRestore, nil)
+		e.Recovering = false
+		e.AwaitingReply = false
+	case core.EventTimer:
+		if _, ok := ev.Data.(ftmPollTag); ok {
+			e.poll(ctx)
+		}
+	}
+}
+
+func (e *HeartbeatElem) poll(ctx *core.Ctx) {
+	defer ctx.After(e.Name(), e.Period, ftmPollTag{})
+	if e.Recovering {
+		return // recovery in flight; wait for the install ack
+	}
+	if e.AwaitingReply {
+		// The FTM did not answer within a full period: declare it
+		// failed and start the two-step recovery.
+		e.Recovering = true
+		e.Recoveries++
+		e.AwaitingReply = false
+		if e.env != nil {
+			e.env.Log.Add(ctx.Now(), "ftm-failure-detected", "")
+			// Classify by what actually happened to the FTM process:
+			// if it is still in the process table (suspended), this is
+			// a hang; if it is gone, a crash.
+			hang := false
+			reason := "heartbeat timeout"
+			if pid := e.env.ProcOf(AIDFTM); pid != sim.NoPID {
+				if ctx.Proc.Kernel().Alive(pid) {
+					hang = true
+				} else if st := ctx.Proc.Kernel().Exit(pid); st != nil {
+					reason = st.Reason
+					if strings.Contains(reason, "hang") {
+						hang = true // daemon already killed the hung FTM
+					}
+				}
+			}
+			e.env.Log.Detect(ctx.Now(), AIDFTM, reason, hang)
+		}
+		spec := ArmorSpec{
+			ID:              AIDFTM,
+			Kind:            KindFTM,
+			Name:            "ftm",
+			AwaitRestore:    true,
+			NotifyInstalled: AIDHeartbeat,
+		}
+		ctx.Send(e.FTMDaemon, EvInstallArmor, InstallArmor{Spec: spec})
+		return
+	}
+	e.AwaitingReply = true
+	ctx.SendUnreliable(AIDFTM, core.EventAreYouAlive, nil)
+}
+
+// Snapshot implements core.Element.
+func (e *HeartbeatElem) Snapshot() []byte {
+	var enc core.Encoder
+	enc.PutString(e.FTMNode)
+	enc.PutU64(uint64(e.FTMDaemon))
+	enc.PutI64(int64(e.Period))
+	enc.PutBool(e.AwaitingReply)
+	enc.PutBool(e.Recovering)
+	enc.PutI64(e.Recoveries)
+	return enc.Bytes()
+}
+
+// Restore implements core.Element.
+func (e *HeartbeatElem) Restore(data []byte) error {
+	d := core.NewDecoder(data)
+	node := d.String()
+	daemon := core.AID(d.U64())
+	period := time.Duration(d.I64())
+	awaiting := d.Bool()
+	recovering := d.Bool()
+	recoveries := d.I64()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	e.FTMNode, e.FTMDaemon, e.Period = node, daemon, period
+	// A recovered Heartbeat ARMOR starts a fresh poll cycle rather than
+	// trusting a stale in-flight state.
+	e.AwaitingReply = false
+	e.Recovering = false
+	_ = awaiting
+	_ = recovering
+	e.Recoveries = recoveries
+	return nil
+}
+
+// Check implements core.Element.
+func (e *HeartbeatElem) Check() error {
+	if e.FTMDaemon == core.InvalidAID {
+		return fmt.Errorf("zero FTM daemon AID")
+	}
+	if e.Period <= 0 || e.Period > time.Hour {
+		return fmt.Errorf("poll period %v out of range", e.Period)
+	}
+	if e.Recoveries < 0 || e.Recoveries > 10000 {
+		return fmt.Errorf("recovery count %d", e.Recoveries)
+	}
+	return nil
+}
+
+// HeapFields implements core.HeapInjectable.
+func (e *HeartbeatElem) HeapFields() []core.HeapField {
+	return []core.HeapField{
+		{
+			Name: "ftm_watch.period",
+			Bits: 48,
+			Get:  func() uint64 { return uint64(e.Period) },
+			Set:  func(v uint64) { e.Period = time.Duration(v) },
+		},
+		{
+			Name: "ftm_watch.ftmDaemon",
+			Bits: 16,
+			Get:  func() uint64 { return uint64(e.FTMDaemon) },
+			Set:  func(v uint64) { e.FTMDaemon = core.AID(v) },
+		},
+		{
+			Name: "ftm_watch.recoveries",
+			Bits: 8,
+			Get:  func() uint64 { return uint64(e.Recoveries) },
+			Set:  func(v uint64) { e.Recoveries = int64(v) },
+		},
+	}
+}
+
+var (
+	_ core.Starter        = (*HeartbeatElem)(nil)
+	_ core.HeapInjectable = (*HeartbeatElem)(nil)
+)

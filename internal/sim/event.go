@@ -1,0 +1,93 @@
+package sim
+
+import "time"
+
+// Event is a scheduled kernel callback. Events fire in (time, sequence)
+// order, which makes the simulation deterministic.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired event
+// is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// At reports the virtual time at which the event fires.
+func (e *Event) At() time.Duration { return e.at }
+
+// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than wrapping container/heap to avoid interface boxing on the
+// kernel's hottest path.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e *Event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	(*h)[i].index = i
+	h.up(i)
+}
+
+func (h *eventHeap) pop() (*Event, bool) {
+	old := *h
+	n := len(old)
+	if n == 0 {
+		return nil, false
+	}
+	top := old[0]
+	old[0] = old[n-1]
+	old[0].index = 0
+	old[n-1] = nil
+	*h = old[:n-1]
+	if len(*h) > 0 {
+		h.down(0)
+	}
+	top.index = -1
+	return top, true
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node models one testbed board/CPU: a process table, a RAM disk standing
+// in for the 1-2 MB of local nonvolatile memory the paper set aside for
+// checkpoints, and an up/down flag. Crashing a node kills every process on
+// it; its RAM disk contents survive (nonvolatile) but are unreachable while
+// the node is down.
+type Node struct {
+	kernel  *Kernel
+	name    string
+	up      bool
+	procs   map[PID]*Proc
+	ramDisk *FS
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Up reports whether the node is operational.
+func (n *Node) Up() bool { return n.up }
+
+// RAMDisk returns the node-local nonvolatile store.
+func (n *Node) RAMDisk() *FS { return n.ramDisk }
+
+// Procs returns the PIDs of live processes on the node, sorted.
+func (n *Node) Procs() []PID {
+	pids := make([]PID, 0, len(n.procs))
+	for pid := range n.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}
+
+// CrashNode fails a node: every process on it dies (without parent
+// notification reaching processes on the same node, naturally, since they
+// are dead too) and future message delivery to or from the node drops.
+func (k *Kernel) CrashNode(name string) {
+	n := k.nodes[name]
+	if n == nil || !n.up {
+		return
+	}
+	n.up = false
+	k.Tracef("node %s crashed", name)
+	for _, pid := range n.Procs() {
+		p := n.procs[pid]
+		if p == nil || p.state == stateDead {
+			continue
+		}
+		p.killed = true
+		p.killReason = fmt.Sprintf("node %s failure", name)
+		p.suspended = false
+		if p.state == stateWaiting {
+			p.state = stateReady
+			k.ready = append(k.ready, p)
+		}
+	}
+}
+
+// RestartNode brings a crashed node back with an empty process table. The
+// RAM disk contents persist across the restart, emulating nonvolatile
+// memory.
+func (k *Kernel) RestartNode(name string) {
+	n := k.nodes[name]
+	if n == nil || n.up {
+		return
+	}
+	n.up = true
+	k.Tracef("node %s restarted", name)
+}

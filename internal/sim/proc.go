@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+type procState int
+
+const (
+	stateNew procState = iota + 1
+	stateReady
+	stateRunning
+	stateWaiting // parked in Sleep, Recv, or RecvTimeout
+	stateDead
+)
+
+// ExitStatus records how a process terminated.
+type ExitStatus struct {
+	Code   int
+	Reason string // empty for normal exit
+	At     time.Duration
+}
+
+// Proc is a simulated operating-system process. A Proc's body function runs
+// on its own goroutine, but the kernel's token discipline ensures only one
+// process executes at a time. All Proc methods below the "process context"
+// marker must be called from the body function itself.
+type Proc struct {
+	kernel *Kernel
+	node   *Node
+	pid    PID
+	name   string
+	parent PID
+
+	state       procState
+	suspended   bool
+	pendingWake bool
+	killed      bool
+	killReason  string
+
+	inbox   []Msg
+	tokenIn chan struct{}
+
+	// waitSeq stamps each blocking wait so stale timer wakeups (a sleep
+	// timer firing after the process has moved on to a different wait)
+	// are ignored.
+	waitSeq uint64
+	// recvWaiting is true only while the process is parked waiting for
+	// inbox messages; message delivery wakes the process only then, so
+	// arrivals cannot cut a Sleep short.
+	recvWaiting bool
+
+	children map[PID]*Proc
+	exit     *ExitStatus
+
+	// timedOut is set by an expired RecvTimeout timer.
+	timedOut bool
+
+	// Extra is an arbitrary per-process annotation slot. The fault
+	// injectors use it to attach simulated memory images to a process
+	// without the kernel knowing about them.
+	Extra interface{}
+
+	body func(*Proc)
+}
+
+// procUnwind is panicked inside a process goroutine to unwind it when the
+// process exits or is killed.
+type procUnwind struct {
+	code   int
+	reason string
+}
+
+// Spawn creates a process on node n whose body is fn. The process becomes
+// runnable immediately (at the current virtual time). parent may be NoPID
+// for top-level processes; otherwise the parent receives a ChildExit
+// message when the process dies.
+func (k *Kernel) Spawn(n *Node, name string, parent PID, fn func(*Proc)) PID {
+	if !n.up {
+		panic(fmt.Sprintf("sim: spawn %q on down node %q", name, n.name))
+	}
+	p := &Proc{
+		kernel:   k,
+		node:     n,
+		pid:      k.nextPID,
+		name:     name,
+		parent:   parent,
+		state:    stateNew,
+		tokenIn:  make(chan struct{}),
+		children: make(map[PID]*Proc),
+		body:     fn,
+	}
+	k.nextPID++
+	k.procs[p.pid] = p
+	n.procs[p.pid] = p
+	k.liveProcs++
+	if pp := k.procs[parent]; pp != nil {
+		pp.children[p.pid] = p
+	}
+	go p.main()
+	p.state = stateWaiting
+	k.makeReady(p)
+	return p.pid
+}
+
+// main is the process goroutine entry point.
+func (p *Proc) main() {
+	<-p.tokenIn // wait for first dispatch
+	code, reason := 0, ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				switch u := r.(type) {
+				case procUnwind:
+					code, reason = u.code, u.reason
+				default:
+					// An uncaught panic in simulated application or
+					// ARMOR code is the moral equivalent of a
+					// segmentation fault: the process crashes and the
+					// parent observes an abnormal exit.
+					code, reason = 139, fmt.Sprintf("segmentation fault: %v", r)
+				}
+			}
+		}()
+		if p.killed {
+			panic(procUnwind{code: 137, reason: p.killReason})
+		}
+		p.body(p)
+	}()
+	p.kernel.finalize(p, code, reason)
+	p.kernel.tokenBack <- struct{}{}
+}
+
+// finalize tears down a dead process: removes it from the node table,
+// notifies the parent, and reparents children. Runs while holding the
+// execution token.
+func (k *Kernel) finalize(p *Proc, code int, reason string) {
+	if p.state == stateDead {
+		return
+	}
+	p.state = stateDead
+	k.liveProcs--
+	delete(p.node.procs, p.pid)
+	p.exit = &ExitStatus{Code: code, Reason: reason, At: k.now}
+	k.Tracef("proc %d (%s) exited code=%d reason=%q", p.pid, p.name, code, reason)
+	if pp := k.procs[p.parent]; pp != nil && pp.state != stateDead {
+		delete(pp.children, p.pid)
+		k.deliver(p.parent, Msg{From: p.pid, SentAt: k.now, Payload: ChildExit{
+			Child: p.pid, Name: p.name, Code: code, Reason: reason,
+		}})
+	}
+	// Orphaned children keep running (init adopts them); they simply no
+	// longer have a parent to notify.
+	for _, c := range p.children {
+		c.parent = NoPID
+	}
+	p.children = nil
+	p.inbox = nil
+}
+
+// Kill terminates a process abruptly (the SIGINT error model: the process
+// leaves the process table and its parent's waitpid returns). Killing a
+// dead or unknown process is a no-op. Must be called from kernel context
+// (an event callback), not from the victim itself.
+func (k *Kernel) Kill(pid PID, reason string) {
+	p := k.procs[pid]
+	if p == nil || p.state == stateDead {
+		return
+	}
+	p.killed = true
+	p.killReason = reason
+	p.suspended = false
+	if p.state == stateWaiting {
+		p.state = stateReady
+		k.ready = append(k.ready, p)
+	}
+	// If ready, the kill takes effect at dispatch; park() panics.
+}
+
+// Suspend stops a process from making progress while leaving it in the
+// process table (the SIGSTOP error model: a clean hang). Messages and
+// timers destined for a suspended process queue up; none of them wake it
+// until Resume.
+func (k *Kernel) Suspend(pid PID) {
+	p := k.procs[pid]
+	if p == nil || p.state == stateDead {
+		return
+	}
+	p.suspended = true
+	if p.state == stateReady {
+		// Un-ready it; drainReady skips non-ready procs.
+		p.state = stateWaiting
+		p.pendingWake = true
+	}
+}
+
+// Resume undoes Suspend. Any wakeups that arrived while suspended take
+// effect immediately.
+func (k *Kernel) Resume(pid PID) {
+	p := k.procs[pid]
+	if p == nil || p.state == stateDead || !p.suspended {
+		return
+	}
+	p.suspended = false
+	if p.pendingWake {
+		p.pendingWake = false
+		k.makeReady(p)
+	}
+}
+
+// Alive reports whether pid names a live (possibly suspended) process. It
+// is the process-table probe used by Execution ARMORs to detect crashes of
+// MPI ranks they did not launch themselves.
+func (k *Kernel) Alive(pid PID) bool {
+	p := k.procs[pid]
+	return p != nil && p.state != stateDead
+}
+
+// Suspended reports whether pid is currently suspended.
+func (k *Kernel) Suspended(pid PID) bool {
+	p := k.procs[pid]
+	return p != nil && p.suspended
+}
+
+// Exit returns the exit status of a dead process, or nil if the process is
+// alive or unknown.
+func (k *Kernel) Exit(pid PID) *ExitStatus {
+	p := k.procs[pid]
+	if p == nil {
+		return nil
+	}
+	return p.exit
+}
+
+// ProcName returns the name a process was spawned with.
+func (k *Kernel) ProcName(pid PID) string {
+	p := k.procs[pid]
+	if p == nil {
+		return ""
+	}
+	return p.name
+}
+
+// ProcNode returns the node a process lives on, or nil.
+func (k *Kernel) ProcNode(pid PID) *Node {
+	p := k.procs[pid]
+	if p == nil {
+		return nil
+	}
+	return p.node
+}
+
+// deliver appends a message to the destination inbox, waking the process
+// if it is parked in a receive. Dead destinations drop silently, exactly
+// like UDP to a dead port; reliability is layered above in internal/core.
+func (k *Kernel) deliver(dst PID, m Msg) {
+	p := k.procs[dst]
+	if p == nil || p.state == stateDead || !p.node.up {
+		return
+	}
+	p.inbox = append(p.inbox, m)
+	if p.state == stateWaiting && p.recvWaiting {
+		k.makeReady(p)
+	}
+	// A process that is computing (sleeping) or suspended finds the
+	// message in its inbox at its next receive.
+}
+
+// SendExternal injects a message from outside the simulation (kernel
+// context) into a process inbox after the local delivery latency. The
+// experiment controller uses it to stand in for the SCC's uplink.
+func (k *Kernel) SendExternal(dst PID, payload interface{}) {
+	sentAt := k.now
+	k.Schedule(k.cfg.LocalLatency, func() {
+		k.deliver(dst, Msg{From: NoPID, SentAt: sentAt, Payload: payload})
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Process context: the methods below must be called from the process's own
+// body function.
+// ---------------------------------------------------------------------------
+
+// park returns the token to the kernel and blocks until redispatched.
+func (p *Proc) park() {
+	p.kernel.tokenBack <- struct{}{}
+	<-p.tokenIn
+	if p.killed {
+		panic(procUnwind{code: 137, reason: p.killReason})
+	}
+}
+
+// Self returns the process's PID.
+func (p *Proc) Self() PID { return p.pid }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Node returns the node the process runs on.
+func (p *Proc) Node() *Node { return p.node }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.kernel }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.kernel.now }
+
+// Parent returns the parent PID (NoPID if orphaned or top-level).
+func (p *Proc) Parent() PID { return p.parent }
+
+// Sleep blocks the process for d of virtual time. It models computation as
+// well as idle waiting; the texture-analysis filters "compute" by sleeping
+// for their calibrated phase duration while the real (small) numeric
+// kernels run instantaneously in wall-clock terms.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	self := p
+	self.waitSeq++
+	tok := self.waitSeq
+	p.kernel.Schedule(d, func() {
+		if self.waitSeq == tok && self.state == stateWaiting {
+			self.kernel.makeReady(self)
+		}
+	})
+	p.state = stateWaiting
+	p.park()
+}
+
+// Yield cedes the token so other runnable processes at the same virtual
+// time can make progress.
+func (p *Proc) Yield() {
+	self := p
+	self.waitSeq++
+	tok := self.waitSeq
+	p.kernel.Schedule(0, func() {
+		if self.waitSeq == tok && self.state == stateWaiting {
+			self.kernel.makeReady(self)
+		}
+	})
+	p.state = stateWaiting
+	p.park()
+}
+
+// Send transmits a payload to dst with the network latency between the two
+// nodes. Delivery is unreliable by design: messages to dead processes or
+// down nodes vanish.
+func (p *Proc) Send(dst PID, payload interface{}) {
+	k := p.kernel
+	dp := k.procs[dst]
+	if dp == nil {
+		return
+	}
+	if !p.node.up {
+		return
+	}
+	lat := k.latency(p.node, dp.node)
+	m := Msg{From: p.pid, SentAt: k.now, Payload: payload}
+	k.Schedule(lat, func() { k.deliver(dst, m) })
+}
+
+// Recv blocks until a message arrives and returns it.
+func (p *Proc) Recv() Msg {
+	for len(p.inbox) == 0 {
+		p.waitSeq++
+		p.recvWaiting = true
+		p.state = stateWaiting
+		p.park()
+		p.recvWaiting = false
+	}
+	m := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	return m
+}
+
+// RecvTimeout blocks until a message arrives or d elapses. ok is false on
+// timeout.
+func (p *Proc) RecvTimeout(d time.Duration) (Msg, bool) {
+	if len(p.inbox) > 0 {
+		m := p.inbox[0]
+		p.inbox = p.inbox[1:]
+		return m, true
+	}
+	self := p
+	p.timedOut = false
+	p.waitSeq++
+	tok := p.waitSeq
+	timer := p.kernel.Schedule(d, func() {
+		if self.waitSeq != tok || len(self.inbox) > 0 {
+			return
+		}
+		if self.state == stateWaiting && self.recvWaiting {
+			self.timedOut = true
+			self.kernel.makeReady(self)
+		} else if self.suspended {
+			// Expired while hung: remember so a resumed process sees
+			// the timeout rather than blocking forever.
+			self.timedOut = true
+			self.pendingWake = true
+		}
+	})
+	for len(p.inbox) == 0 {
+		if p.timedOut {
+			p.timedOut = false
+			return Msg{}, false
+		}
+		p.recvWaiting = true
+		p.state = stateWaiting
+		p.park()
+		p.recvWaiting = false
+	}
+	timer.Cancel()
+	p.timedOut = false
+	m := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	return m, true
+}
+
+// After delivers a TimerFired{Tag: tag} message to the process's own inbox
+// after d. It returns the underlying event so the caller can cancel it.
+func (p *Proc) After(d time.Duration, tag interface{}) *Event {
+	self := p
+	sentAt := p.kernel.now
+	return p.kernel.Schedule(d, func() {
+		self.kernel.deliver(self.pid, Msg{From: self.pid, SentAt: sentAt, Payload: TimerFired{Tag: tag}})
+	})
+}
+
+// SpawnChild starts a child process on the given node. The child's exit is
+// reported to this process as a ChildExit inbox message (waitpid).
+func (p *Proc) SpawnChild(n *Node, name string, fn func(*Proc)) PID {
+	return p.kernel.Spawn(n, name, p.pid, fn)
+}
+
+// Exit terminates the process with the given code.
+func (p *Proc) Exit(code int, reason string) {
+	panic(procUnwind{code: code, reason: reason})
+}
+
+// Crash terminates the process abnormally, as if it had received a fatal
+// signal or tripped a hardware exception. ARMOR self-checks use it to
+// "kill themselves" when an assertion fires.
+func (p *Proc) Crash(reason string) {
+	panic(procUnwind{code: 134, reason: reason})
+}
+
+// Hang suspends the calling process indefinitely, modelling an error that
+// sends the process into a tight loop or a deadlock: it stays in the
+// process table but stops making progress and stops responding to
+// messages. Only Kernel.Kill (recovery) or Kernel.Resume ends the hang.
+func (p *Proc) Hang() {
+	p.suspended = true
+	p.state = stateWaiting
+	p.park()
+}

@@ -1,0 +1,277 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// that emulates a small cluster of nodes running communicating processes.
+//
+// The kernel stands in for the paper's REE testbed (PowerPC 750 boards
+// running LynxOS connected by 100 Mbps Ethernet). Every observable that the
+// SIFT environment's detection and recovery machinery depends on is
+// reproduced here:
+//
+//   - processes with parent/child relationships and waitpid-style
+//     child-exit notification (crash detection),
+//   - SIGINT-style kill (clean crash) and SIGSTOP-style suspend (clean
+//     hang: the process stays in the process table but stops responding),
+//   - per-node process tables,
+//   - message passing with configurable local and remote latency,
+//   - per-node RAM disks emulating local nonvolatile memory and a shared
+//     remote file system emulating the testbed's Sun workstation storage,
+//   - whole-node crashes.
+//
+// Time is virtual: a simulated 76-second application run completes in
+// milliseconds of wall clock, which is what makes the paper's 28,000-run
+// injection campaigns tractable.
+//
+// Determinism: exactly one process goroutine is runnable at a time (the
+// kernel hands an execution token to one process and waits for it to park),
+// the event queue is ordered by (time, sequence number), and all randomness
+// flows from a single seeded source. A simulation is therefore a pure
+// function of (seed, configuration).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// PID identifies a process in the simulation. PIDs are unique for the
+// lifetime of a kernel and are never reused.
+type PID int
+
+// NoPID is the zero PID; it never names a live process.
+const NoPID PID = 0
+
+// Config carries kernel-wide tunables.
+type Config struct {
+	// Seed seeds the kernel's random source. Runs with equal seeds and
+	// equal workloads produce identical schedules.
+	Seed int64
+	// LocalLatency is the message delay between processes on one node.
+	LocalLatency time.Duration
+	// RemoteLatency is the message delay between processes on different
+	// nodes (the testbed's Ethernet hop).
+	RemoteLatency time.Duration
+	// LatencyJitter, if positive, adds a uniform random delay in
+	// [0, LatencyJitter) to every message.
+	LatencyJitter time.Duration
+}
+
+// DefaultConfig returns the latency model used by the experiments: 100 us
+// local delivery and 1 ms cross-node delivery with 200 us of jitter,
+// roughly matching a lightly loaded 100 Mbps Ethernet with small messages.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		LocalLatency:  100 * time.Microsecond,
+		RemoteLatency: time.Millisecond,
+		LatencyJitter: 200 * time.Microsecond,
+	}
+}
+
+// Kernel is the discrete-event scheduler. All methods must be called either
+// from the goroutine that called Run (before or after Run, or from event
+// callbacks) or from the currently executing process goroutine; the token
+// discipline guarantees mutual exclusion without locks.
+type Kernel struct {
+	cfg Config
+
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	procs    map[PID]*Proc
+	nextPID  PID
+	nodes    map[string]*Node
+	nodeList []*Node
+
+	rng      *rand.Rand
+	sharedFS *FS
+
+	// tokenBack is signalled by a process goroutine when it parks or
+	// exits, returning control to the kernel loop.
+	tokenBack chan struct{}
+	ready     []*Proc
+	current   *Proc
+
+	traceFn func(at time.Duration, format string, args []interface{})
+
+	liveProcs int
+}
+
+// NewKernel creates a kernel with no nodes or processes.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.LocalLatency <= 0 {
+		cfg.LocalLatency = 100 * time.Microsecond
+	}
+	if cfg.RemoteLatency <= 0 {
+		cfg.RemoteLatency = time.Millisecond
+	}
+	return &Kernel{
+		cfg:       cfg,
+		procs:     make(map[PID]*Proc),
+		nextPID:   1,
+		nodes:     make(map[string]*Node),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		sharedFS:  NewFS(),
+		tokenBack: make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand exposes the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// SharedFS returns the cluster-wide remote file system (the testbed's Sun
+// workstation disk holding executables, input data, and output data).
+func (k *Kernel) SharedFS() *FS { return k.sharedFS }
+
+// SetTrace installs a trace sink invoked for every Tracef call.
+func (k *Kernel) SetTrace(fn func(at time.Duration, format string, args []interface{})) {
+	k.traceFn = fn
+}
+
+// Tracef emits a timestamped trace line if tracing is enabled.
+func (k *Kernel) Tracef(format string, args ...interface{}) {
+	if k.traceFn != nil {
+		k.traceFn(k.now, format, args)
+	}
+}
+
+// AddNode creates a node with the given name. Node names must be unique.
+func (k *Kernel) AddNode(name string) *Node {
+	if _, ok := k.nodes[name]; ok {
+		panic(fmt.Sprintf("sim: duplicate node %q", name))
+	}
+	n := &Node{
+		kernel:  k,
+		name:    name,
+		up:      true,
+		procs:   make(map[PID]*Proc),
+		ramDisk: NewFS(),
+	}
+	k.nodes[name] = n
+	k.nodeList = append(k.nodeList, n)
+	return n
+}
+
+// Node returns the named node, or nil.
+func (k *Kernel) Node(name string) *Node { return k.nodes[name] }
+
+// Nodes returns all nodes in creation order.
+func (k *Kernel) Nodes() []*Node { return k.nodeList }
+
+// Schedule registers fn to run in kernel context at the given delay from
+// now. It returns a handle that can cancel the event.
+func (k *Kernel) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev := &Event{at: k.now + d, seq: k.seq, fn: fn}
+	k.seq++
+	k.events.push(ev)
+	return ev
+}
+
+// Stop halts the kernel loop after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Run executes events until the event queue drains, Stop is called, or
+// virtual time would exceed limit. It returns the virtual time at which the
+// simulation stopped.
+func (k *Kernel) Run(limit time.Duration) time.Duration {
+	for {
+		k.drainReady()
+		if k.stopped {
+			break
+		}
+		ev, ok := k.events.pop()
+		if !ok {
+			break
+		}
+		if ev.cancelled {
+			continue
+		}
+		if ev.at > limit {
+			// Push back so a later Run with a larger limit resumes.
+			k.events.push(ev)
+			k.now = limit
+			break
+		}
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		ev.fn()
+	}
+	return k.now
+}
+
+// Idle reports whether no events or runnable processes remain.
+func (k *Kernel) Idle() bool { return len(k.events) == 0 && len(k.ready) == 0 }
+
+// LiveProcs reports how many processes are currently alive (running,
+// ready, waiting, or suspended).
+func (k *Kernel) LiveProcs() int { return k.liveProcs }
+
+// Shutdown kills every remaining process so their goroutines exit. Call it
+// after Run when a simulation is abandoned mid-flight; it keeps goroutines
+// from leaking across test cases.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if p.state != stateDead {
+			k.Kill(p.pid, "kernel shutdown")
+		}
+	}
+	k.drainReady()
+}
+
+func (k *Kernel) drainReady() {
+	for len(k.ready) > 0 {
+		p := k.ready[0]
+		k.ready = k.ready[1:]
+		if p.state != stateReady {
+			continue
+		}
+		k.dispatch(p)
+	}
+}
+
+// dispatch hands the execution token to p and blocks until p parks, exits,
+// or is unwound.
+func (k *Kernel) dispatch(p *Proc) {
+	p.state = stateRunning
+	k.current = p
+	p.tokenIn <- struct{}{}
+	<-k.tokenBack
+	k.current = nil
+}
+
+// makeReady marks p runnable. If p is suspended, the wakeup is deferred
+// until Resume.
+func (k *Kernel) makeReady(p *Proc) {
+	if p.state == stateDead || p.state == stateReady || p.state == stateRunning {
+		return
+	}
+	if p.suspended {
+		p.pendingWake = true
+		return
+	}
+	p.state = stateReady
+	k.ready = append(k.ready, p)
+}
+
+// latency computes the delivery delay between two nodes.
+func (k *Kernel) latency(src, dst *Node) time.Duration {
+	d := k.cfg.LocalLatency
+	if src != dst {
+		d = k.cfg.RemoteLatency
+	}
+	if k.cfg.LatencyJitter > 0 {
+		d += time.Duration(k.rng.Int63n(int64(k.cfg.LatencyJitter)))
+	}
+	return d
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanAndVariance(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", got, 32.0/7)
+	}
+}
+
+func TestEmptyAndSingletonSamples(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.CI95() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.CI95() != 0 {
+		t.Fatal("singleton sample: mean 3, CI 0")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Fatalf("mean = %v, want 1.5", s.Mean())
+	}
+}
+
+// Reference values from standard t tables.
+func TestTQuantileAgainstTables(t *testing.T) {
+	cases := []struct {
+		p, nu, want float64
+	}{
+		{0.975, 1, 12.706},
+		{0.975, 5, 2.571},
+		{0.975, 10, 2.228},
+		{0.975, 29, 2.045},
+		{0.975, 99, 1.984},
+		{0.95, 10, 1.812},
+		{0.995, 10, 3.169},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.nu)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("TQuantile(%v, %v) = %v, want %v", c.p, c.nu, got, c.want)
+		}
+	}
+}
+
+func TestTCDFSymmetry(t *testing.T) {
+	f := func(x float64, nuRaw uint8) bool {
+		nu := float64(nuRaw%50) + 1
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 50)
+		lhs := TCDF(x, nu)
+		rhs := 1 - TCDF(-x, nu)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCDFMonotone(t *testing.T) {
+	f := func(a, b float64, nuRaw uint8) bool {
+		nu := float64(nuRaw%30) + 1
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 40), math.Mod(b, 40)
+		if a > b {
+			a, b = b, a
+		}
+		return TCDF(a, nu) <= TCDF(b, nu)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileInvertsCDF(t *testing.T) {
+	for _, nu := range []float64{1, 3, 10, 100} {
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.9, 0.975} {
+			q := TQuantile(p, nu)
+			back := TCDF(q, nu)
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("TCDF(TQuantile(%v,%v)) = %v", p, nu, back)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+// Section 5: with n = 734 runs and no failures, p < 0.01%... the paper
+// states "less than 0.01% of all SIGINT/SIGSTOP failures will be
+// unrecoverable".
+func TestNoFailureBoundPaperValue(t *testing.T) {
+	p := NoFailureBound(734)
+	if p >= 1e-4 {
+		t.Fatalf("bound = %v, want < 1e-4", p)
+	}
+	if p < 6e-5 {
+		t.Fatalf("bound = %v, implausibly small", p)
+	}
+}
+
+func TestNoFailureBoundMonotone(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		return NoFailureBound(n+1) < NoFailureBound(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	mk := func(n int) *Sample {
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(float64(i % 10))
+		}
+		return &s
+	}
+	small, big := mk(20), mk(200)
+	if big.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v -> %v", small.CI95(), big.CI95())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{5, -2, 9, 3} {
+		s.Add(x)
+	}
+	if s.Min() != -2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
