@@ -1,23 +1,29 @@
-// Command reesift runs the reproduction's experiment campaigns and prints
-// the paper's tables and figures.
+// Command reesift runs the reproduction's experiment campaigns and emits
+// the paper's tables and figures as text or JSON.
 //
 // Usage:
 //
-//	reesift [-scale small|paper] [-seed N] [-exp all|table3,table4,...]
+//	reesift [-scale small|paper] [-seed N] [-exp all|table3,table4,...] [-format text|json] [-list]
 //
-// The paper scale reproduces the full campaign sizes (~28,000 injections
-// across all experiments); small scale is a fast smoke run of the same
-// code.
+// Experiments are discovered from the reesift scenario registry, where
+// every reproduced table and figure self-registers; -list prints the
+// available ids. The paper scale reproduces the full campaign sizes
+// (~28,000 injections across all experiments); small scale is a fast
+// smoke run of the same code.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"reesift/internal/experiments"
+	"reesift/pkg/reesift"
+
+	// Register every table/figure scenario of the paper reproduction.
+	_ "reesift/internal/experiments"
 )
 
 func main() {
@@ -27,145 +33,112 @@ func main() {
 func run() int {
 	scaleFlag := flag.String("scale", "small", "campaign scale: small or paper")
 	seed := flag.Int64("seed", 1, "campaign seed")
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (table3..table12, fig5..fig10) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
+	formatFlag := flag.String("format", "text", "output format: text or json")
+	listFlag := flag.Bool("list", false, "list registered experiment ids and exit")
 	flag.Parse()
 
-	var sc experiments.Scale
+	if *listFlag {
+		for _, s := range reesift.Scenarios() {
+			id := s.ID
+			if len(s.Aliases) > 0 {
+				id += " (" + strings.Join(s.Aliases, ", ") + ")"
+			}
+			fmt.Printf("%-40s %s\n", id, s.Title)
+		}
+		return 0
+	}
+
+	var sc reesift.Scale
 	switch *scaleFlag {
 	case "small":
-		sc = experiments.SmallScale()
+		sc = reesift.SmallScale()
 	case "paper":
-		sc = experiments.PaperScale()
+		sc = reesift.PaperScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scaleFlag)
 		return 2
 	}
 	sc.Seed = *seed
 
-	type experiment struct {
-		id  string
-		run func(experiments.Scale) (string, error)
+	if *formatFlag != "text" && *formatFlag != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text or json)\n", *formatFlag)
+		return 2
 	}
-	all := []experiment{
-		{"table3", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Table3(s)
-			return render(t, err)
-		}},
-		{"table4", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Table4(s)
-			return render(t, err)
-		}},
-		{"table5", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Table5(s)
-			return render(t, err)
-		}},
-		{"table6", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Table6(s)
-			return render(t, err)
-		}},
-		{"table7", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Table7(s)
-			return render(t, err)
-		}},
-		{"table8", func(s experiments.Scale) (string, error) {
-			t8, t9, _, err := experiments.Table8And9(s)
-			if err != nil {
-				return "", err
-			}
-			return t8.Render() + "\n" + t9.Render(), nil
-		}},
-		{"table10", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Table10(s)
-			return render(t, err)
-		}},
-		{"table11", func(s experiments.Scale) (string, error) {
-			t11, t12, _, err := experiments.Table11And12(s)
-			if err != nil {
-				return "", err
-			}
-			return t11.Render() + "\n" + t12.Render(), nil
-		}},
-		{"fig5", func(s experiments.Scale) (string, error) {
-			t, err := experiments.Figure5(s)
-			return render(t, err)
-		}},
-		{"fig6", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Figure6(s)
-			return render(t, err)
-		}},
-		{"fig7", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Figure7(s)
-			return render(t, err)
-		}},
-		{"fig8", func(s experiments.Scale) (string, error) {
-			t, err := experiments.Figure8(s)
-			return render(t, err)
-		}},
-		{"fig9", func(s experiments.Scale) (string, error) {
-			t, _, err := experiments.Figure9(s)
-			return render(t, err)
-		}},
-		{"fig10", func(s experiments.Scale) (string, error) {
-			t, err := experiments.Figure10(s)
-			return render(t, err)
-		}},
-		{"ablation-watchdog", func(s experiments.Scale) (string, error) {
-			t, err := experiments.AblationWatchdog(s)
-			return render(t, err)
-		}},
-		{"ablation-assertions", func(s experiments.Scale) (string, error) {
-			t, err := experiments.AblationAssertions(s)
-			return render(t, err)
-		}},
-		{"ablation-checkpoints", func(s experiments.Scale) (string, error) {
-			t, err := experiments.AblationSharedCheckpoints(s)
-			return render(t, err)
-		}},
-	}
-	// Aliases: table9 comes with table8; table12 with table11.
-	aliases := map[string]string{"table9": "table8", "table12": "table11"}
 
-	want := map[string]bool{}
-	if *expFlag == "all" {
-		for _, e := range all {
-			want[e.id] = true
-		}
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			id = strings.TrimSpace(id)
-			if a, ok := aliases[id]; ok {
-				id = a
-			}
-			want[id] = true
-		}
+	scenarios, err := selectScenarios(*expFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
 	}
 
 	start := time.Now()
 	failed := 0
-	for _, e := range all {
-		if !want[e.id] {
-			continue
-		}
-		t0 := time.Now()
-		out, err := e.run(sc)
+	var results []*reesift.Result
+	for _, s := range scenarios {
+		res, err := reesift.RunScenario(s, sc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			res.Error = err.Error()
 			failed++
-			continue
+			if *formatFlag == "text" {
+				// A failing scenario may still have measured something;
+				// render whatever partial tables it produced.
+				if len(res.Tables) > 0 {
+					fmt.Println(res.Render())
+				}
+				fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+			}
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s completed in %.1fs wall clock]\n\n", e.id, time.Since(t0).Seconds())
+		results = append(results, res)
+		if *formatFlag == "text" && res.Error == "" {
+			fmt.Println(res.Render())
+			fmt.Printf("[%s: %d runs, %d injections, %.1fs wall clock]\n\n",
+				s.ID, res.Runs, res.Injections, res.WallClockSeconds)
+		}
 	}
-	fmt.Printf("all requested experiments finished in %.1fs\n", time.Since(start).Seconds())
+	if *formatFlag == "json" {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding results: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("all requested experiments finished in %.1fs\n", time.Since(start).Seconds())
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
 }
 
-func render(t *experiments.Table, err error) (string, error) {
-	if err != nil {
-		return "", err
+// selectScenarios resolves the -exp flag against the registry. Unknown
+// ids are an error, not a silent skip; duplicate ids and aliases of the
+// same scenario collapse to one run.
+func selectScenarios(expr string) ([]reesift.Scenario, error) {
+	if expr == "all" {
+		return reesift.Scenarios(), nil
 	}
-	return t.Render(), nil
+	seen := make(map[string]bool)
+	var out []reesift.Scenario
+	for _, id := range strings.Split(expr, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		s, ok := reesift.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment id %q (known: %s)",
+				id, strings.Join(reesift.KnownIDs(), ", "))
+		}
+		if seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected by -exp %q", expr)
+	}
+	return out, nil
 }

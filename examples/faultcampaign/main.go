@@ -1,17 +1,15 @@
 // Faultcampaign: a small SIGINT/SIGSTOP injection campaign against all
-// four targets (application, FTM, Execution ARMOR, Heartbeat ARMOR),
-// printing a Table 4-shaped summary. This is the programmatic equivalent
-// of `reesift -exp table4` with custom campaign sizes.
+// four targets (application, FTM, Execution ARMOR, Heartbeat ARMOR)
+// driven through the reesift façade, printing a Table 4-shaped summary.
+// This is the programmatic equivalent of `reesift -exp table4` with
+// custom campaign sizes.
 package main
 
 import (
 	"fmt"
 	"os"
 
-	"reesift/internal/apps/rover"
-	"reesift/internal/inject"
-	"reesift/internal/sift"
-	"reesift/internal/stats"
+	"reesift/pkg/reesift"
 )
 
 func main() {
@@ -20,10 +18,10 @@ func main() {
 
 func run() int {
 	const runsPerCell = 8
-	models := []inject.Model{inject.ModelSIGINT, inject.ModelSIGSTOP}
-	targets := []inject.TargetKind{
-		inject.TargetApp, inject.TargetFTM,
-		inject.TargetExecArmor, inject.TargetHeartbeat,
+	models := []reesift.Model{reesift.ModelSIGINT, reesift.ModelSIGSTOP}
+	targets := []reesift.Target{
+		reesift.TargetApp, reesift.TargetFTM,
+		reesift.TargetExecArmor, reesift.TargetHeartbeat,
 	}
 
 	fmt.Printf("crash/hang campaign: %d runs per model x target\n\n", runsPerCell)
@@ -32,16 +30,19 @@ func run() int {
 	totalRuns, totalSys := 0, 0
 	for _, model := range models {
 		for ti, target := range targets {
-			var perceived, actual, recovery stats.Sample
+			var perceived, actual, recovery reesift.Sample
 			injected, recovered, correlated := 0, 0, 0
 			for i := 0; i < runsPerCell; i++ {
-				app := rover.Spec(1, []string{"node-a1", "node-a2"}, rover.DefaultParams())
-				res := inject.Run(inject.Config{
+				res, err := reesift.Injection{
 					Seed:   int64(1000*int(model) + 100*ti + i),
 					Model:  model,
 					Target: target,
-					Apps:   []*sift.AppSpec{app},
-				})
+					Apps:   []*reesift.AppSpec{reesift.RoverApp(1, "node-a1", "node-a2")},
+				}.Run()
+				if err != nil {
+					fmt.Println("injection setup failed:", err)
+					return 1
+				}
 				if res.Injected == 0 {
 					continue
 				}
@@ -68,7 +69,7 @@ func run() int {
 	}
 	fmt.Printf("\n%d injected runs, %d system failures\n", totalRuns, totalSys)
 	fmt.Printf("95%% no-failure bound on unrecoverable probability: p < %.5f\n",
-		stats.NoFailureBound(totalRuns))
+		reesift.NoFailureBound(totalRuns))
 	if totalSys > 0 {
 		fmt.Println("(the paper recovered all 734 crash/hang injections)")
 		return 1

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunSmoke drives the example's main path through the reesift façade
+// and asserts a clean exit. The example's stdout is silenced so the test
+// log stays readable.
+func TestRunSmoke(t *testing.T) {
+	if code := runSilenced(t); code != 0 {
+		t.Fatalf("run() = %d, want 0", code)
+	}
+}
+
+func runSilenced(t *testing.T) int {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	return run()
+}

@@ -1,8 +1,8 @@
-// Heartbeat_tuning reproduces the Section 5.3 trade-off study: sweeping
-// the heartbeat period changes how quickly FTM failures are detected.
-// Perceived application execution time grows with the period while actual
-// execution time stays flat — and the paper picked 10 s to avoid false
-// alarms at the aggressive end.
+// Heartbeat_tuning reproduces the Section 5.3 trade-off study through
+// the reesift façade: sweeping the heartbeat period changes how quickly
+// FTM failures are detected. Perceived application execution time grows
+// with the period while actual execution time stays flat — and the paper
+// picked 10 s to avoid false alarms at the aggressive end.
 package main
 
 import (
@@ -10,10 +10,7 @@ import (
 	"os"
 	"time"
 
-	"reesift/internal/apps/rover"
-	"reesift/internal/inject"
-	"reesift/internal/sift"
-	"reesift/internal/stats"
+	"reesift/pkg/reesift"
 )
 
 func main() {
@@ -25,19 +22,21 @@ func run() int {
 	fmt.Println("FTM SIGINT injections under varying heartbeat periods (Section 5.3)")
 	fmt.Printf("%-10s %-16s %-16s %-14s\n", "PERIOD", "PERCEIVED (s)", "ACTUAL (s)", "FTM RECOVERY (s)")
 	for _, period := range []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second} {
-		env := sift.DefaultEnvConfig()
-		env.FTMHeartbeatPeriod = period
-		env.HeartbeatArmorPeriod = period
-		var perceived, actual, recovery stats.Sample
+		var perceived, actual, recovery reesift.Sample
 		for i := 0; i < runs; i++ {
-			envCopy := env
-			res := inject.Run(inject.Config{
+			res, err := reesift.Injection{
 				Seed:   int64(9000 + 100*int(period.Seconds()) + i),
-				Model:  inject.ModelSIGINT,
-				Target: inject.TargetFTM,
-				Apps:   []*sift.AppSpec{rover.Spec(1, []string{"node-a1", "node-a2"}, rover.DefaultParams())},
-				Env:    &envCopy,
-			})
+				Model:  reesift.ModelSIGINT,
+				Target: reesift.TargetFTM,
+				Apps:   []*reesift.AppSpec{reesift.RoverApp(1, "node-a1", "node-a2")},
+				Cluster: []reesift.Option{
+					reesift.WithHeartbeatPeriod(period),
+				},
+			}.Run()
+			if err != nil {
+				fmt.Println("injection setup failed:", err)
+				return 1
+			}
 			if !res.Done {
 				continue
 			}

@@ -1,8 +1,8 @@
-// Multiapp runs the Section 8 configuration: the Mars Rover texture
-// analysis program and the OTIS thermal imaging spectrometer executing
-// simultaneously on a six-node cluster, with a mid-run Execution ARMOR
-// hang to show that recovering one application's SIFT process does not
-// disturb the other application.
+// Multiapp runs the Section 8 configuration through the reesift façade:
+// the Mars Rover texture analysis program and the OTIS thermal imaging
+// spectrometer executing simultaneously on a six-node cluster, with a
+// mid-run Execution ARMOR hang to show that recovering one application's
+// SIFT process does not disturb the other application.
 package main
 
 import (
@@ -10,10 +10,7 @@ import (
 	"os"
 	"time"
 
-	"reesift/internal/apps/otis"
-	"reesift/internal/apps/rover"
-	"reesift/internal/sift"
-	"reesift/internal/sim"
+	"reesift/pkg/reesift"
 )
 
 func main() {
@@ -21,36 +18,32 @@ func main() {
 }
 
 func run() int {
-	k := sim.NewKernel(sim.DefaultConfig(7))
-	defer k.Shutdown()
-	env := sift.New(k, sift.DefaultEnvConfig("n1", "n2", "n3", "n4", "n5", "n6"))
-	env.Setup()
+	c, err := reesift.NewCluster(
+		reesift.WithNodes(6),
+		reesift.WithSeed(7),
+	)
+	if err != nil {
+		fmt.Println("cluster setup failed:", err)
+		return 1
+	}
+	defer c.Close()
 
-	roverApp := rover.Spec(1, []string{"n1", "n2"}, rover.DefaultParams())
-	otisApp := otis.Spec(2, []string{"n3", "n4"}, otis.DefaultParams())
-	hr := env.Submit(roverApp, 5*time.Second)
-	ho := env.Submit(otisApp, 5*time.Second)
+	roverApp := reesift.RoverApp(1, "n1", "n2")
+	otisApp := reesift.OTISApp(2, "n3", "n4")
+	hr := c.Submit(roverApp, 5*time.Second)
+	ho := c.Submit(otisApp, 5*time.Second)
 
 	// Hang OTIS's rank-0 Execution ARMOR mid-run: the daemon's
 	// are-you-alive polling detects it, the FTM reinstalls it from its
 	// microcheckpoint, and neither application is restarted.
-	k.Schedule(60*time.Second, func() {
-		if pid := env.ProcOf(sift.AIDExec(2, 0)); pid != sim.NoPID {
-			k.Suspend(pid)
-		}
+	c.At(60*time.Second, func() {
+		c.SuspendExecArmor(otisApp.ID, 0)
 	})
 
-	remaining := 2
-	env.AppDoneHook = func(sift.AppID) {
-		remaining--
-		if remaining == 0 {
-			k.Stop()
-		}
-	}
-	k.Run(20 * time.Minute)
+	allDone := c.RunUntilDone(20 * time.Minute)
 
 	fmt.Println("two applications on six nodes with a mid-run Execution ARMOR hang")
-	report := func(name string, h *sift.AppHandle) {
+	report := func(name string, h *reesift.AppHandle) {
 		if !h.Done {
 			fmt.Printf("  %-6s DID NOT COMPLETE\n", name)
 			return
@@ -62,12 +55,12 @@ func run() int {
 	report("otis", ho)
 
 	fmt.Println("\nSIFT recovery events:")
-	for _, r := range env.Log.Recoveries {
+	for _, r := range c.Log().Recoveries {
 		fmt.Printf("  %-12s detected %7.2f s, reinstalled %7.2f s (recovery %.2f s)\n",
 			r.ID, r.DetectedAt.Seconds(), r.RestoredAt.Seconds(),
 			(r.RestoredAt - r.DetectedAt).Seconds())
 	}
-	if !hr.Done || !ho.Done {
+	if !allDone {
 		return 1
 	}
 	// The rover must be untouched by the OTIS-side ARMOR failure.

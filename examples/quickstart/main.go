@@ -1,6 +1,7 @@
-// Quickstart: boot a four-node REE cluster, install the SIFT environment
-// (daemons, FTM, Heartbeat ARMOR), submit the Mars Rover texture analysis
-// program through the SCC, and print the run timeline.
+// Quickstart: boot a four-node REE cluster through the reesift façade,
+// install the SIFT environment (daemons, FTM, Heartbeat ARMOR), submit
+// the Mars Rover texture analysis program through the SCC, and print the
+// run timeline.
 package main
 
 import (
@@ -8,9 +9,7 @@ import (
 	"os"
 	"time"
 
-	"reesift/internal/apps/rover"
-	"reesift/internal/sift"
-	"reesift/internal/sim"
+	"reesift/pkg/reesift"
 )
 
 func main() {
@@ -18,30 +17,30 @@ func main() {
 }
 
 func run() int {
-	// A deterministic simulated cluster: same seed, same run.
-	k := sim.NewKernel(sim.DefaultConfig(42))
-	defer k.Shutdown()
-
-	// Table 1, step 1: the SCC installs daemons on every node, the FTM
-	// through one daemon, and the Heartbeat ARMOR on a second node.
-	env := sift.New(k, sift.DefaultEnvConfig())
-	env.Setup()
+	// A deterministic simulated cluster: same seed, same run. The
+	// builder installs daemons on every node, the FTM through one
+	// daemon, and the Heartbeat ARMOR on a second node (Table 1 step 1).
+	c, err := reesift.NewCluster(
+		reesift.WithNodes(4),
+		reesift.WithSeed(42),
+	)
+	if err != nil {
+		fmt.Println("cluster setup failed:", err)
+		return 1
+	}
+	defer c.Close()
 
 	// Step 2: submit the texture analysis program on two nodes.
-	params := rover.DefaultParams()
-	app := rover.Spec(1, []string{"node-a1", "node-a2"}, params)
-	handle := env.Submit(app, 5*time.Second)
+	app := reesift.RoverApp(1, "node-a1", "node-a2")
+	handle := c.Submit(app, 5*time.Second)
 
-	env.AppDoneHook = func(sift.AppID) { k.Stop() }
-	k.Run(10 * time.Minute)
-
-	if !handle.Done {
+	if !c.RunUntilDone(10 * time.Minute) {
 		fmt.Println("application did not complete")
 		return 1
 	}
 	perceived, _ := handle.PerceivedTime()
-	started, _ := env.Log.First("app-started")
-	ended, _ := env.Log.Last("app-rank-exit")
+	started, _ := c.Log().First("app-started")
+	ended, _ := c.Log().Last("app-rank-exit")
 
 	fmt.Println("REE SIFT quickstart: Mars Rover texture analysis on a 4-node cluster")
 	fmt.Printf("  submitted at        %8.2f s (virtual)\n", handle.SubmittedAt.Seconds())
@@ -53,17 +52,15 @@ func run() int {
 	fmt.Printf("  restarts            %8d\n", handle.Restarts)
 
 	// Verify the segmentation output against the reference pipeline.
-	img := rover.GenerateImage(params.ImageSize, params.Seed)
-	ref, _, err := rover.Analyze(img, params.Clusters)
+	verdict, err := reesift.RoverVerdict(c.SharedFS(), app.ID)
 	if err != nil {
 		fmt.Println("reference pipeline failed:", err)
 		return 1
 	}
-	verdict := rover.Verify(k.SharedFS(), app.ID, ref, params.Tolerance)
 	fmt.Printf("  output verdict      %8s\n", verdict)
 
 	fmt.Println("\nSIFT environment timeline:")
-	for _, e := range env.Log.Entries {
+	for _, e := range c.Log().Entries {
 		fmt.Printf("  %8.3f s  %-24s %s\n", e.At.Seconds(), e.Kind, e.Detail)
 	}
 	return 0

@@ -1,0 +1,3 @@
+module reesift
+
+go 1.24

@@ -59,11 +59,11 @@ func AblationWatchdog(sc Scale) (*Table, error) {
 		ID:     "ablation-watchdog",
 		Title:  "Hang detection: polling (paper) vs interrupt-driven watchdog (Section 5.1 proposal)",
 		Header: []string{"DESIGN", "MEAN LATENCY (s)", "MAX LATENCY (s)", "LATENCY / PI PERIOD (max)"},
-		Rows: [][]string{
-			{"polling", polling.MeanCI(), fmt.Sprintf("%.2f", polling.Max()),
-				fmt.Sprintf("%.2f", polling.Max()/piPeriod.Seconds())},
-			{"watchdog", watchdog.MeanCI(), fmt.Sprintf("%.2f", watchdog.Max()),
-				fmt.Sprintf("%.2f", watchdog.Max()/piPeriod.Seconds())},
+		Rows: [][]Cell{
+			{str("polling"), secCell(polling), flt(polling.Max(), 2),
+				flt(polling.Max()/piPeriod.Seconds(), 2)},
+			{str("watchdog"), secCell(watchdog), flt(watchdog.Max(), 2),
+				flt(watchdog.Max()/piPeriod.Seconds(), 2)},
 		},
 		Notes: []string{
 			"polling latency reaches two checking periods; the watchdog bounds it near one",
@@ -118,9 +118,9 @@ func AblationAssertions(sc Scale) (*Table, error) {
 		ID:     "ablation-assertions",
 		Title:  "Targeted heap injections with and without element assertions",
 		Header: []string{"CONFIGURATION", "INJECTED RUNS", "SYSTEM FAILURES", "RATE"},
-		Rows: [][]string{
-			{"assertions enabled (paper)", fmt.Sprintf("%d", runsOn), fmt.Sprintf("%d", sysOn), rate(sysOn, runsOn)},
-			{"assertions disabled", fmt.Sprintf("%d", runsOff), fmt.Sprintf("%d", sysOff), rate(sysOff, runsOff)},
+		Rows: [][]Cell{
+			{str("assertions enabled (paper)"), num(runsOn), num(sysOn), str(rate(sysOn, runsOn))},
+			{str("assertions disabled"), num(runsOff), num(sysOff), str(rate(sysOff, runsOff))},
 		},
 		Notes: []string{
 			"paper Section 11: assertions reduced system failures from data error propagation by up to 42%",
@@ -167,9 +167,9 @@ func AblationSharedCheckpoints(sc Scale) (*Table, error) {
 		ID:     "ablation-checkpoint-store",
 		Title:  "Node failure with node-local vs centralized checkpoint storage",
 		Header: []string{"STORE", "RUNS", "MIGRATED ARMOR RESTORED", "APP COMPLETED"},
-		Rows: [][]string{
-			{"node-local RAM disk (paper)", fmt.Sprintf("%d", n), fmt.Sprintf("%d", restLocal), fmt.Sprintf("%d", doneLocal)},
-			{"centralized nonvolatile", fmt.Sprintf("%d", n), fmt.Sprintf("%d", restShared), fmt.Sprintf("%d", doneShared)},
+		Rows: [][]Cell{
+			{str("node-local RAM disk (paper)"), num(n), num(restLocal), num(doneLocal)},
+			{str("centralized nonvolatile"), num(n), num(restShared), num(doneShared)},
 		},
 		Notes: []string{
 			"Section 3.4: local RAM disks permit process-failure recovery only; node failures need centralized checkpoints",

@@ -64,9 +64,9 @@ func Table3(sc Scale) (*Table, *Table3Data, error) {
 		ID:     "table3",
 		Title:  "Baseline application execution time without fault injection (s)",
 		Header: []string{"CONFIGURATION", "PERCEIVED", "ACTUAL"},
-		Rows: [][]string{
-			{"Baseline No SIFT", secCell(&data.NoSIFTPerceived), secCell(&data.NoSIFTActual)},
-			{"Baseline SIFT", secCell(&data.SIFTPerceived), secCell(&data.SIFTActual)},
+		Rows: [][]Cell{
+			{str("Baseline No SIFT"), secCell(&data.NoSIFTPerceived), secCell(&data.NoSIFTActual)},
+			{str("Baseline SIFT"), secCell(&data.SIFTPerceived), secCell(&data.SIFTActual)},
 		},
 		Notes: []string{
 			fmt.Sprintf("SIFT adds %.2f s to perceived time (paper: ~2.3 s) and %.2f s to actual time (paper: not significant)",

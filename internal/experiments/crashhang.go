@@ -43,9 +43,9 @@ func Table4(sc Scale) (*Table, *Table4Data, error) {
 			"PERCEIVED (s)", "ACTUAL (s)", "RECOVERY TIME (s)"},
 	}
 	for _, model := range []inject.Model{inject.ModelSIGINT, inject.ModelSIGSTOP} {
-		t.Rows = append(t.Rows, []string{"-- " + model.String() + " --", "", "", "", "", ""})
-		t.Rows = append(t.Rows, []string{"Baseline", "-", "-",
-			secCell(&data.Baseline.Perceived), secCell(&data.Baseline.Actual), "-"})
+		t.Rows = append(t.Rows, strRow("-- "+model.String()+" --", "", "", "", "", ""))
+		t.Rows = append(t.Rows, []Cell{str("Baseline"), str("-"), str("-"),
+			secCell(&data.Baseline.Perceived), secCell(&data.Baseline.Actual), str("-")})
 		for _, target := range table4Targets {
 			model, target := model, target
 			a := campaign(sc.Runs, cellSeed(sc.Seed, model, target), func(seed int64) inject.Config {
@@ -56,10 +56,10 @@ func Table4(sc Scale) (*Table, *Table4Data, error) {
 			data.Cells[key] = a
 			data.Total += a.injectedRuns
 			recoveries := a.injectedRuns - a.sysFailures
-			t.Rows = append(t.Rows, []string{
-				target.String(),
-				fmt.Sprintf("%d", a.injectedRuns),
-				fmt.Sprintf("%d", recoveries),
+			t.Rows = append(t.Rows, []Cell{
+				str(target.String()),
+				num(a.injectedRuns),
+				num(recoveries),
 				secCell(&a.perceived),
 				secCell(&a.actual),
 				secCell(&a.recovery),
@@ -101,8 +101,8 @@ func Table5(sc Scale) (*Table, *Table5Data, error) {
 		data.Periods = append(data.Periods, period)
 		data.Perceived = append(data.Perceived, a.perceived)
 		data.Actual = append(data.Actual, a.actual)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0f", period.Seconds()),
+		t.Rows = append(t.Rows, []Cell{
+			flt(period.Seconds(), 0),
 			secCell(&a.perceived),
 			secCell(&a.actual),
 		})

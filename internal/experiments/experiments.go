@@ -1,13 +1,14 @@
 // Package experiments reproduces every table and figure of the paper's
 // evaluation (Sections 4-8). Each experiment builds injection campaigns on
-// internal/inject, aggregates them with internal/stats, and renders a
-// table shaped like the paper's. The same code serves the test suite and
-// benchmarks (SmallScale) and the paper-scale CLI runs (PaperScale).
+// internal/inject, aggregates them with internal/stats, and produces a
+// typed table shaped like the paper's. Every experiment self-registers as
+// a reesift scenario (see register.go), so the CLI and any other façade
+// consumer discovers them from the registry. The same code serves the
+// test suite and benchmarks (SmallScale) and the paper-scale CLI runs
+// (PaperScale).
 package experiments
 
 import (
-	"fmt"
-	"strings"
 	"time"
 
 	"reesift/internal/apps/rover"
@@ -15,117 +16,38 @@ import (
 	"reesift/internal/sift"
 	"reesift/internal/sim"
 	"reesift/internal/stats"
+	"reesift/pkg/reesift"
 )
 
-// Scale sets campaign sizes. The paper's counts are in PaperScale;
-// SmallScale keeps `go test` and `go test -bench` fast while exercising
-// identical code.
-type Scale struct {
-	// Runs is the SIGINT/SIGSTOP campaign size per target (paper: 100).
-	Runs int
-	// Table5Runs is per heartbeat period (paper: 30).
-	Table5Runs int
-	// FailureQuota is the register/text/heap target failure count per
-	// cell (paper: ~90-100).
-	FailureQuota int
-	// MaxRunsPerCell bounds the failure-quota search.
-	MaxRunsPerCell int
-	// TargetedHeapRuns is per FTM element (paper: 100).
-	TargetedHeapRuns int
-	// AppHeapRuns is the Table 10 campaign size (paper: 1000).
-	AppHeapRuns int
-	// MultiAppRuns is per target/model cell in Tables 11-12.
-	MultiAppRuns int
-	// Seed offsets all campaigns.
-	Seed int64
-}
+// Scale sets campaign sizes; the canonical definition lives in the
+// public façade.
+type Scale = reesift.Scale
 
-// SmallScale is sized for CI: every mechanism is exercised, every table
-// is produced, at roughly 1/10 the paper's run counts.
-func SmallScale() Scale {
-	return Scale{
-		Runs:             10,
-		Table5Runs:       6,
-		FailureQuota:     10,
-		MaxRunsPerCell:   30,
-		TargetedHeapRuns: 10,
-		AppHeapRuns:      60,
-		MultiAppRuns:     4,
-		Seed:             1,
-	}
-}
+// SmallScale is sized for CI (roughly 1/10 the paper's run counts).
+func SmallScale() Scale { return reesift.SmallScale() }
 
-// PaperScale matches the paper's campaign sizes (~28,000 injections in
-// total across all experiments).
-func PaperScale() Scale {
-	return Scale{
-		Runs:             100,
-		Table5Runs:       30,
-		FailureQuota:     90,
-		MaxRunsPerCell:   400,
-		TargetedHeapRuns: 100,
-		AppHeapRuns:      1000,
-		MultiAppRuns:     25,
-		Seed:             1,
-	}
-}
+// PaperScale matches the paper's campaign sizes.
+func PaperScale() Scale { return reesift.PaperScale() }
 
-// Table is a rendered experiment product.
-type Table struct {
-	ID     string // "table4", "figure6", ...
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
-}
+// Table and Cell are the façade's typed experiment products.
+type (
+	Table = reesift.Table
+	Cell  = reesift.Cell
+)
 
-// Render formats the table as aligned text.
-func (t *Table) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(t.ID), t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	line(t.Header)
-	total := len(widths) - 1
-	for _, w := range widths {
-		total += w + 1
-	}
-	b.WriteString(strings.Repeat("-", total))
-	b.WriteByte('\n')
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
-}
+// Cell shorthands for table construction.
+var (
+	str    = reesift.Str
+	num    = reesift.Int
+	flt    = reesift.Float
+	strRow = reesift.StrRow
+)
+
+// durCell renders a duration as a seconds cell with two decimals.
+func durCell(d time.Duration) Cell { return reesift.Seconds(d.Seconds()) }
 
 // secCell formats a stats sample as the paper's "mean ± ci" seconds cell.
-func secCell(s *stats.Sample) string {
-	if s.N() == 0 {
-		return "-"
-	}
-	return s.MeanCI()
-}
+func secCell(s *stats.Sample) Cell { return reesift.SampleCell(s) }
 
 // roverApp builds the standard texture-analysis submission on the 4-node
 // testbed.
@@ -206,9 +128,6 @@ func campaignUntilFailures(quota, maxRuns int, seed int64, mk func(seed int64) i
 	}
 	return a, runs
 }
-
-// fmtDur renders a duration in seconds with two decimals.
-func fmtDur(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
 
 // mergeSample pools src into dst.
 func mergeSample(dst, src *stats.Sample) { dst.Merge(src) }

@@ -251,7 +251,7 @@ func TestTableRender(t *testing.T) {
 		ID:     "t",
 		Title:  "demo",
 		Header: []string{"A", "BB"},
-		Rows:   [][]string{{"x", "y"}, {"longer", "z"}},
+		Rows:   [][]Cell{{str("x"), str("y")}, {str("longer"), str("z")}},
 		Notes:  []string{"n1"},
 	}
 	out := tab.Render()

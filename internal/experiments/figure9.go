@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"time"
 
 	"reesift/internal/san"
@@ -29,10 +28,10 @@ func Figure9(sc Scale) (*Table, []san.Figure9Point, error) {
 		Header: []string{"SIFT MTTF", "P(app failure | SIFT failure)", "APP UNAVAILABILITY"},
 	}
 	for _, pt := range pts {
-		t.Rows = append(t.Rows, []string{
-			pt.SIFTMTTF.String(),
-			fmt.Sprintf("%.4f", pt.CorrelatedPerSIFTFailure),
-			fmt.Sprintf("%.6f", pt.AppUnavailability),
+		t.Rows = append(t.Rows, []Cell{
+			str(pt.SIFTMTTF.String()),
+			flt(pt.CorrelatedPerSIFTFailure, 4),
+			flt(pt.AppUnavailability, 6),
 		})
 	}
 	t.Notes = append(t.Notes,

@@ -31,15 +31,15 @@ func Figure5(sc Scale) (*Table, error) {
 		ID:     "figure5",
 		Title:  "Perceived vs actual application execution time (one fault-free run)",
 		Header: []string{"EVENT", "VIRTUAL TIME (s)"},
-		Rows: [][]string{
-			{"SCC submits app job", fmtDur(h.SubmittedAt)},
-			{"App starts (rank 0 launched)", fmtDur(started.At)},
-			{"App ends (last rank exits)", fmtDur(ended.At)},
-			{"SCC notified of termination", fmtDur(h.DoneAt)},
-			{"ACTUAL execution time", fmtDur(ended.At - started.At)},
-			{"PERCEIVED execution time", fmtDur(h.DoneAt - h.SubmittedAt)},
-			{"Setup overhead", fmtDur(started.At - h.SubmittedAt)},
-			{"Teardown overhead", fmtDur(h.DoneAt - ended.At)},
+		Rows: [][]Cell{
+			{str("SCC submits app job"), durCell(h.SubmittedAt)},
+			{str("App starts (rank 0 launched)"), durCell(started.At)},
+			{str("App ends (last rank exits)"), durCell(ended.At)},
+			{str("SCC notified of termination"), durCell(h.DoneAt)},
+			{str("ACTUAL execution time"), durCell(ended.At - started.At)},
+			{str("PERCEIVED execution time"), durCell(h.DoneAt - h.SubmittedAt)},
+			{str("Setup overhead"), durCell(started.At - h.SubmittedAt)},
+			{str("Teardown overhead"), durCell(h.DoneAt - ended.At)},
 		},
 	}
 	return t, nil
@@ -93,9 +93,9 @@ func Figure6(sc Scale) (*Table, *Figure6Data, error) {
 		lat := detected - abs
 		data.HangOffsets = append(data.HangOffsets, hangAt%piPeriod)
 		data.Latencies = append(data.Latencies, lat)
-		t.Rows = append(t.Rows, []string{
-			fmtDur(abs), fmtDur(detected), fmtDur(lat),
-			fmt.Sprintf("%.2f", float64(lat)/float64(piPeriod)),
+		t.Rows = append(t.Rows, []Cell{
+			durCell(abs), durCell(detected), durCell(lat),
+			flt(float64(lat)/float64(piPeriod), 2),
 		})
 	}
 	t.Notes = append(t.Notes, "latency must fall in [1, 2] checking periods (paper Figure 6: up to 40 s)")
@@ -128,13 +128,13 @@ func Figure7(sc Scale) (*Table, *Figure7Data, error) {
 	for i, off := range offsets {
 		res := runWithFTMKill(sc.Seed+42000+int64(i), off)
 		if !res.Done {
-			t.Rows = append(t.Rows, []string{fmtDur(off), "system failure", "-"})
+			t.Rows = append(t.Rows, []Cell{durCell(off), str("system failure"), str("-")})
 			continue
 		}
 		data.KillAt = append(data.KillAt, off)
 		data.Perceived = append(data.Perceived, res.Perceived)
 		data.Actual = append(data.Actual, res.Actual)
-		t.Rows = append(t.Rows, []string{fmtDur(off), fmtDur(res.Perceived), fmtDur(res.Actual)})
+		t.Rows = append(t.Rows, []Cell{durCell(off), durCell(res.Perceived), durCell(res.Actual)})
 	}
 	t.Notes = append(t.Notes, "paper Figure 7: only setup/takedown failures extend perceived time; actual is unaffected")
 	return t, data, nil
@@ -205,18 +205,18 @@ func Figure8(sc Scale) (*Table, error) {
 	k.Schedule(5*time.Second, poll)
 	env.AppDoneHook = func(sift.AppID) { k.Stop() }
 	k.Run(400 * time.Second)
-	rows := [][]string{
-		{"application completed", fmt.Sprintf("%v", h.Done)},
-		{"application restarts (correlated failure)", fmt.Sprintf("%d", h.Restarts)},
+	rows := [][]Cell{
+		{str("application completed"), str(fmt.Sprintf("%v", h.Done))},
+		{str("application restarts (correlated failure)"), num(h.Restarts)},
 	}
 	if started, ok := env.Log.First("app-started"); ok {
-		rows = append(rows, []string{"first app start (s)", fmtDur(started.At)})
+		rows = append(rows, []Cell{str("first app start (s)"), durCell(started.At)})
 	}
 	if re, ok := env.Log.First("app-relaunched"); ok {
-		rows = append(rows, []string{"app restarted at (s)", fmtDur(re.At)})
+		rows = append(rows, []Cell{str("app restarted at (s)"), durCell(re.At)})
 	}
 	for _, d := range env.Log.AppDetections {
-		rows = append(rows, []string{"app failure detected", fmt.Sprintf("t=%.2fs reason=%q", d.At.Seconds(), d.Reason)})
+		rows = append(rows, []Cell{str("app failure detected"), str(fmt.Sprintf("t=%.2fs reason=%q", d.At.Seconds(), d.Reason))})
 	}
 	t := &Table{
 		ID:     "figure8",
@@ -268,9 +268,9 @@ func Figure10(sc Scale) (*Table, error) {
 		ID:     "figure10",
 		Title:  "Execution ARMOR registration race (legacy ordering)",
 		Header: []string{"OBSERVATION", "VALUE"},
-		Rows: [][]string{
-			{"failure notification aborted (unknown ARMOR)", fmt.Sprintf("%d", legacyAborted)},
-			{"recovery initiated for the ARMOR", fmt.Sprintf("%d", legacyRecovered)},
+		Rows: [][]Cell{
+			{str("failure notification aborted (unknown ARMOR)"), num(legacyAborted)},
+			{str("recovery initiated for the ARMOR"), num(legacyRecovered)},
 		},
 		Notes: []string{"paper: the race was eliminated by adding the Execution ARMOR to the FTM's table before instructing the daemon to install it"},
 	}

@@ -37,11 +37,11 @@ func Table7(sc Scale) (*Table, *Table7Data, error) {
 				Apps: []*sift.AppSpec{roverApp()}}
 		})
 		data.Cells[target] = a
-		t.Rows = append(t.Rows, []string{
-			target.String(),
-			fmt.Sprintf("%d", sc.Runs),
-			fmt.Sprintf("%d", a.failures),
-			fmt.Sprintf("%d", a.sucRec),
+		t.Rows = append(t.Rows, []Cell{
+			str(target.String()),
+			num(sc.Runs),
+			num(a.failures),
+			num(a.sucRec),
 			secCell(&a.perceived),
 			secCell(&a.actual),
 			secCell(&a.recovery),
@@ -121,14 +121,14 @@ func Table8And9(sc Scale) (*Table, *Table, *Table8Data, error) {
 			"UNABLE TO START APP", "UNABLE TO UNINSTALL", "NOT COMPLETED", "TOTAL"},
 	}
 	for _, element := range ftmElements {
-		row := []string{element}
+		row := []Cell{str(element)}
 		total := 0
 		for _, m := range modes {
 			c := data.Sys[element][m]
 			total += c
-			row = append(row, fmt.Sprintf("%d", c))
+			row = append(row, num(c))
 		}
-		row = append(row, fmt.Sprintf("%d", total))
+		row = append(row, num(total))
 		t8.Rows = append(t8.Rows, row)
 	}
 	t8.Notes = append(t8.Notes,
@@ -142,11 +142,11 @@ func Table8And9(sc Scale) (*Table, *Table, *Table8Data, error) {
 	}
 	totalFired, totalSaved := 0, 0
 	for _, element := range ftmElements {
-		t9.Rows = append(t9.Rows, []string{
-			element,
-			fmt.Sprintf("%d", data.SysNoAssert[element]),
-			fmt.Sprintf("%d", data.SysAfterAssert[element]),
-			fmt.Sprintf("%d", data.SavedByAssert[element]),
+		t9.Rows = append(t9.Rows, []Cell{
+			str(element),
+			num(data.SysNoAssert[element]),
+			num(data.SysAfterAssert[element]),
+			num(data.SavedByAssert[element]),
 		})
 		totalFired += data.AssertFired[element]
 		totalSaved += data.SavedByAssert[element]
@@ -209,11 +209,11 @@ func Table10(sc Scale) (*Table, *Table10Data, error) {
 		ID:     "table10",
 		Title:  fmt.Sprintf("Results from %d heap injections into the application", data.Injected),
 		Header: []string{"OUTCOME", "COUNT"},
-		Rows: [][]string{
-			{"No effect (correct output)", fmt.Sprintf("%d", data.NoEffect)},
-			{"Incorrect output", fmt.Sprintf("%d", data.Incorrect)},
-			{"Crash", fmt.Sprintf("%d", data.Crash)},
-			{"Hang", fmt.Sprintf("%d", data.Hang)},
+		Rows: [][]Cell{
+			{str("No effect (correct output)"), num(data.NoEffect)},
+			{str("Incorrect output"), num(data.Incorrect)},
+			{str("Crash"), num(data.Crash)},
+			{str("Hang"), num(data.Hang)},
 		},
 		Notes: []string{"paper (1000 injections): 981 no effect / 10 incorrect / 9 crash / 0 hang"},
 	}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"time"
 
 	"reesift/internal/apps/otis"
@@ -119,11 +118,11 @@ func Table11And12(sc Scale) (*Table, *Table, *Table11And12Data, error) {
 		Title: "Performance under error injection with two applications (six nodes)",
 		Header: []string{"TARGET", "ROVER PERCEIVED (s)", "ROVER ACTUAL (s)",
 			"OTIS PERCEIVED (s)", "OTIS ACTUAL (s)", "RECOVERY (s)"},
-		Rows: [][]string{
-			{"Baseline (no SIFT)", "-", secCell(&data.BaselineRover), "-", secCell(&data.BaselineOTIS), "-"},
-			{"OTIS app", secCell(&otisAll.roverPerceived), secCell(&otisAll.roverActual),
+		Rows: [][]Cell{
+			{str("Baseline (no SIFT)"), str("-"), secCell(&data.BaselineRover), str("-"), secCell(&data.BaselineOTIS), str("-")},
+			{str("OTIS app"), secCell(&otisAll.roverPerceived), secCell(&otisAll.roverActual),
 				secCell(&otisAll.otisPerceived), secCell(&otisAll.otisActual), secCell(&otisAll.recovery)},
-			{"ARMORs", secCell(&armorAll.roverPerceived), secCell(&armorAll.roverActual),
+			{str("ARMORs"), secCell(&armorAll.roverPerceived), secCell(&armorAll.roverActual),
 				secCell(&armorAll.otisPerceived), secCell(&armorAll.otisActual), secCell(&armorAll.recovery)},
 		},
 		Notes: []string{"paper: SIFT recovery adds 1-3% to baseline execution; recovery time matches the single-app value"},
@@ -141,22 +140,22 @@ func Table11And12(sc Scale) (*Table, *Table, *Table11And12Data, error) {
 		for _, m := range models {
 			mergeMulti(&g, src[m])
 		}
-		t12.Rows = append(t12.Rows, []string{
-			label,
-			fmt.Sprintf("%d", g.failures),
-			fmt.Sprintf("%d", g.sucRec),
-			fmt.Sprintf("%d", g.segFault),
-			fmt.Sprintf("%d", g.illegal),
-			fmt.Sprintf("%d", g.hang),
-			fmt.Sprintf("%d", g.assertion),
+		t12.Rows = append(t12.Rows, []Cell{
+			str(label),
+			num(g.failures),
+			num(g.sucRec),
+			num(g.segFault),
+			num(g.illegal),
+			num(g.hang),
+			num(g.assertion),
 		})
 	}
 	sigModels := []inject.Model{inject.ModelSIGINT, inject.ModelSIGSTOP}
 	memModels := []inject.Model{inject.ModelRegister, inject.ModelText}
-	t12.Rows = append(t12.Rows, []string{"-- SIGINT/SIGSTOP --", "", "", "", "", "", ""})
+	t12.Rows = append(t12.Rows, strRow("-- SIGINT/SIGSTOP --", "", "", "", "", "", ""))
 	group("OTIS app", data.OTISApp, sigModels)
 	group("ARMORs", data.Armors, sigModels)
-	t12.Rows = append(t12.Rows, []string{"-- register/text --", "", "", "", "", "", ""})
+	t12.Rows = append(t12.Rows, strRow("-- register/text --", "", "", "", "", "", ""))
 	group("OTIS app", data.OTISApp, memModels)
 	group("ARMORs", data.Armors, memModels)
 	t12.Notes = append(t12.Notes, "paper: all but 2 SIGINT/SIGSTOP and all but 14 register/text errors recovered")

@@ -28,7 +28,7 @@ func Table6(sc Scale) (*Table, *Table6Data, error) {
 			"PERCEIVED (s)", "ACTUAL (s)", "RECOVERY (s)"},
 	}
 	for _, model := range []inject.Model{inject.ModelRegister, inject.ModelText} {
-		t.Rows = append(t.Rows, []string{"-- " + model.String() + " --", "", "", "", "", "", "", "", "", ""})
+		t.Rows = append(t.Rows, strRow("-- "+model.String()+" --", "", "", "", "", "", "", "", "", ""))
 		for _, target := range table4Targets {
 			model, target := model, target
 			a, runs := campaignUntilFailures(sc.FailureQuota, sc.MaxRunsPerCell,
@@ -39,14 +39,14 @@ func Table6(sc Scale) (*Table, *Table6Data, error) {
 			key := model.String() + "/" + target.String()
 			data.Cells[key] = a
 			data.Runs[key] = runs
-			t.Rows = append(t.Rows, []string{
-				target.String(),
-				fmt.Sprintf("%d", a.failures),
-				fmt.Sprintf("%d", a.sucRec),
-				fmt.Sprintf("%d", a.segFault),
-				fmt.Sprintf("%d", a.illegal),
-				fmt.Sprintf("%d", a.hang),
-				fmt.Sprintf("%d", a.assertion),
+			t.Rows = append(t.Rows, []Cell{
+				str(target.String()),
+				num(a.failures),
+				num(a.sucRec),
+				num(a.segFault),
+				num(a.illegal),
+				num(a.hang),
+				num(a.assertion),
 				secCell(&a.perceived),
 				secCell(&a.actual),
 				secCell(&a.recovery),

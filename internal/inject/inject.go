@@ -349,6 +349,7 @@ func Run(cfg Config) Result {
 
 	// Classification.
 	inj.finish(handles)
+	record(&res)
 	return res
 }
 

@@ -1,0 +1,55 @@
+package inject
+
+import "sync/atomic"
+
+// Tally is a monotonic census of the injection work performed by this
+// process. The scenario runner snapshots it before and after a run to
+// attribute campaign totals (runs, individual error insertions,
+// manifested failures, system failures) to one scenario without
+// threading counters through every campaign loop.
+type Tally struct {
+	Runs           int64
+	Injections     int64
+	Failures       int64
+	SystemFailures int64
+}
+
+var tally struct {
+	runs        atomic.Int64
+	injections  atomic.Int64
+	failures    atomic.Int64
+	sysFailures atomic.Int64
+}
+
+// CurrentTally returns the process-wide injection census so far.
+func CurrentTally() Tally {
+	return Tally{
+		Runs:           tally.runs.Load(),
+		Injections:     tally.injections.Load(),
+		Failures:       tally.failures.Load(),
+		SystemFailures: tally.sysFailures.Load(),
+	}
+}
+
+// Sub returns the component-wise difference t - o (the work done between
+// two snapshots).
+func (t Tally) Sub(o Tally) Tally {
+	return Tally{
+		Runs:           t.Runs - o.Runs,
+		Injections:     t.Injections - o.Injections,
+		Failures:       t.Failures - o.Failures,
+		SystemFailures: t.SystemFailures - o.SystemFailures,
+	}
+}
+
+// record accumulates one classified run into the census.
+func record(res *Result) {
+	tally.runs.Add(1)
+	tally.injections.Add(int64(res.Injected))
+	if res.Failed {
+		tally.failures.Add(1)
+	}
+	if res.SystemFailure {
+		tally.sysFailures.Add(1)
+	}
+}

@@ -180,6 +180,10 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
+// ClearStop re-arms a kernel halted by Stop so a later Run call can
+// resume the simulation (the stop flag otherwise latches).
+func (k *Kernel) ClearStop() { k.stopped = false }
+
 // Run executes events until the event queue drains, Stop is called, or
 // virtual time would exceed limit. It returns the virtual time at which the
 // simulation stopped.

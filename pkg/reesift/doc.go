@@ -1,0 +1,34 @@
+// Package reesift is the public façade of the REE SIFT reproduction
+// (Whisnant, Iyer, Jones, Some, Rennels: "An Experimental Evaluation of
+// the REE SIFT Environment for Spaceborne Applications"). It is the one
+// supported way to drive the system; everything underneath lives in
+// internal packages.
+//
+// The package has three pillars:
+//
+//   - A functional-options cluster builder. NewCluster assembles a
+//     deterministic simulated REE cluster, installs the SIFT environment
+//     (daemons, FTM, Heartbeat ARMOR), and validates the configuration
+//     eagerly:
+//
+//     c, err := reesift.NewCluster(
+//     reesift.WithNodes(6),
+//     reesift.WithSeed(42),
+//     reesift.WithHeartbeatPeriod(10*time.Second),
+//     )
+//
+//   - A scenario registry. Experiment workloads register themselves with
+//     Register(Scenario{...}) — typically from an init function — and
+//     consumers such as cmd/reesift discover them with Scenarios and
+//     Lookup. All of the paper's Table 3..12 and Figure 5..10
+//     reproductions self-register under their paper ids ("table4",
+//     "fig9", ...).
+//
+//   - A structured Result type. Scenario runs return typed tables
+//     (Cell/Table) plus run counts, injection tallies, and wall-clock
+//     time, and marshal to JSON — so campaign products are
+//     machine-readable rather than pre-rendered text.
+//
+// Single fault-injection runs are available through the Injection type,
+// which accepts the same cluster options for the run's environment.
+package reesift

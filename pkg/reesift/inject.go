@@ -1,0 +1,141 @@
+package reesift
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/inject"
+	"reesift/internal/sim"
+)
+
+// Model selects the error model of a fault-injection run (paper
+// Table 2).
+type Model = inject.Model
+
+// Error models.
+const (
+	ModelNone     = inject.ModelNone
+	ModelSIGINT   = inject.ModelSIGINT
+	ModelSIGSTOP  = inject.ModelSIGSTOP
+	ModelRegister = inject.ModelRegister
+	ModelText     = inject.ModelText
+	ModelHeap     = inject.ModelHeap
+	ModelHeapData = inject.ModelHeapData
+	ModelAppHeap  = inject.ModelAppHeap
+)
+
+// Target selects the process under injection.
+type Target = inject.TargetKind
+
+// Injection targets (the paper's four: the application plus the three
+// ARMOR kinds).
+const (
+	TargetNone      = inject.TargetNone
+	TargetApp       = inject.TargetApp
+	TargetFTM       = inject.TargetFTM
+	TargetExecArmor = inject.TargetExecArmor
+	TargetHeartbeat = inject.TargetHeartbeat
+)
+
+// InjectionResult is one run's classified outcome.
+type InjectionResult = inject.Result
+
+// FS is the cluster-wide nonvolatile store applications write results
+// to.
+type FS = sim.FS
+
+// Injection describes one fault-injection run driven through the façade:
+// a fresh cluster is built from the Cluster options, the applications
+// are submitted, the error model fires against the target, and the
+// outcome is classified exactly as the paper does.
+type Injection struct {
+	// Seed determines the run (cluster, application, and injection
+	// draw). The seed of any WithSeed option in Cluster is ignored;
+	// Seed governs.
+	Seed int64
+	// Model is the error model to inject.
+	Model Model
+	// Target is the process under injection.
+	Target Target
+	// Rank selects which application process / Execution ARMOR is
+	// targeted (default 0).
+	Rank int
+	// Element names the FTM element for ModelHeapData.
+	Element string
+	// Apps lists the applications to run; the first is the injection
+	// subject for application-targeted models.
+	Apps []*AppSpec
+	// Cluster configures the run's environment with the same options
+	// NewCluster takes. Empty means the model's default testbed.
+	Cluster []Option
+	// SubmitAt is the submission time (default 5 s).
+	SubmitAt time.Duration
+	// Window is the interval after SubmitAt in which the injection time
+	// is drawn uniformly (default: the fault-free perceived execution
+	// time).
+	Window time.Duration
+	// RepeatEvery paces repeated-injection models (default 2 s).
+	RepeatEvery time.Duration
+	// Timeout is the run's system-failure deadline (default 400 s, or
+	// 600 s for multi-application runs).
+	Timeout time.Duration
+	// CheckVerdict, if set, classifies the application output on the
+	// shared store after the run ("correct"/"incorrect"/"missing").
+	CheckVerdict func(fs *FS) string
+}
+
+// Run executes the injection run. Option validation errors surface here,
+// before any simulation work.
+func (i Injection) Run() (InjectionResult, error) {
+	cfg := inject.Config{
+		Seed:         i.Seed,
+		Model:        i.Model,
+		Target:       i.Target,
+		Rank:         i.Rank,
+		Element:      i.Element,
+		Apps:         i.Apps,
+		SubmitAt:     i.SubmitAt,
+		Window:       i.Window,
+		RepeatEvery:  i.RepeatEvery,
+		Timeout:      i.Timeout,
+		CheckVerdict: i.CheckVerdict,
+	}
+	// The run's node list: from the options when given, otherwise the
+	// model's defaults — the four-node testbed, or the six-node
+	// multi-application testbed when more than one app runs.
+	defaultCount := 4
+	if len(i.Apps) > 1 {
+		defaultCount = 6
+	}
+	nodes := defaultNodeNames(defaultCount)
+	if len(i.Cluster) > 0 {
+		env, _, err := buildConfigNodes(i.Cluster, defaultCount)
+		if err != nil {
+			return InjectionResult{}, err
+		}
+		cfg.Env = &env
+		nodes = env.Nodes
+	}
+	// Eager validation: every application must be placed on cluster
+	// nodes, or its ranks silently never launch and the run is
+	// misclassified as a system failure.
+	inCluster := func(name string) bool {
+		for _, n := range nodes {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, app := range i.Apps {
+		if app == nil {
+			return InjectionResult{}, fmt.Errorf("reesift: Injection: nil AppSpec")
+		}
+		for _, n := range app.Nodes {
+			if !inCluster(n) {
+				return InjectionResult{}, fmt.Errorf("reesift: Injection: app %d placed on node %q, which is not in the cluster %v", app.ID, n, nodes)
+			}
+		}
+	}
+	return inject.Run(cfg), nil
+}

@@ -1,0 +1,320 @@
+package reesift
+
+import (
+	"fmt"
+	"time"
+
+	"reesift/internal/sift"
+)
+
+// Option configures a cluster (or the per-run environment of an
+// Injection). Options validate their arguments when applied, so a bad
+// value surfaces as an error from NewCluster rather than as a misbehaving
+// run.
+type Option func(*settings) error
+
+// settings accumulates option values; buildConfig turns them into a
+// validated sift.EnvConfig.
+type settings struct {
+	seed          int64
+	nodes         []string
+	ftmNode       string
+	hbNode        string
+	ftmHB         time.Duration
+	hbArmor       time.Duration
+	daemonAYA     time.Duration
+	installDelay  time.Duration
+	appStartDelay time.Duration
+	sccDelay      time.Duration
+	sccDelaySet   bool
+	legacyRace    bool
+	shared        bool
+	noChecks      bool
+}
+
+// defaultNodeNames returns the paper's 4-node testbed names for n == 4
+// and generated names n1..nN otherwise.
+func defaultNodeNames(n int) []string {
+	if n == 4 {
+		return []string{"node-a1", "node-a2", "node-b1", "node-b2"}
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i+1)
+	}
+	return names
+}
+
+// WithSeed fixes the simulation seed. Identical options and seed produce
+// an identical run.
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithNodes provisions n cluster nodes. n == 4 uses the paper's testbed
+// names (node-a1, node-a2, node-b1, node-b2); other sizes use n1..nN. At
+// least two nodes are required so the FTM and the Heartbeat ARMOR can
+// live on different nodes.
+func WithNodes(n int) Option {
+	return func(s *settings) error {
+		if n < 2 {
+			return fmt.Errorf("reesift: WithNodes(%d): a SIFT cluster needs at least 2 nodes (FTM and Heartbeat ARMOR must be on different nodes)", n)
+		}
+		s.nodes = defaultNodeNames(n)
+		return nil
+	}
+}
+
+// WithNodeNames provisions the cluster with explicit hostnames.
+func WithNodeNames(names ...string) Option {
+	return func(s *settings) error {
+		if len(names) < 2 {
+			return fmt.Errorf("reesift: WithNodeNames: a SIFT cluster needs at least 2 nodes, got %d", len(names))
+		}
+		seen := make(map[string]bool, len(names))
+		for _, name := range names {
+			if name == "" {
+				return fmt.Errorf("reesift: WithNodeNames: empty hostname")
+			}
+			if seen[name] {
+				return fmt.Errorf("reesift: WithNodeNames: duplicate hostname %q", name)
+			}
+			seen[name] = true
+		}
+		s.nodes = append([]string(nil), names...)
+		return nil
+	}
+}
+
+// WithFTMNode places the Fault Tolerance Manager on the named node. The
+// node must be part of the cluster and must differ from the Heartbeat
+// ARMOR's node.
+func WithFTMNode(name string) Option {
+	return func(s *settings) error {
+		if name == "" {
+			return fmt.Errorf("reesift: WithFTMNode: empty hostname")
+		}
+		s.ftmNode = name
+		return nil
+	}
+}
+
+// WithHeartbeatNode places the Heartbeat ARMOR on the named node. The
+// node must be part of the cluster and must differ from the FTM's node
+// (the Heartbeat ARMOR exists to detect FTM failures from the outside).
+func WithHeartbeatNode(name string) Option {
+	return func(s *settings) error {
+		if name == "" {
+			return fmt.Errorf("reesift: WithHeartbeatNode: empty hostname")
+		}
+		s.hbNode = name
+		return nil
+	}
+}
+
+// WithHeartbeatPeriod sets both heartbeat periods (FTM-to-daemon and
+// Heartbeat-ARMOR-to-FTM) to d — the paper's Table 5 sweep knob.
+func WithHeartbeatPeriod(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("reesift: WithHeartbeatPeriod(%v): period must be positive", d)
+		}
+		s.ftmHB = d
+		s.hbArmor = d
+		return nil
+	}
+}
+
+// WithFTMHeartbeatPeriod sets only the FTM-to-daemon heartbeat period.
+func WithFTMHeartbeatPeriod(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("reesift: WithFTMHeartbeatPeriod(%v): period must be positive", d)
+		}
+		s.ftmHB = d
+		return nil
+	}
+}
+
+// WithHeartbeatArmorPeriod sets only the Heartbeat-ARMOR-to-FTM period.
+func WithHeartbeatArmorPeriod(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("reesift: WithHeartbeatArmorPeriod(%v): period must be positive", d)
+		}
+		s.hbArmor = d
+		return nil
+	}
+}
+
+// WithDaemonAYAPeriod sets the daemon-to-local-ARMOR are-you-alive
+// polling period.
+func WithDaemonAYAPeriod(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("reesift: WithDaemonAYAPeriod(%v): period must be positive", d)
+		}
+		s.daemonAYA = d
+		return nil
+	}
+}
+
+// WithInstallDelay models the daemon's fork-based process installation
+// time (the dominant part of the ~0.5 s ARMOR recovery time).
+func WithInstallDelay(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("reesift: WithInstallDelay(%v): delay must be positive", d)
+		}
+		s.installDelay = d
+		return nil
+	}
+}
+
+// WithAppStartDelay models application process startup (exec, linking,
+// MPI initialization).
+func WithAppStartDelay(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("reesift: WithAppStartDelay(%v): delay must be positive", d)
+		}
+		s.appStartDelay = d
+		return nil
+	}
+}
+
+// WithSCCCommandDelay spaces the SCC's initialization commands. Zero is
+// allowed (no setup phase); negative is not.
+func WithSCCCommandDelay(d time.Duration) Option {
+	return func(s *settings) error {
+		if d < 0 {
+			return fmt.Errorf("reesift: WithSCCCommandDelay(%v): delay must not be negative", d)
+		}
+		s.sccDelay = d
+		s.sccDelaySet = true
+		return nil
+	}
+}
+
+// WithSharedCheckpoints commits microcheckpoints to the cluster-wide
+// nonvolatile store instead of each node's local RAM disk — the paper's
+// Section 3.4 requirement for tolerating node failures.
+func WithSharedCheckpoints() Option {
+	return func(s *settings) error {
+		s.shared = true
+		return nil
+	}
+}
+
+// WithoutSelfChecks disables every element assertion — the ablation of
+// the paper's claim that assertions plus microcheckpointing prevent
+// system failures.
+func WithoutSelfChecks() Option {
+	return func(s *settings) error {
+		s.noChecks = true
+		return nil
+	}
+}
+
+// WithRegistrationRace reintroduces the Figure 10 registration race
+// (install the Execution ARMOR before registering it in the FTM's
+// table). The paper's final configuration — and this package's default —
+// has the race fixed.
+func WithRegistrationRace() Option {
+	return func(s *settings) error {
+		s.legacyRace = true
+		return nil
+	}
+}
+
+// buildConfig applies the options and resolves them into a validated
+// environment configuration plus the simulation seed.
+func buildConfig(opts []Option) (sift.EnvConfig, int64, error) {
+	return buildConfigNodes(opts, 4)
+}
+
+// buildConfigNodes is buildConfig with a caller-chosen default node
+// count, used by the injection façade to match the multi-application
+// testbed when no node option is given.
+func buildConfigNodes(opts []Option, defaultNodes int) (sift.EnvConfig, int64, error) {
+	s := &settings{seed: 1}
+	for _, opt := range opts {
+		if opt == nil {
+			return sift.EnvConfig{}, 0, fmt.Errorf("reesift: nil Option")
+		}
+		if err := opt(s); err != nil {
+			return sift.EnvConfig{}, 0, err
+		}
+	}
+	if len(s.nodes) == 0 {
+		s.nodes = defaultNodeNames(defaultNodes)
+	}
+	cfg := sift.DefaultEnvConfig(s.nodes...)
+	inCluster := func(name string) bool {
+		for _, n := range s.nodes {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if s.ftmNode != "" {
+		if !inCluster(s.ftmNode) {
+			return sift.EnvConfig{}, 0, fmt.Errorf("reesift: FTM node %q is not in the cluster %v", s.ftmNode, s.nodes)
+		}
+		cfg.FTMNode = s.ftmNode
+	}
+	if s.hbNode != "" {
+		if !inCluster(s.hbNode) {
+			return sift.EnvConfig{}, 0, fmt.Errorf("reesift: Heartbeat node %q is not in the cluster %v", s.hbNode, s.nodes)
+		}
+		cfg.HeartbeatNode = s.hbNode
+	}
+	// An explicit placement colliding with the *default* position of the
+	// other process relocates the defaulted one; only an explicit double
+	// booking is a conflict (checked below).
+	if s.ftmNode != "" && s.hbNode == "" && cfg.HeartbeatNode == cfg.FTMNode {
+		for _, n := range s.nodes {
+			if n != cfg.FTMNode {
+				cfg.HeartbeatNode = n
+				break
+			}
+		}
+	}
+	if s.hbNode != "" && s.ftmNode == "" && cfg.FTMNode == cfg.HeartbeatNode {
+		for _, n := range s.nodes {
+			if n != cfg.HeartbeatNode {
+				cfg.FTMNode = n
+				break
+			}
+		}
+	}
+	if cfg.FTMNode == cfg.HeartbeatNode {
+		return sift.EnvConfig{}, 0, fmt.Errorf("reesift: the FTM and the Heartbeat ARMOR must be on different nodes (both on %q): the Heartbeat ARMOR exists to detect FTM failures externally", cfg.FTMNode)
+	}
+	if s.ftmHB > 0 {
+		cfg.FTMHeartbeatPeriod = s.ftmHB
+	}
+	if s.hbArmor > 0 {
+		cfg.HeartbeatArmorPeriod = s.hbArmor
+	}
+	if s.daemonAYA > 0 {
+		cfg.DaemonAYAPeriod = s.daemonAYA
+	}
+	if s.installDelay > 0 {
+		cfg.InstallDelay = s.installDelay
+	}
+	if s.appStartDelay > 0 {
+		cfg.AppStartDelay = s.appStartDelay
+	}
+	if s.sccDelaySet {
+		cfg.SCCCommandDelay = s.sccDelay
+	}
+	cfg.FixRegistrationRace = !s.legacyRace
+	cfg.SharedCheckpoints = s.shared
+	cfg.DisableSelfChecks = s.noChecks
+	return cfg, s.seed, nil
+}

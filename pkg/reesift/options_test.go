@@ -1,0 +1,243 @@
+package reesift
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, seed, err := buildConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 1 {
+		t.Fatalf("default seed = %d, want 1", seed)
+	}
+	if len(cfg.Nodes) != 4 || cfg.Nodes[0] != "node-a1" {
+		t.Fatalf("default nodes = %v", cfg.Nodes)
+	}
+	if cfg.FTMNode == cfg.HeartbeatNode {
+		t.Fatal("FTM and Heartbeat ARMOR on the same node by default")
+	}
+	if !cfg.FixRegistrationRace {
+		t.Fatal("registration race must be fixed by default")
+	}
+}
+
+func TestOptionValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"one node", []Option{WithNodes(1)}, "at least 2 nodes"},
+		{"few names", []Option{WithNodeNames("solo")}, "at least 2 nodes"},
+		{"dup names", []Option{WithNodeNames("a", "a")}, "duplicate hostname"},
+		{"empty name", []Option{WithNodeNames("a", "")}, "empty hostname"},
+		{"zero heartbeat", []Option{WithHeartbeatPeriod(0)}, "must be positive"},
+		{"negative ftm heartbeat", []Option{WithFTMHeartbeatPeriod(-time.Second)}, "must be positive"},
+		{"zero armor heartbeat", []Option{WithHeartbeatArmorPeriod(0)}, "must be positive"},
+		{"zero aya", []Option{WithDaemonAYAPeriod(0)}, "must be positive"},
+		{"zero install", []Option{WithInstallDelay(0)}, "must be positive"},
+		{"zero app start", []Option{WithAppStartDelay(0)}, "must be positive"},
+		{"negative scc delay", []Option{WithSCCCommandDelay(-time.Second)}, "must not be negative"},
+		{"ftm off cluster", []Option{WithFTMNode("elsewhere")}, "not in the cluster"},
+		{"hb off cluster", []Option{WithHeartbeatNode("elsewhere")}, "not in the cluster"},
+		{"ftm equals hb", []Option{WithFTMNode("node-a1"), WithHeartbeatNode("node-a1")},
+			"must be on different nodes"},
+		{"nil option", []Option{nil}, "nil Option"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewCluster(tc.opts...); err == nil {
+				t.Fatalf("NewCluster(%s) succeeded, want error containing %q", tc.name, tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFTMPlacementMovesHeartbeat(t *testing.T) {
+	// Placing the FTM on the default heartbeat node must relocate the
+	// Heartbeat ARMOR rather than fail: only an explicit double booking
+	// is a conflict.
+	cfg, _, err := buildConfig([]Option{WithFTMNode("node-a2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.FTMNode != "node-a2" {
+		t.Fatalf("FTMNode = %q", cfg.FTMNode)
+	}
+	if cfg.HeartbeatNode == "node-a2" {
+		t.Fatal("Heartbeat ARMOR not relocated off the FTM node")
+	}
+}
+
+func TestHeartbeatPlacementMovesFTM(t *testing.T) {
+	// The mirror of TestFTMPlacementMovesHeartbeat: placing the
+	// Heartbeat ARMOR on the default FTM node relocates the FTM.
+	cfg, _, err := buildConfig([]Option{WithHeartbeatNode("node-a1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HeartbeatNode != "node-a1" {
+		t.Fatalf("HeartbeatNode = %q", cfg.HeartbeatNode)
+	}
+	if cfg.FTMNode == "node-a1" {
+		t.Fatal("FTM not relocated off the Heartbeat node")
+	}
+}
+
+func TestRunUntilDoneTwice(t *testing.T) {
+	// A second RunUntilDone after an earlier completed run must only
+	// wait for the not-yet-done submissions, not spin to the limit.
+	c, err := NewCluster(WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.RunUntilDone(10 * time.Minute) {
+		t.Fatal("no-submission RunUntilDone returned false")
+	}
+	ha := c.Submit(RoverApp(1), c.Now()+5*time.Second)
+	if !c.RunUntilDone(c.Now() + 10*time.Minute) {
+		t.Fatal("first submission did not complete")
+	}
+	after := c.Now()
+	hb := c.Submit(RoverApp(2), c.Now()+5*time.Second)
+	if !c.RunUntilDone(c.Now() + 10*time.Minute) {
+		t.Fatal("second submission did not complete")
+	}
+	if !ha.Done || !hb.Done {
+		t.Fatalf("handles: a=%v b=%v", ha.Done, hb.Done)
+	}
+	// The second run must have stopped at app B's completion, well
+	// before its 10-minute limit.
+	if c.Now()-after > 5*time.Minute {
+		t.Fatalf("second RunUntilDone spun to the limit: %v -> %v", after, c.Now())
+	}
+}
+
+func TestRunUntilDoneIgnoresForeignSubmissions(t *testing.T) {
+	// An application submitted through the Env() escape hatch completes
+	// first; RunUntilDone must keep running until the tracked
+	// submission finishes.
+	c, err := NewCluster(WithSeed(12), WithNodes(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	foreign := c.Env().Submit(RoverApp(1, "n1", "n2"), 5*time.Second)
+	tracked := c.Submit(RoverApp(2, "n3", "n4"), 40*time.Second)
+	if !c.RunUntilDone(20 * time.Minute) {
+		t.Fatalf("tracked submission did not complete (foreign done=%v tracked done=%v)",
+			foreign.Done, tracked.Done)
+	}
+	if !tracked.Done {
+		t.Fatal("tracked handle not done")
+	}
+}
+
+func TestOptionsResolve(t *testing.T) {
+	cfg, seed, err := buildConfig([]Option{
+		WithNodes(6),
+		WithSeed(99),
+		WithHeartbeatPeriod(5 * time.Second),
+		WithDaemonAYAPeriod(7 * time.Second),
+		WithSharedCheckpoints(),
+		WithoutSelfChecks(),
+		WithRegistrationRace(),
+		WithSCCCommandDelay(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 99 {
+		t.Fatalf("seed = %d", seed)
+	}
+	if len(cfg.Nodes) != 6 || cfg.Nodes[0] != "n1" || cfg.Nodes[5] != "n6" {
+		t.Fatalf("nodes = %v", cfg.Nodes)
+	}
+	if cfg.FTMHeartbeatPeriod != 5*time.Second || cfg.HeartbeatArmorPeriod != 5*time.Second {
+		t.Fatalf("heartbeat periods = %v / %v", cfg.FTMHeartbeatPeriod, cfg.HeartbeatArmorPeriod)
+	}
+	if cfg.DaemonAYAPeriod != 7*time.Second {
+		t.Fatalf("AYA period = %v", cfg.DaemonAYAPeriod)
+	}
+	if !cfg.SharedCheckpoints || !cfg.DisableSelfChecks || cfg.FixRegistrationRace {
+		t.Fatalf("flags: shared=%v nochecks=%v fixrace=%v",
+			cfg.SharedCheckpoints, cfg.DisableSelfChecks, cfg.FixRegistrationRace)
+	}
+	if cfg.SCCCommandDelay != 0 {
+		t.Fatalf("SCC command delay = %v, want explicit 0", cfg.SCCCommandDelay)
+	}
+}
+
+func TestClusterRunsRoverSubmission(t *testing.T) {
+	c, err := NewCluster(WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h := c.Submit(RoverApp(1), 5*time.Second)
+	if !c.RunUntilDone(10 * time.Minute) {
+		t.Fatal("application did not complete")
+	}
+	if p, ok := h.PerceivedTime(); !ok || p <= 0 {
+		t.Fatalf("perceived time = %v, ok=%v", p, ok)
+	}
+	if c.Log().Count("sift-initialized") != 1 {
+		t.Fatal("SIFT environment never initialized")
+	}
+}
+
+func TestInjectionMultiAppDefaultsToSixNodes(t *testing.T) {
+	// A multi-application run with a tuning option must still get the
+	// six-node testbed, not the four-node default — and complete.
+	res, err := Injection{
+		Seed:   5,
+		Model:  ModelNone,
+		Target: TargetNone,
+		Apps: []*AppSpec{
+			RoverApp(1, "n1", "n2"),
+			OTISApp(2, "n3", "n4"),
+		},
+		Cluster: []Option{WithHeartbeatPeriod(10 * time.Second)},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SystemFailure || !res.Done {
+		t.Fatalf("multi-app run misclassified: done=%v sysfail=%v", res.Done, res.SystemFailure)
+	}
+}
+
+func TestInjectionRejectsAppOffCluster(t *testing.T) {
+	_, err := Injection{
+		Seed:   1,
+		Model:  ModelNone,
+		Target: TargetNone,
+		Apps:   []*AppSpec{RoverApp(1, "node-a1", "node-a2")},
+		Cluster: []Option{
+			WithNodeNames("x1", "x2"),
+		},
+	}.Run()
+	if err == nil || !strings.Contains(err.Error(), "not in the cluster") {
+		t.Fatalf("err = %v, want app-placement validation error", err)
+	}
+}
+
+func TestInjectionValidatesClusterOptions(t *testing.T) {
+	_, err := Injection{
+		Seed:    1,
+		Model:   ModelSIGINT,
+		Target:  TargetFTM,
+		Apps:    []*AppSpec{RoverApp(1)},
+		Cluster: []Option{WithNodes(1)},
+	}.Run()
+	if err == nil || !strings.Contains(err.Error(), "at least 2 nodes") {
+		t.Fatalf("err = %v, want node-count validation error", err)
+	}
+}

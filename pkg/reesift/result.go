@@ -1,0 +1,49 @@
+package reesift
+
+import "strings"
+
+// Result is the structured product of one scenario run: the reproduced
+// tables plus machine-readable campaign totals. It marshals to JSON for
+// the CLI's -format json and for benchmark trajectory data.
+type Result struct {
+	// Scenario is the registry id that produced this result.
+	Scenario string `json:"scenario"`
+	// Title is the scenario's human-readable title.
+	Title string `json:"title,omitempty"`
+	// Tables holds the reproduced paper artifacts (one, or two for the
+	// paired tables 8/9 and 11/12).
+	Tables []*Table `json:"tables"`
+	// Runs counts the injection-framework runs executed by this
+	// scenario. Scenarios that drive the simulation kernel directly
+	// (the figure traces) perform work the census cannot see and
+	// report zero.
+	Runs int `json:"runs"`
+	// Injections counts individual error insertions (a repeated-flip
+	// run contributes more than one).
+	Injections int `json:"injections"`
+	// Failures counts runs in which the injection manifested as a
+	// target failure.
+	Failures int `json:"failures"`
+	// SystemFailures counts runs the environment could not recover.
+	SystemFailures int `json:"system_failures"`
+	// WallClockSeconds is the host time the scenario took.
+	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	// Error carries a scenario failure in JSON streams that must cover
+	// every requested scenario; it is empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// NewResult wraps tables into a Result; the registry runner fills in the
+// scenario id, tallies, and wall clock.
+func NewResult(tables ...*Table) *Result {
+	return &Result{Tables: tables}
+}
+
+// Render formats every table as aligned text.
+func (r *Result) Render() string {
+	parts := make([]string, 0, len(r.Tables))
+	for _, t := range r.Tables {
+		parts = append(parts, t.Render())
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,94 @@
+package reesift
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"reesift/internal/stats"
+)
+
+func TestCellConstructors(t *testing.T) {
+	if c := Str("x"); c.Kind != CellString || c.Text != "x" {
+		t.Fatalf("Str: %+v", c)
+	}
+	if c := Int(42); c.Kind != CellInt || c.Text != "42" || c.Int != 42 {
+		t.Fatalf("Int: %+v", c)
+	}
+	if c := Float(1.5, 2); c.Kind != CellFloat || c.Text != "1.50" || c.Float != 1.5 {
+		t.Fatalf("Float: %+v", c)
+	}
+	if c := Seconds(2.345); c.Kind != CellSeconds || c.Text != "2.35" {
+		t.Fatalf("Seconds: %+v", c)
+	}
+	if c := SampleCell(nil); c.Text != "-" {
+		t.Fatalf("empty SampleCell: %+v", c)
+	}
+	var s stats.Sample
+	s.Add(1)
+	s.Add(3)
+	c := SampleCell(&s)
+	if c.Kind != CellSample || c.Mean != 2 || c.N != 2 {
+		t.Fatalf("SampleCell: %+v", c)
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := NewResult(&Table{
+		ID:     "table-x",
+		Title:  "demo",
+		Header: []string{"K", "V"},
+		Rows: [][]Cell{
+			{Str("runs"), Int(7)},
+			{Str("mean"), Float(1.25, 2)},
+		},
+		Notes: []string{"note"},
+	})
+	r.Scenario = "demo"
+	r.Runs = 7
+	r.Injections = 9
+	r.WallClockSeconds = 0.5
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != "demo" || back.Runs != 7 || back.Injections != 9 {
+		t.Fatalf("round trip lost totals: %+v", back)
+	}
+	if len(back.Tables) != 1 || len(back.Tables[0].Rows) != 2 {
+		t.Fatalf("round trip lost tables: %+v", back)
+	}
+	if got := back.Tables[0].Rows[0][1]; got.Kind != CellInt || got.Int != 7 {
+		t.Fatalf("typed cell lost: %+v", got)
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	// Rows wider than the header must render, not panic.
+	tab := &Table{
+		ID:     "ragged",
+		Title:  "ragged",
+		Header: []string{"A"},
+		Rows:   [][]Cell{{Str("x"), Str("y"), Str("z")}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "z") {
+		t.Fatalf("render dropped cells:\n%s", out)
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := NewResult(
+		&Table{ID: "a", Title: "first", Header: []string{"H"}, Rows: [][]Cell{{Str("v")}}},
+		&Table{ID: "b", Title: "second", Header: []string{"H"}},
+	)
+	out := r.Render()
+	if !strings.Contains(out, "A: first") || !strings.Contains(out, "B: second") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

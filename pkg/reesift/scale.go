@@ -1,0 +1,54 @@
+package reesift
+
+// Scale sets campaign sizes for scenario runs. The paper's counts are in
+// PaperScale; SmallScale keeps tests and benchmarks fast while
+// exercising identical code.
+type Scale struct {
+	// Runs is the SIGINT/SIGSTOP campaign size per target (paper: 100).
+	Runs int
+	// Table5Runs is per heartbeat period (paper: 30).
+	Table5Runs int
+	// FailureQuota is the register/text/heap target failure count per
+	// cell (paper: ~90-100).
+	FailureQuota int
+	// MaxRunsPerCell bounds the failure-quota search.
+	MaxRunsPerCell int
+	// TargetedHeapRuns is per FTM element (paper: 100).
+	TargetedHeapRuns int
+	// AppHeapRuns is the Table 10 campaign size (paper: 1000).
+	AppHeapRuns int
+	// MultiAppRuns is per target/model cell in Tables 11-12.
+	MultiAppRuns int
+	// Seed offsets all campaigns.
+	Seed int64
+}
+
+// SmallScale is sized for CI: every mechanism is exercised, every table
+// is produced, at roughly 1/10 the paper's run counts.
+func SmallScale() Scale {
+	return Scale{
+		Runs:             10,
+		Table5Runs:       6,
+		FailureQuota:     10,
+		MaxRunsPerCell:   30,
+		TargetedHeapRuns: 10,
+		AppHeapRuns:      60,
+		MultiAppRuns:     4,
+		Seed:             1,
+	}
+}
+
+// PaperScale matches the paper's campaign sizes (~28,000 injections in
+// total across all experiments).
+func PaperScale() Scale {
+	return Scale{
+		Runs:             100,
+		Table5Runs:       30,
+		FailureQuota:     90,
+		MaxRunsPerCell:   400,
+		TargetedHeapRuns: 100,
+		AppHeapRuns:      1000,
+		MultiAppRuns:     25,
+		Seed:             1,
+	}
+}

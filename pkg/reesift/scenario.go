@@ -1,0 +1,139 @@
+package reesift
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"reesift/internal/inject"
+)
+
+// Scenario is one registered experiment workload. Workload packages
+// register their scenarios from an init function; consumers discover
+// them through Scenarios and Lookup.
+type Scenario struct {
+	// ID is the primary registry key ("table4", "fig9",
+	// "ablation-watchdog", ...).
+	ID string
+	// Title is the human-readable description shown by -list.
+	Title string
+	// Aliases are additional ids resolving to this scenario (the paired
+	// tables: "table9" -> "table8").
+	Aliases []string
+	// Run executes the scenario at the given scale and returns its
+	// structured result. Run may return a partial Result alongside an
+	// error.
+	Run func(Scale) (*Result, error)
+}
+
+var registry = struct {
+	mu    sync.RWMutex
+	order []string
+	byID  map[string]Scenario
+	alias map[string]string
+}{
+	byID:  make(map[string]Scenario),
+	alias: make(map[string]string),
+}
+
+// Register adds a scenario to the global registry. It panics on an empty
+// id, a nil Run, or an id/alias collision — registration happens at init
+// time, where a loud failure beats a silently shadowed experiment.
+func Register(s Scenario) {
+	if s.ID == "" {
+		panic("reesift: Register: empty scenario ID")
+	}
+	if s.Run == nil {
+		panic(fmt.Sprintf("reesift: Register(%q): nil Run", s.ID))
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.byID[s.ID]; dup {
+		panic(fmt.Sprintf("reesift: Register(%q): duplicate scenario ID", s.ID))
+	}
+	if _, dup := registry.alias[s.ID]; dup {
+		panic(fmt.Sprintf("reesift: Register(%q): ID collides with a registered alias", s.ID))
+	}
+	for _, a := range s.Aliases {
+		if _, dup := registry.byID[a]; dup {
+			panic(fmt.Sprintf("reesift: Register(%q): alias %q collides with a registered scenario", s.ID, a))
+		}
+		if _, dup := registry.alias[a]; dup {
+			panic(fmt.Sprintf("reesift: Register(%q): duplicate alias %q", s.ID, a))
+		}
+	}
+	registry.byID[s.ID] = s
+	registry.order = append(registry.order, s.ID)
+	for _, a := range s.Aliases {
+		registry.alias[a] = s.ID
+	}
+}
+
+// Scenarios returns every registered scenario in registration order.
+func Scenarios() []Scenario {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Scenario, 0, len(registry.order))
+	for _, id := range registry.order {
+		out = append(out, registry.byID[id])
+	}
+	return out
+}
+
+// Lookup resolves an id or alias to its scenario.
+func Lookup(id string) (Scenario, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	if canonical, ok := registry.alias[id]; ok {
+		id = canonical
+	}
+	s, ok := registry.byID[id]
+	return s, ok
+}
+
+// KnownIDs returns every id and alias the registry resolves, sorted —
+// for "unknown experiment" error messages.
+func KnownIDs() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	ids := make([]string, 0, len(registry.byID)+len(registry.alias))
+	for id := range registry.byID {
+		ids = append(ids, id)
+	}
+	for a := range registry.alias {
+		ids = append(ids, a)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunScenario executes a scenario and completes its Result with the
+// scenario id, title, wall-clock time, and the injection tallies
+// accumulated during the run (runs, injections, failures, system
+// failures). A partial Result returned alongside an error is completed
+// the same way.
+//
+// Tallies are attributed by snapshotting a process-wide census around
+// the run: scenarios executed concurrently see each other's work in
+// their deltas. Run scenarios sequentially when per-scenario totals
+// matter (as cmd/reesift does).
+func RunScenario(s Scenario, sc Scale) (*Result, error) {
+	before := inject.CurrentTally()
+	start := time.Now()
+	res, err := s.Run(sc)
+	if res == nil {
+		res = &Result{}
+	}
+	delta := inject.CurrentTally().Sub(before)
+	res.Scenario = s.ID
+	if res.Title == "" {
+		res.Title = s.Title
+	}
+	res.Runs = int(delta.Runs)
+	res.Injections = int(delta.Injections)
+	res.Failures = int(delta.Failures)
+	res.SystemFailures = int(delta.SystemFailures)
+	res.WallClockSeconds = time.Since(start).Seconds()
+	return res, err
+}

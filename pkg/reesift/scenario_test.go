@@ -1,0 +1,113 @@
+package reesift
+
+import (
+	"testing"
+)
+
+func TestRegisterLookupAndAliases(t *testing.T) {
+	ran := false
+	Register(Scenario{
+		ID:      "test-main",
+		Title:   "registry test scenario",
+		Aliases: []string{"test-alias"},
+		Run: func(Scale) (*Result, error) {
+			ran = true
+			return NewResult(), nil
+		},
+	})
+	s, ok := Lookup("test-main")
+	if !ok || s.Title != "registry test scenario" {
+		t.Fatalf("Lookup(test-main) = %+v, %v", s, ok)
+	}
+	a, ok := Lookup("test-alias")
+	if !ok || a.ID != "test-main" {
+		t.Fatalf("alias lookup = %+v, %v", a, ok)
+	}
+	if _, ok := Lookup("test-unknown"); ok {
+		t.Fatal("Lookup resolved an unregistered id")
+	}
+	found := false
+	for _, sc := range Scenarios() {
+		if sc.ID == "test-main" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Scenarios() missing registered scenario")
+	}
+	if _, err := RunScenario(s, SmallScale()); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("RunScenario did not invoke Run")
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	Register(Scenario{
+		ID:  "test-dup",
+		Run: func(Scale) (*Result, error) { return NewResult(), nil },
+	})
+	assertPanics(t, "duplicate id", func() {
+		Register(Scenario{
+			ID:  "test-dup",
+			Run: func(Scale) (*Result, error) { return NewResult(), nil },
+		})
+	})
+	assertPanics(t, "empty id", func() {
+		Register(Scenario{Run: func(Scale) (*Result, error) { return NewResult(), nil }})
+	})
+	assertPanics(t, "nil run", func() {
+		Register(Scenario{ID: "test-nil-run"})
+	})
+	assertPanics(t, "alias collides", func() {
+		Register(Scenario{
+			ID:      "test-dup-alias",
+			Aliases: []string{"test-dup"},
+			Run:     func(Scale) (*Result, error) { return NewResult(), nil },
+		})
+	})
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestRunScenarioFillsTallies(t *testing.T) {
+	s := Scenario{
+		ID:    "test-tally",
+		Title: "tally scenario",
+		Run: func(Scale) (*Result, error) {
+			res, err := Injection{
+				Seed:   11,
+				Model:  ModelSIGINT,
+				Target: TargetFTM,
+				Apps:   []*AppSpec{RoverApp(1)},
+			}.Run()
+			if err != nil {
+				return nil, err
+			}
+			_ = res
+			return NewResult(&Table{ID: "t", Title: "t", Header: []string{"A"}}), nil
+		},
+	}
+	res, err := RunScenario(s, SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "test-tally" || res.Title != "tally scenario" {
+		t.Fatalf("identity not filled: %+v", res)
+	}
+	if res.Runs != 1 {
+		t.Fatalf("Runs = %d, want 1", res.Runs)
+	}
+	if res.WallClockSeconds <= 0 {
+		t.Fatalf("WallClockSeconds = %v", res.WallClockSeconds)
+	}
+}

@@ -1,0 +1,13 @@
+package reesift
+
+import "reesift/internal/stats"
+
+// Sample accumulates scalar observations and reports mean / 95% CI —
+// re-exported so façade consumers can aggregate campaign measurements
+// without reaching into internal packages.
+type Sample = stats.Sample
+
+// NoFailureBound returns the 95% upper confidence bound on a failure
+// probability after n failure-free runs (the paper's Section 5 claim
+// form).
+func NoFailureBound(n int) float64 { return stats.NoFailureBound(n) }

@@ -1,0 +1,157 @@
+package reesift
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"reesift/internal/stats"
+)
+
+// CellKind tags the typed value a table cell carries.
+type CellKind string
+
+// Cell kinds.
+const (
+	CellString  CellKind = "string"
+	CellInt     CellKind = "int"
+	CellFloat   CellKind = "float"
+	CellSeconds CellKind = "seconds"
+	CellSample  CellKind = "sample"
+)
+
+// Cell is one typed table cell. Text always holds the rendered form;
+// the numeric fields are populated according to Kind so consumers can
+// read measurements without parsing formatted strings.
+type Cell struct {
+	Kind CellKind `json:"kind"`
+	Text string   `json:"text"`
+	// Int is meaningful for CellInt. The numeric fields are always
+	// emitted (no omitempty) so zero-valued measurements stay
+	// machine-readable; switch on Kind to know which field carries the
+	// value.
+	Int int64 `json:"int"`
+	// Float is meaningful for CellFloat and CellSeconds (seconds as a
+	// float).
+	Float float64 `json:"float"`
+	// Mean, CI95, and N are meaningful for CellSample (a "mean ± ci"
+	// cell).
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// String returns the rendered cell text.
+func (c Cell) String() string { return c.Text }
+
+// Str builds a string cell.
+func Str(s string) Cell { return Cell{Kind: CellString, Text: s} }
+
+// Int builds an integer cell.
+func Int(n int) Cell {
+	return Cell{Kind: CellInt, Text: strconv.Itoa(n), Int: int64(n)}
+}
+
+// Float builds a float cell rendered with prec decimals.
+func Float(v float64, prec int) Cell {
+	return Cell{Kind: CellFloat, Text: strconv.FormatFloat(v, 'f', prec, 64), Float: v}
+}
+
+// Seconds builds a duration cell rendered as seconds with two decimals.
+func Seconds(seconds float64) Cell {
+	return Cell{Kind: CellSeconds, Text: strconv.FormatFloat(seconds, 'f', 2, 64), Float: seconds}
+}
+
+// SampleCell builds a "mean ± 95% CI" cell from a statistics sample; an
+// empty sample renders as "-".
+func SampleCell(s *stats.Sample) Cell {
+	if s == nil || s.N() == 0 {
+		return Cell{Kind: CellSample, Text: "-"}
+	}
+	return Cell{
+		Kind: CellSample,
+		Text: s.MeanCI(),
+		Mean: s.Mean(),
+		CI95: s.CI95(),
+		N:    s.N(),
+	}
+}
+
+// Row builds a row from cells (a small readability helper for table
+// literals).
+func Row(cells ...Cell) []Cell { return cells }
+
+// StrRow builds a row of string cells — separators and header-like rows.
+func StrRow(texts ...string) []Cell {
+	row := make([]Cell, len(texts))
+	for i, s := range texts {
+		row[i] = Str(s)
+	}
+	return row
+}
+
+// Table is one experiment product shaped like a paper table or figure.
+type Table struct {
+	// ID names the paper artifact ("table4", "figure6", ...).
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Header holds the column names.
+	Header []string `json:"header"`
+	// Rows holds typed cells, one slice per table row.
+	Rows [][]Cell `json:"rows"`
+	// Notes carries the footnotes printed under the table.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Render formats the table as aligned text, the CLI's -format text
+// output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(t.ID), t.Title)
+	// Width slots cover the widest row, not just the header, so a
+	// ragged table renders instead of panicking.
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell.Text) > widths[i] {
+				widths[i] = len(cell.Text)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		texts := make([]string, len(row))
+		for i, cell := range row {
+			texts[i] = cell.Text
+		}
+		line(texts)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
