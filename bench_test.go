@@ -7,13 +7,16 @@ package reesift_bench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"reesift/internal/experiments"
 )
 
-// scale is shared by all benchmarks.
+// scale is shared by all benchmarks. Workers is left at zero, so every
+// benchmark exercises the campaign engine's parallel path at GOMAXPROCS
+// workers; BenchmarkCampaignWorkers pins the 1-vs-N comparison.
 func scale() experiments.Scale { return experiments.SmallScale() }
 
 // printOnce avoids flooding the benchmark log on -benchtime reruns.
@@ -29,6 +32,31 @@ func report(b *testing.B, id string, render func() (string, error)) {
 		if _, dup := printed.LoadOrStore(id, true); !dup {
 			fmt.Println(out)
 		}
+	}
+}
+
+// BenchmarkCampaignWorkers runs the Table 7 heap campaign — a pure
+// fan-out of independent trials — at a sweep of worker counts. The
+// workers=1 case is the sequential baseline; the speedup of the
+// GOMAXPROCS case over it is the campaign engine's headline number, and
+// the tables rendered at every worker count are byte-identical (see
+// TestCampaignDeterminismAcrossWorkerCounts).
+func BenchmarkCampaignWorkers(b *testing.B) {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := make(map[int]bool)
+	for _, w := range counts {
+		if seen[w] {
+			continue // 1- and 2-core machines collapse the sweep
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			sc := scale().WithWorkers(w)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.Table7(sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

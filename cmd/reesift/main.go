@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	reesift [-scale small|paper] [-seed N] [-exp all|table3,table4,...] [-format text|json] [-list]
+//	reesift [-scale small|paper] [-seed N] [-workers N] [-exp all|table3,table4,...] [-format text|json] [-list]
 //
 // Experiments are discovered from the reesift scenario registry, where
 // every reproduced table and figure self-registers; -list prints the
@@ -33,6 +33,7 @@ func main() {
 func run() int {
 	scaleFlag := flag.String("scale", "small", "campaign scale: small or paper")
 	seed := flag.Int64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS); output is identical at any value")
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
 	formatFlag := flag.String("format", "text", "output format: text or json")
 	listFlag := flag.Bool("list", false, "list registered experiment ids and exit")
@@ -60,6 +61,7 @@ func run() int {
 		return 2
 	}
 	sc.Seed = *seed
+	sc = sc.WithWorkers(*workers)
 
 	if *formatFlag != "text" && *formatFlag != "json" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (want text or json)\n", *formatFlag)

@@ -1,0 +1,132 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapReturnsResultsInRunOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		out := Map(workers, 100, func(run int) int { return run * run })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryTrialExactlyOnce(t *testing.T) {
+	var calls [64]atomic.Int32
+	Map(8, len(calls), func(run int) struct{} {
+		calls[run].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("trial %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(4, 0, func(int) int { return 1 }); out != nil {
+		t.Fatalf("expected nil for n=0, got %v", out)
+	}
+}
+
+// sequentialUntil is the reference semantics Until must reproduce.
+func sequentialUntil(maxRuns int, trial func(int) int, accept func(int) bool) (int, []int) {
+	runs := 0
+	var seen []int
+	for runs < maxRuns {
+		r := trial(runs)
+		runs++
+		seen = append(seen, r)
+		if accept(r) {
+			break
+		}
+	}
+	return runs, seen
+}
+
+func TestUntilMatchesSequentialCount(t *testing.T) {
+	// A trial "fails" when its index is divisible by 7; stop after 5
+	// failures. The parallel wave count must equal the sequential count
+	// at every worker count.
+	trial := func(run int) int { return run }
+	for _, quota := range []int{1, 3, 5} {
+		wantRuns, wantSeen := sequentialUntil(200, trial, func() func(int) bool {
+			failures := 0
+			return func(r int) bool {
+				if r%7 == 0 {
+					failures++
+				}
+				return failures >= quota
+			}
+		}())
+		for _, workers := range []int{1, 2, 3, 8, 0} {
+			failures := 0
+			var seen []int
+			got := Until(workers, 200, trial, func(r int) bool {
+				seen = append(seen, r)
+				if r%7 == 0 {
+					failures++
+				}
+				return failures >= quota
+			})
+			if got != wantRuns {
+				t.Fatalf("quota=%d workers=%d: runs = %d, want %d", quota, workers, got, wantRuns)
+			}
+			if len(seen) != len(wantSeen) {
+				t.Fatalf("quota=%d workers=%d: accepted %d results, want %d", quota, workers, len(seen), len(wantSeen))
+			}
+			for i := range seen {
+				if seen[i] != wantSeen[i] {
+					t.Fatalf("quota=%d workers=%d: seen[%d] = %d, want %d", quota, workers, i, seen[i], wantSeen[i])
+				}
+			}
+		}
+	}
+}
+
+func TestUntilExhaustsMaxRuns(t *testing.T) {
+	got := Until(4, 33, func(run int) int { return run }, func(int) bool { return false })
+	if got != 33 {
+		t.Fatalf("runs = %d, want 33", got)
+	}
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	a := DeriveSeed(1, "table4/SIGINT/FTM", 5)
+	if b := DeriveSeed(1, "table4/SIGINT/FTM", 5); b != a {
+		t.Fatalf("not deterministic: %d vs %d", a, b)
+	}
+	// The bug this replaces: two campaigns 1000 apart colliding once one
+	// of them passes 1000 runs. Derived streams must not collide across
+	// identities, nearby bases, or a large run range.
+	seen := make(map[int64]string)
+	for _, base := range []int64{1, 2, 1000} {
+		for _, id := range []string{"table4/SIGINT/FTM", "table5/period=5", "table5/period=10", "table7/FTM"} {
+			for run := 0; run < 2000; run++ {
+				s := DeriveSeed(base, id, run)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: base=%d id=%s run=%d collides with %s", base, id, run, prev)
+				}
+				seen[s] = id
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honoured")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("defaulted worker count must be at least 1")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"reesift/internal/apps/rover"
+	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
@@ -20,9 +21,12 @@ func AblationWatchdog(sc Scale) (*Table, error) {
 	measure := func(interrupt bool) (*stats.Sample, error) {
 		var lat stats.Sample
 		steps := maxInt(4, sc.Runs/2)
-		for i := 0; i < steps; i++ {
-			hangAt := 25*time.Second + time.Duration(int64(i)*int64(35*time.Second)/int64(steps))
-			k := sim.NewKernel(sim.DefaultConfig(sc.Seed + 45000 + int64(i)))
+		// Both arms derive from the same identity on purpose: the
+		// polling/watchdog comparison replays identical hang scenarios.
+		for _, l := range engine.Map(sc.Workers, steps, func(run int) time.Duration {
+			hangAt := 25*time.Second + time.Duration(int64(run)*int64(35*time.Second)/int64(steps))
+			k := sim.NewKernel(sim.DefaultConfig(engine.DeriveSeed(sc.Seed, "ablation-watchdog", run)))
+			defer k.Shutdown()
 			env := sift.New(k, sift.DefaultEnvConfig())
 			env.Setup()
 			app := roverApp()
@@ -36,11 +40,14 @@ func AblationWatchdog(sc Scale) (*Table, error) {
 			k.Run(hangAt + 3*piPeriod)
 			for _, d := range env.Log.AppDetections {
 				if d.Hang {
-					lat.AddDuration(d.At - hangAt)
-					break
+					return d.At - hangAt
 				}
 			}
-			k.Shutdown()
+			return 0
+		}) {
+			if l > 0 {
+				lat.AddDuration(l)
+			}
 		}
 		if lat.N() == 0 {
 			return nil, fmt.Errorf("ablation-watchdog: no detections (interrupt=%v)", interrupt)
@@ -83,18 +90,21 @@ func AblationWatchdog(sc Scale) (*Table, error) {
 // claim: up to 42% fewer system failures from data errors).
 func AblationAssertions(sc Scale) (*Table, error) {
 	runCampaign := func(disable bool) (sys, runs int) {
-		for ei, element := range ftmElements {
-			for i := 0; i < sc.TargetedHeapRuns; i++ {
+		// The enabled/disabled arms share seed identities on purpose: the
+		// ablation replays identical injections with assertions off.
+		for _, element := range ftmElements {
+			for _, res := range engine.Map(sc.Workers, sc.TargetedHeapRuns, func(run int) inject.Result {
 				env := sift.DefaultEnvConfig()
 				env.DisableSelfChecks = disable
-				res := inject.Run(inject.Config{
-					Seed:    sc.Seed + 820000 + int64(ei)*10000 + int64(i),
+				return inject.Run(inject.Config{
+					Seed:    engine.DeriveSeed(sc.Seed, "ablation-assertions/"+element, run),
 					Model:   inject.ModelHeapData,
 					Target:  inject.TargetFTM,
 					Element: element,
 					Apps:    []*sift.AppSpec{roverApp()},
 					Env:     &env,
 				})
+			}) {
 				if res.Injected == 0 {
 					continue
 				}
@@ -139,25 +149,37 @@ func AblationAssertions(sc Scale) (*Table, error) {
 func AblationSharedCheckpoints(sc Scale) (*Table, error) {
 	outcome := func(shared bool) (appDone int, restored int, runs int) {
 		n := maxInt(3, sc.Runs/3)
-		for i := 0; i < n; i++ {
-			k := sim.NewKernel(sim.DefaultConfig(sc.Seed + 46000 + int64(i)))
+		type crashOut struct {
+			done, restored bool
+		}
+		// The local/shared arms share seed identities on purpose: the
+		// comparison replays identical node crashes against both stores.
+		for _, o := range engine.Map(sc.Workers, n, func(run int) crashOut {
+			k := sim.NewKernel(sim.DefaultConfig(engine.DeriveSeed(sc.Seed, "ablation-checkpoints", run)))
+			defer k.Shutdown()
 			cfg := sift.DefaultEnvConfig()
 			cfg.SharedCheckpoints = shared
 			env := sift.New(k, cfg)
 			env.Setup()
 			app := rover.Spec(1, []string{"node-a1", "node-a2"}, rover.DefaultParams())
 			h := env.Submit(app, 5*time.Second)
-			k.Schedule(20*time.Second+time.Duration(i)*3*time.Second, func() { k.CrashNode("node-a2") })
+			k.Schedule(20*time.Second+time.Duration(run)*3*time.Second, func() { k.CrashNode("node-a2") })
 			env.AppDoneHook = func(sift.AppID) { k.Stop() }
 			k.Run(400 * time.Second)
+			var o crashOut
+			o.done = h.Done
+			if a := env.ArmorOf(sift.AIDExec(1, 1)); a != nil && a.Restored {
+				o.restored = true
+			}
+			return o
+		}) {
 			runs++
-			if h.Done {
+			if o.done {
 				appDone++
 			}
-			if a := env.ArmorOf(sift.AIDExec(1, 1)); a != nil && a.Restored {
+			if o.restored {
 				restored++
 			}
-			k.Shutdown()
 		}
 		return appDone, restored, runs
 	}

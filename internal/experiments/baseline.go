@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"reesift/internal/apps/rover"
+	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
@@ -32,28 +33,36 @@ func Table3(sc Scale) (*Table, *Table3Data, error) {
 	// Baseline No SIFT: the application runs bare on the cluster; the
 	// perceived time equals the actual time (there is nothing to set
 	// up or tear down).
-	for i := 0; i < runs; i++ {
-		k := sim.NewKernel(sim.DefaultConfig(sc.Seed + int64(9000+i)))
+	type standalone struct {
+		actual time.Duration
+		ok     bool
+	}
+	for i, s := range engine.Map(sc.Workers, runs, func(run int) standalone {
+		k := sim.NewKernel(sim.DefaultConfig(engine.DeriveSeed(sc.Seed, "table3/standalone", run)))
+		defer k.Shutdown()
 		p := rover.DefaultParams()
 		app := rover.Spec(1, []string{"node-a1", "node-a2"}, p)
 		measure := sift.RunStandalone(k, app, 1*time.Second)
 		k.Run(10 * time.Minute)
-		actual, ok := measure()
-		k.Shutdown()
-		if !ok {
+		var s standalone
+		s.actual, s.ok = measure()
+		return s
+	}) {
+		if !s.ok {
 			return nil, nil, fmt.Errorf("table3: standalone run %d did not finish", i)
 		}
-		data.NoSIFTActual.AddDuration(actual)
-		data.NoSIFTPerceived.AddDuration(actual)
+		data.NoSIFTActual.AddDuration(s.actual)
+		data.NoSIFTPerceived.AddDuration(s.actual)
 	}
 	// Baseline SIFT: same application submitted through the SCC.
-	for i := 0; i < runs; i++ {
-		res := inject.Run(inject.Config{
-			Seed:   sc.Seed + int64(9100+i),
+	for i, res := range engine.Map(sc.Workers, runs, func(run int) inject.Result {
+		return inject.Run(inject.Config{
+			Seed:   engine.DeriveSeed(sc.Seed, "table3/sift", run),
 			Model:  inject.ModelNone,
 			Target: inject.TargetNone,
 			Apps:   []*sift.AppSpec{roverApp()},
 		})
+	}) {
 		if !res.Done {
 			return nil, nil, fmt.Errorf("table3: SIFT baseline run %d did not finish", i)
 		}

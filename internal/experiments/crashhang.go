@@ -29,7 +29,7 @@ type Table4Data struct {
 func Table4(sc Scale) (*Table, *Table4Data, error) {
 	data := &Table4Data{Cells: make(map[string]agg)}
 	// Failure-free baseline row.
-	base := campaign(maxInt(3, sc.Runs/4), sc.Seed+8000, func(seed int64) inject.Config {
+	base := campaign(sc, "table4/baseline", maxInt(3, sc.Runs/4), func(seed int64) inject.Config {
 		return inject.Config{Seed: seed, Model: inject.ModelNone, Target: inject.TargetNone,
 			Apps: []*sift.AppSpec{roverApp()}}
 	})
@@ -48,7 +48,7 @@ func Table4(sc Scale) (*Table, *Table4Data, error) {
 			secCell(&data.Baseline.Perceived), secCell(&data.Baseline.Actual), str("-")})
 		for _, target := range table4Targets {
 			model, target := model, target
-			a := campaign(sc.Runs, cellSeed(sc.Seed, model, target), func(seed int64) inject.Config {
+			a := campaign(sc, "table4/"+model.String()+"/"+target.String(), sc.Runs, func(seed int64) inject.Config {
 				return inject.Config{Seed: seed, Model: model, Target: target,
 					Apps: []*sift.AppSpec{roverApp()}}
 			})
@@ -89,12 +89,12 @@ func Table5(sc Scale) (*Table, *Table5Data, error) {
 		Title:  "Application execution time with varying heartbeat periods (SIGINT into FTM)",
 		Header: []string{"HEARTBEAT PERIOD (s)", "PERCEIVED (s)", "ACTUAL (s)"},
 	}
-	for pi, period := range []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second} {
+	for _, period := range []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second} {
 		env := sift.DefaultEnvConfig()
 		env.FTMHeartbeatPeriod = period
 		env.HeartbeatArmorPeriod = period
 		envCopy := env
-		a := campaign(sc.Table5Runs, sc.Seed+7000+int64(pi)*1000, func(seed int64) inject.Config {
+		a := campaign(sc, fmt.Sprintf("table5/period=%ds", int(period.Seconds())), sc.Table5Runs, func(seed int64) inject.Config {
 			return inject.Config{Seed: seed, Model: inject.ModelSIGINT, Target: inject.TargetFTM,
 				Apps: []*sift.AppSpec{roverApp()}, Env: &envCopy}
 		})
@@ -109,11 +109,6 @@ func Table5(sc Scale) (*Table, *Table5Data, error) {
 	}
 	t.Notes = append(t.Notes, "paper: perceived 77.9 -> 96.7 s from 5 s to 30 s periods; actual flat at ~73 s")
 	return t, data, nil
-}
-
-// cellSeed spaces campaign seeds so cells never share kernels.
-func cellSeed(base int64, model inject.Model, target inject.TargetKind) int64 {
-	return base + int64(model)*100000 + int64(target)*10000
 }
 
 func maxInt(a, b int) int {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"reesift/internal/apps/rover"
+	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
@@ -106,11 +107,18 @@ func (a *agg) add(r inject.Result) {
 	}
 }
 
-// campaign runs n seeds of a config generator and aggregates.
-func campaign(n int, seed int64, mk func(seed int64) inject.Config) agg {
+// campaign fans n trials of a config generator across the campaign
+// engine's worker pool and aggregates the results in run order. Trial
+// seeds derive from (sc.Seed, id, run); id is the campaign's global
+// identity ("table4/SIGINT/FTM", ...), so no two campaigns ever replay
+// the same kernels. The aggregate is a pure function of sc.Seed — the
+// worker count changes wall-clock time only.
+func campaign(sc Scale, id string, n int, mk func(seed int64) inject.Config) agg {
 	var a agg
-	for i := 0; i < n; i++ {
-		a.add(inject.Run(mk(seed + int64(i))))
+	for _, r := range engine.Map(sc.Workers, n, func(run int) inject.Result {
+		return inject.Run(mk(engine.DeriveSeed(sc.Seed, id, run)))
+	}) {
+		a.add(r)
 	}
 	return a
 }
@@ -118,14 +126,17 @@ func campaign(n int, seed int64, mk func(seed int64) inject.Config) agg {
 // campaignUntilFailures keeps running until `quota` target failures are
 // observed or maxRuns is exhausted (the paper's register/text methodology:
 // "the goal was to achieve between 90 and 100 error activations per
-// target").
-func campaignUntilFailures(quota, maxRuns int, seed int64, mk func(seed int64) inject.Config) (agg, int) {
+// target"). Trials run in fixed-size parallel waves; results are folded
+// in run order with the sequential stopping rule, so the chosen run
+// count matches a sequential loop exactly at every worker count.
+func campaignUntilFailures(sc Scale, id string, quota, maxRuns int, mk func(seed int64) inject.Config) (agg, int) {
 	var a agg
-	runs := 0
-	for a.failures < quota && runs < maxRuns {
-		a.add(inject.Run(mk(seed + int64(runs))))
-		runs++
-	}
+	runs := engine.Until(sc.Workers, maxRuns, func(run int) inject.Result {
+		return inject.Run(mk(engine.DeriveSeed(sc.Seed, id, run)))
+	}, func(r inject.Result) bool {
+		a.add(r)
+		return a.failures >= quota
+	})
 	return a, runs
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	engine "reesift/internal/campaign"
 	"reesift/internal/core"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
@@ -65,9 +66,13 @@ func Figure6(sc Scale) (*Table, *Figure6Data, error) {
 	}
 	piPeriod := 20 * time.Second
 	steps := maxInt(4, sc.Runs/2)
-	for i := 0; i < steps; i++ {
-		hangAt := 20*time.Second + time.Duration(int64(i)*int64(40*time.Second)/int64(steps))
-		k := sim.NewKernel(sim.DefaultConfig(sc.Seed + 41000 + int64(i)))
+	type hangProbe struct {
+		hangAt, abs, detected time.Duration
+	}
+	for _, pr := range engine.Map(sc.Workers, steps, func(run int) hangProbe {
+		hangAt := 20*time.Second + time.Duration(int64(run)*int64(40*time.Second)/int64(steps))
+		k := sim.NewKernel(sim.DefaultConfig(engine.DeriveSeed(sc.Seed, "figure6", run)))
+		defer k.Shutdown()
 		env := sift.New(k, sift.DefaultEnvConfig())
 		env.Setup()
 		app := roverApp()
@@ -79,22 +84,21 @@ func Figure6(sc Scale) (*Table, *Figure6Data, error) {
 			}
 		})
 		k.Run(abs + 3*piPeriod)
-		var detected time.Duration
 		for _, d := range env.Log.AppDetections {
 			if d.Hang {
-				detected = d.At
-				break
+				return hangProbe{hangAt: hangAt, abs: abs, detected: d.At}
 			}
 		}
-		k.Shutdown()
-		if detected == 0 {
+		return hangProbe{hangAt: hangAt, abs: abs}
+	}) {
+		if pr.detected == 0 {
 			continue
 		}
-		lat := detected - abs
-		data.HangOffsets = append(data.HangOffsets, hangAt%piPeriod)
+		lat := pr.detected - pr.abs
+		data.HangOffsets = append(data.HangOffsets, pr.hangAt%piPeriod)
 		data.Latencies = append(data.Latencies, lat)
 		t.Rows = append(t.Rows, []Cell{
-			durCell(abs), durCell(detected), durCell(lat),
+			durCell(pr.abs), durCell(pr.detected), durCell(lat),
 			flt(float64(lat)/float64(piPeriod), 2),
 		})
 	}
@@ -125,8 +129,10 @@ func Figure7(sc Scale) (*Table, *Figure7Data, error) {
 		100 * time.Millisecond, 10 * time.Second, 30 * time.Second,
 		50 * time.Second, 70 * time.Second, 77 * time.Second,
 	}
-	for i, off := range offsets {
-		res := runWithFTMKill(sc.Seed+42000+int64(i), off)
+	for i, res := range engine.Map(sc.Workers, len(offsets), func(run int) inject.Result {
+		return runWithFTMKill(engine.DeriveSeed(sc.Seed, "figure7", run), offsets[run])
+	}) {
+		off := offsets[i]
 		if !res.Done {
 			t.Rows = append(t.Rows, []Cell{durCell(off), str("system failure"), str("-")})
 			continue

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"reesift/internal/apps/rover"
+	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
@@ -32,7 +33,7 @@ func Table7(sc Scale) (*Table, *Table7Data, error) {
 	}
 	for _, target := range table7Targets {
 		target := target
-		a := campaign(sc.Runs, cellSeed(sc.Seed+700000, inject.ModelHeap, target), func(seed int64) inject.Config {
+		a := campaign(sc, "table7/"+target.String(), sc.Runs, func(seed int64) inject.Config {
 			return inject.Config{Seed: seed, Model: inject.ModelHeap, Target: target,
 				Apps: []*sift.AppSpec{roverApp()}}
 		})
@@ -85,16 +86,18 @@ func Table8And9(sc Scale) (*Table, *Table, *Table8Data, error) {
 		inject.SysStartApplication, inject.SysUninstallAfterCompletion,
 		inject.SysAppNotCompleted,
 	}
-	for ei, element := range ftmElements {
+	for _, element := range ftmElements {
 		data.Sys[element] = make(map[inject.SystemFailureMode]int)
-		for i := 0; i < sc.TargetedHeapRuns; i++ {
-			res := inject.Run(inject.Config{
-				Seed:    sc.Seed + 800000 + int64(ei)*10000 + int64(i),
+		results := engine.Map(sc.Workers, sc.TargetedHeapRuns, func(run int) inject.Result {
+			return inject.Run(inject.Config{
+				Seed:    engine.DeriveSeed(sc.Seed, "table8/"+element, run),
 				Model:   inject.ModelHeapData,
 				Target:  inject.TargetFTM,
 				Element: element,
 				Apps:    []*sift.AppSpec{roverApp()},
 			})
+		})
+		for _, res := range results {
 			if res.Injected == 0 {
 				continue
 			}
@@ -182,14 +185,16 @@ func Table10(sc Scale) (*Table, *Table10Data, error) {
 		return nil, nil, err
 	}
 	check := func(fs *sim.FS) string { return rover.Verify(fs, 1, ref, p.Tolerance).String() }
-	for i := 0; i < sc.AppHeapRuns; i++ {
-		res := inject.Run(inject.Config{
-			Seed:         sc.Seed + 900000 + int64(i),
+	results := engine.Map(sc.Workers, sc.AppHeapRuns, func(run int) inject.Result {
+		return inject.Run(inject.Config{
+			Seed:         engine.DeriveSeed(sc.Seed, "table10", run),
 			Model:        inject.ModelAppHeap,
 			Target:       inject.TargetApp,
 			Apps:         []*sift.AppSpec{roverApp()},
 			CheckVerdict: check,
 		})
+	})
+	for _, res := range results {
 		if res.Injected == 0 {
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 
 	"reesift/internal/apps/otis"
 	"reesift/internal/apps/rover"
+	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
 	"reesift/internal/stats"
@@ -65,43 +66,56 @@ func Table11And12(sc Scale) (*Table, *Table, *Table11And12Data, error) {
 		Armors:  make(map[inject.Model]*multiAgg),
 	}
 	// Baseline: both applications standalone (no SIFT) on six nodes.
+	type basePair struct {
+		rover, otis time.Duration
+		rOK, oOK    bool
+	}
 	baseRuns := maxInt(2, sc.MultiAppRuns/2)
-	for i := 0; i < baseRuns; i++ {
-		k := newBaselineKernel(sc.Seed + 50000 + int64(i))
+	for _, b := range engine.Map(sc.Workers, baseRuns, func(run int) basePair {
+		k := newBaselineKernel(engine.DeriveSeed(sc.Seed, "table11/baseline", run))
+		defer k.Shutdown()
 		rspec := rover.Spec(1, []string{"n1", "n2"}, rover.DefaultParams())
 		ospec := otis.Spec(2, []string{"n3", "n4"}, otis.DefaultParams())
 		mr := sift.RunStandalone(k, rspec, time.Second)
 		mo := sift.RunStandalone(k, ospec, time.Second)
 		k.Run(20 * time.Minute)
-		if d, ok := mr(); ok {
-			data.BaselineRover.AddDuration(d)
+		var b basePair
+		b.rover, b.rOK = mr()
+		b.otis, b.oOK = mo()
+		return b
+	}) {
+		if b.rOK {
+			data.BaselineRover.AddDuration(b.rover)
 		}
-		if d, ok := mo(); ok {
-			data.BaselineOTIS.AddDuration(d)
+		if b.oOK {
+			data.BaselineOTIS.AddDuration(b.otis)
 		}
-		k.Shutdown()
 	}
 
 	armorTargets := []inject.TargetKind{inject.TargetFTM, inject.TargetExecArmor, inject.TargetHeartbeat}
 	for _, model := range multiAppModels {
 		oa := &multiAgg{}
-		for i := 0; i < sc.MultiAppRuns; i++ {
-			oa.addMulti(inject.Run(inject.Config{
-				Seed:  sc.Seed + 60000 + int64(model)*1000 + int64(i),
+		for _, r := range engine.Map(sc.Workers, sc.MultiAppRuns, func(run int) inject.Result {
+			return inject.Run(inject.Config{
+				Seed:  engine.DeriveSeed(sc.Seed, "table11/otis/"+model.String(), run),
 				Model: model, Target: inject.TargetApp,
 				Apps: multiAppSpecs(),
-			}))
+			})
+		}) {
+			oa.addMulti(r)
 		}
 		data.OTISApp[model] = oa
 
 		ar := &multiAgg{}
-		for ti, target := range armorTargets {
-			for i := 0; i < sc.MultiAppRuns; i++ {
-				ar.addMulti(inject.Run(inject.Config{
-					Seed:  sc.Seed + 70000 + int64(model)*3000 + int64(ti)*500 + int64(i),
+		for _, target := range armorTargets {
+			for _, r := range engine.Map(sc.Workers, sc.MultiAppRuns, func(run int) inject.Result {
+				return inject.Run(inject.Config{
+					Seed:  engine.DeriveSeed(sc.Seed, "table11/armors/"+model.String()+"/"+target.String(), run),
 					Model: model, Target: target,
 					Apps: multiAppSpecs(),
-				}))
+				})
+			}) {
+				ar.addMulti(r)
 			}
 		}
 		data.Armors[model] = ar

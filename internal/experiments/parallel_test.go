@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	engine "reesift/internal/campaign"
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+)
+
+// TestCampaignDeterminismAcrossWorkerCounts is the campaign engine's
+// core guarantee: a table is a pure function of (Scale, Seed), and the
+// worker count changes wall-clock time only. Table4 exercises the
+// fixed-count path, Table6 the wave-based failure-quota path, Table7 the
+// heap campaigns; their rendered output must be byte-identical at 1, 2,
+// and 8 workers.
+func TestCampaignDeterminismAcrossWorkerCounts(t *testing.T) {
+	render := func(workers int) string {
+		sc := tinyScale()
+		sc.Workers = workers
+		t4, _, err := Table4(sc)
+		if err != nil {
+			t.Fatalf("workers=%d: table4: %v", workers, err)
+		}
+		t6, _, err := Table6(sc)
+		if err != nil {
+			t.Fatalf("workers=%d: table6: %v", workers, err)
+		}
+		t7, _, err := Table7(sc)
+		if err != nil {
+			t.Fatalf("workers=%d: table7: %v", workers, err)
+		}
+		return t4.Render() + "\n" + t6.Render() + "\n" + t7.Render()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != want {
+			t.Fatalf("workers=%d rendered differently than workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestCampaignUntilFailuresMatchesSequentialCount pins the wave
+// semantics: the parallel failure-quota search must choose exactly the
+// run count a sequential loop would, and aggregate exactly the same
+// trials.
+func TestCampaignUntilFailuresMatchesSequentialCount(t *testing.T) {
+	sc := tinyScale()
+	const id = "test/wave-count"
+	mk := func(seed int64) inject.Config {
+		return inject.Config{Seed: seed, Model: inject.ModelRegister, Target: inject.TargetFTM,
+			Apps: []*sift.AppSpec{roverApp()}}
+	}
+
+	var ref agg
+	seqRuns := 0
+	for ref.failures < sc.FailureQuota && seqRuns < sc.MaxRunsPerCell {
+		ref.add(inject.Run(mk(engine.DeriveSeed(sc.Seed, id, seqRuns))))
+		seqRuns++
+	}
+	if seqRuns == sc.MaxRunsPerCell {
+		t.Fatalf("fixture never reached the failure quota (%d runs); pick a different cell", seqRuns)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		scw := sc
+		scw.Workers = workers
+		a, runs := campaignUntilFailures(scw, id, sc.FailureQuota, sc.MaxRunsPerCell, mk)
+		if runs != seqRuns {
+			t.Fatalf("workers=%d: chose %d runs, sequential chose %d", workers, runs, seqRuns)
+		}
+		if !reflect.DeepEqual(a, ref) {
+			t.Fatalf("workers=%d: aggregate diverged from sequential:\n%+v\nvs\n%+v", workers, a, ref)
+		}
+	}
+}

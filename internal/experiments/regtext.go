@@ -31,8 +31,8 @@ func Table6(sc Scale) (*Table, *Table6Data, error) {
 		t.Rows = append(t.Rows, strRow("-- "+model.String()+" --", "", "", "", "", "", "", "", "", ""))
 		for _, target := range table4Targets {
 			model, target := model, target
-			a, runs := campaignUntilFailures(sc.FailureQuota, sc.MaxRunsPerCell,
-				cellSeed(sc.Seed+600000, model, target), func(seed int64) inject.Config {
+			a, runs := campaignUntilFailures(sc, "table6/"+model.String()+"/"+target.String(),
+				sc.FailureQuota, sc.MaxRunsPerCell, func(seed int64) inject.Config {
 					return inject.Config{Seed: seed, Model: model, Target: target,
 						Apps: []*sift.AppSpec{roverApp()}}
 				})

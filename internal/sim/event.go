@@ -5,16 +5,24 @@ import "time"
 // Event is a scheduled kernel callback. Events fire in (time, sequence)
 // order, which makes the simulation deterministic.
 type Event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int
+	owner *eventHeap
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired event
-// is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents the event from firing by eagerly removing it from the
+// kernel's event heap in O(log n) — heartbeat and watchdog timers are
+// cancelled and re-armed constantly, and letting dead events age out at
+// their fire time would keep the heap inflated for the whole run.
+// Cancelling an already-fired or already-cancelled event is a no-op
+// (its index is -1 once it leaves the heap).
+func (e *Event) Cancel() {
+	if e.owner != nil && e.index >= 0 {
+		e.owner.remove(e.index)
+	}
+}
 
 // At reports the virtual time at which the event fires.
 func (e *Event) At() time.Duration { return e.at }
@@ -54,6 +62,27 @@ func (h *eventHeap) pop() (*Event, bool) {
 	}
 	top.index = -1
 	return top, true
+}
+
+// remove deletes the event at heap position i, restoring heap order by
+// sifting the swapped-in tail element whichever way it needs to go.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	if i < 0 || i > n {
+		return
+	}
+	old[i].index = -1
+	if i != n {
+		old[i] = old[n]
+		old[i].index = i
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
 }
 
 func (h eventHeap) up(i int) {

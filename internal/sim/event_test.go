@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCancelRemovesEventFromHeap(t *testing.T) {
+	k := newTestKernel(t)
+	var evs []*Event
+	for i := 0; i < 32; i++ {
+		evs = append(evs, k.Schedule(time.Duration(i)*time.Second, func() {}))
+	}
+	if len(k.events) != 32 {
+		t.Fatalf("heap size = %d, want 32", len(k.events))
+	}
+	// Cancel from the middle, the head, and the tail: each must shrink
+	// the heap immediately, not at fire time.
+	for n, ev := range []*Event{evs[13], evs[0], evs[31]} {
+		ev.Cancel()
+		if want := 31 - n; len(k.events) != want {
+			t.Fatalf("after %d cancels: heap size = %d, want %d", n+1, len(k.events), want)
+		}
+	}
+	// Double cancel is a no-op.
+	evs[13].Cancel()
+	if len(k.events) != 29 {
+		t.Fatalf("double cancel changed heap size to %d", len(k.events))
+	}
+}
+
+func TestCancelPreservesFireOrder(t *testing.T) {
+	k := newTestKernel(t)
+	var fired []int
+	var evs []*Event
+	for i := 0; i < 50; i++ {
+		i := i
+		// Reverse-ordered times exercise the sift paths on removal.
+		evs = append(evs, k.Schedule(time.Duration(50-i)*time.Second, func() {
+			fired = append(fired, 50-i)
+		}))
+	}
+	for i := 0; i < 50; i += 3 {
+		evs[i].Cancel()
+	}
+	k.Run(time.Hour)
+	want := -1
+	for _, at := range fired {
+		if at <= want {
+			t.Fatalf("events fired out of order: %v", fired)
+		}
+		want = at
+	}
+	if len(fired) != 33 {
+		t.Fatalf("fired %d events, want 33", len(fired))
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	k := newTestKernel(t)
+	fired := false
+	ev := k.Schedule(time.Second, func() { fired = true })
+	k.Schedule(2*time.Second, func() {})
+	k.Run(time.Hour)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	before := len(k.events)
+	ev.Cancel()
+	if len(k.events) != before {
+		t.Fatal("cancelling a fired event disturbed the heap")
+	}
+}

@@ -168,7 +168,7 @@ func (k *Kernel) Schedule(d time.Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	ev := &Event{at: k.now + d, seq: k.seq, fn: fn}
+	ev := &Event{at: k.now + d, seq: k.seq, fn: fn, owner: &k.events}
 	k.seq++
 	k.events.push(ev)
 	return ev
@@ -196,9 +196,6 @@ func (k *Kernel) Run(limit time.Duration) time.Duration {
 		ev, ok := k.events.pop()
 		if !ok {
 			break
-		}
-		if ev.cancelled {
-			continue
 		}
 		if ev.at > limit {
 			// Push back so a later Run with a larger limit resumes.

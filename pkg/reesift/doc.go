@@ -31,4 +31,10 @@
 //
 // Single fault-injection runs are available through the Injection type,
 // which accepts the same cluster options for the run's environment.
+//
+// Scenario campaigns fan their injection trials across a worker pool
+// (Scale.Workers; zero means GOMAXPROCS) and reduce results in run-seed
+// order, so every Result is a pure function of Scale and Seed: the
+// worker count changes wall-clock time only, never a table cell or a
+// tally.
 package reesift

@@ -16,7 +16,12 @@ type Result struct {
 	// Runs counts the injection-framework runs executed by this
 	// scenario. Scenarios that drive the simulation kernel directly
 	// (the figure traces) perform work the census cannot see and
-	// report zero.
+	// report zero. Failure-quota campaigns (table6) run in fixed-size
+	// waves and execute up to one wave of trials past the stopping
+	// index; those discarded trials are real executed work and are
+	// counted here, so Runs can exceed the table's per-cell RUNS
+	// column. The overshoot is deterministic: identical at every
+	// worker count.
 	Runs int `json:"runs"`
 	// Injections counts individual error insertions (a repeated-flip
 	// run contributes more than one).

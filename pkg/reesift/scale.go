@@ -21,6 +21,19 @@ type Scale struct {
 	MultiAppRuns int
 	// Seed offsets all campaigns.
 	Seed int64
+	// Workers sets the campaign engine's worker-pool size; zero or
+	// negative means GOMAXPROCS. Campaign trials are pure functions of
+	// their derived seeds and are reduced in run order, so Workers
+	// changes only wall-clock time — every table is byte-identical at
+	// any worker count.
+	Workers int
+}
+
+// WithWorkers returns a copy of the scale with the campaign worker-pool
+// size set (0 = GOMAXPROCS): reesift.PaperScale().WithWorkers(4).
+func (sc Scale) WithWorkers(n int) Scale {
+	sc.Workers = n
+	return sc
 }
 
 // SmallScale is sized for CI: every mechanism is exercised, every table
