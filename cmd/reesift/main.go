@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,17 +28,23 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	scaleFlag := flag.String("scale", "small", "campaign scale: small or paper")
-	seed := flag.Int64("seed", 1, "campaign seed")
-	workers := flag.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS); output is identical at any value")
-	expFlag := flag.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
-	formatFlag := flag.String("format", "text", "output format: text or json")
-	listFlag := flag.Bool("list", false, "list registered experiment ids and exit")
-	flag.Parse()
+// run is the testable CLI body: flags parse from args on a private
+// FlagSet and all output goes to the given writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reesift", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleFlag := fs.String("scale", "small", "campaign scale: small or paper")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	workers := fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS); output is identical at any value")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
+	formatFlag := fs.String("format", "text", "output format: text or json")
+	listFlag := fs.Bool("list", false, "list registered experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listFlag {
 		for _, s := range reesift.Scenarios() {
@@ -45,7 +52,7 @@ func run() int {
 			if len(s.Aliases) > 0 {
 				id += " (" + strings.Join(s.Aliases, ", ") + ")"
 			}
-			fmt.Printf("%-40s %s\n", id, s.Title)
+			fmt.Fprintf(stdout, "%-40s %s\n", id, s.Title)
 		}
 		return 0
 	}
@@ -57,20 +64,20 @@ func run() int {
 	case "paper":
 		sc = reesift.PaperScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or paper)\n", *scaleFlag)
+		fmt.Fprintf(stderr, "unknown scale %q (want small or paper)\n", *scaleFlag)
 		return 2
 	}
 	sc.Seed = *seed
 	sc = sc.WithWorkers(*workers)
 
 	if *formatFlag != "text" && *formatFlag != "json" {
-		fmt.Fprintf(os.Stderr, "unknown format %q (want text or json)\n", *formatFlag)
+		fmt.Fprintf(stderr, "unknown format %q (want text or json)\n", *formatFlag)
 		return 2
 	}
 
 	scenarios, err := selectScenarios(*expFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -86,27 +93,27 @@ func run() int {
 				// A failing scenario may still have measured something;
 				// render whatever partial tables it produced.
 				if len(res.Tables) > 0 {
-					fmt.Println(res.Render())
+					fmt.Fprintln(stdout, res.Render())
 				}
-				fmt.Fprintf(os.Stderr, "%s: %v\n", s.ID, err)
+				fmt.Fprintf(stderr, "%s: %v\n", s.ID, err)
 			}
 		}
 		results = append(results, res)
 		if *formatFlag == "text" && res.Error == "" {
-			fmt.Println(res.Render())
-			fmt.Printf("[%s: %d runs, %d injections, %.1fs wall clock]\n\n",
+			fmt.Fprintln(stdout, res.Render())
+			fmt.Fprintf(stdout, "[%s: %d runs, %d injections, %.1fs wall clock]\n\n",
 				s.ID, res.Runs, res.Injections, res.WallClockSeconds)
 		}
 	}
 	if *formatFlag == "json" {
 		out, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "encoding results: %v\n", err)
+			fmt.Fprintf(stderr, "encoding results: %v\n", err)
 			return 1
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(stdout, string(out))
 	} else {
-		fmt.Printf("all requested experiments finished in %.1fs\n", time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "all requested experiments finished in %.1fs\n", time.Since(start).Seconds())
 	}
 	if failed > 0 {
 		return 1

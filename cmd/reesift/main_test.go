@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"reesift/pkg/reesift"
+)
+
+// TestListContainsEveryRegisteredID pins the CLI's discovery path: every
+// scenario the registry knows must be printed by -list.
+func TestListContainsEveryRegisteredID(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	scenarios := reesift.Scenarios()
+	if len(scenarios) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	for _, s := range scenarios {
+		if !strings.Contains(out, s.ID) {
+			t.Errorf("-list output missing scenario %q", s.ID)
+		}
+	}
+	if !strings.Contains(out, "ext-faults") {
+		t.Error("-list output missing the extension scenario")
+	}
+}
+
+// TestUnknownExperimentExitsNonzero pins the error path: a typo'd -exp
+// must fail loudly, not silently skip.
+func TestUnknownExperimentExitsNonzero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "no-such-table"}, &stdout, &stderr); code == 0 {
+		t.Fatal("run(-exp no-such-table) = 0, want nonzero")
+	}
+	if !strings.Contains(stderr.String(), "no-such-table") {
+		t.Errorf("stderr does not name the unknown id: %s", stderr.String())
+	}
+}
+
+// TestBadFlagsExitNonzero covers the remaining argument-validation exits.
+func TestBadFlagsExitNonzero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scale", "enormous"},
+		{"-format", "xml"},
+		{"-exp", ","},
+		{"-no-such-flag"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("run(%v) = 0, want nonzero", args)
+		}
+	}
+}
+
+// TestJSONFormatParses runs one cheap scenario end-to-end and checks the
+// -format json stream is valid and carries the scenario's tables.
+func TestJSONFormatParses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "table3", "-format", "json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(table3 json) = %d, stderr: %s", code, stderr.String())
+	}
+	var results []*reesift.Result
+	if err := json.Unmarshal(stdout.Bytes(), &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(results) != 1 || results[0].Scenario != "table3" {
+		t.Fatalf("unexpected results: %+v", results)
+	}
+	if len(results[0].Tables) == 0 || results[0].Error != "" {
+		t.Fatalf("table3 result incomplete: %+v", results[0])
+	}
+}

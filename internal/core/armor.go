@@ -435,7 +435,9 @@ func (a *Armor) handleEnvelope(p *sim.Proc, env Envelope) {
 			}
 		}
 		if !restoring {
-			p.Kernel().Tracef("%s: awaiting restore, dropping %v from %s", a.cfg.Name, env.Events[0].Kind, env.Src)
+			if p.Kernel().Tracing() {
+				p.Kernel().Tracef("%s: awaiting restore, dropping %v from %s", a.cfg.Name, env.Events[0].Kind, env.Src)
+			}
 			a.replyAliveOnly(p, env)
 			return
 		}
@@ -470,7 +472,9 @@ func (a *Armor) deliverEvents(p *sim.Proc, from AID, events []Event) {
 			continue
 		}
 		if ev.Kind == EventRestore {
-			p.Kernel().Tracef("%s: restoring from checkpoint on command", a.cfg.Name)
+			if p.Kernel().Tracing() {
+				p.Kernel().Tracef("%s: restoring from checkpoint on command", a.cfg.Name)
+			}
 			a.restoreFromCheckpoint()
 			a.Restored = true
 			a.Start(p)
@@ -566,7 +570,9 @@ func (a *Armor) restoreFromCheckpoint() {
 	if err != nil {
 		a.proc.Crash(fmt.Sprintf("%s: checkpoint unparseable: %v", ReasonRestoreFail, err))
 	}
-	a.proc.Kernel().Tracef("%s: restore found regions %v", a.cfg.Name, a.ckpt.Elements())
+	if a.proc.Kernel().Tracing() {
+		a.proc.Kernel().Tracef("%s: restore found regions %v", a.cfg.Name, a.ckpt.Elements())
+	}
 	if data := a.ckpt.Region(commName); data != nil {
 		if err := a.comm.restore(data); err != nil {
 			a.proc.Crash(fmt.Sprintf("%s: comm state: %v", ReasonRestoreFail, err))

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"reesift/internal/sim"
@@ -88,6 +89,31 @@ func (c *Checkpoint) Load() (bool, error) {
 // Discard removes the stable checkpoint, used when an ARMOR is cleanly
 // uninstalled.
 func (c *Checkpoint) Discard() { c.store.Remove(c.path) }
+
+// Path locates the checkpoint in its store.
+func (c *Checkpoint) Path() string { return c.path }
+
+// StableSize returns the byte size of the committed image on stable
+// storage (0 when nothing has been committed yet).
+func (c *Checkpoint) StableSize() int { return c.store.Size(c.path) }
+
+// CorruptStable flips `flips` random bits of the committed checkpoint
+// image in stable storage — the injection hook for the paper's "error
+// corrupted the FTM's checkpoint prior to crashing" scenario. The
+// in-process buffer is untouched; the damage surfaces only when a
+// recovery loads the image. It reports false when no image has been
+// committed (nothing to corrupt).
+func (c *Checkpoint) CorruptStable(rng *rand.Rand, flips int) bool {
+	size := c.store.Size(c.path)
+	if size == 0 {
+		return false
+	}
+	for i := 0; i < flips; i++ {
+		// Size and offset stay in range, so CorruptBit cannot fail.
+		_ = c.store.CorruptBit(c.path, rng.Intn(size), uint(rng.Intn(8)))
+	}
+	return true
+}
 
 // encode flattens regions deterministically (sorted by element name).
 func (c *Checkpoint) encode() []byte {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -192,5 +194,65 @@ func TestCommStateRestoreRejectsGarbage(t *testing.T) {
 	c := newCommState()
 	if err := c.restore([]byte{0xde, 0xad}); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCorruptStableFlipsCommittedImage(t *testing.T) {
+	store := sim.NewFS()
+	c := NewCheckpoint(store, "ckpt/test")
+	rng := rand.New(rand.NewSource(1))
+
+	// Nothing committed yet: nothing to corrupt.
+	if c.CorruptStable(rng, 3) {
+		t.Fatal("corrupted a checkpoint that was never committed")
+	}
+	if c.StableSize() != 0 {
+		t.Fatalf("StableSize = %d before any commit", c.StableSize())
+	}
+
+	c.Update("elem", []byte{1, 2, 3, 4})
+	c.Commit()
+	before, _ := store.Read(c.Path())
+	if !c.CorruptStable(rng, 3) {
+		t.Fatal("CorruptStable found no committed image")
+	}
+	after, _ := store.Read(c.Path())
+	if len(after) != len(before) {
+		t.Fatalf("corruption changed image size: %d -> %d", len(before), len(after))
+	}
+	diff := 0
+	for i := range before {
+		if before[i] != after[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("three bit flips left the image unchanged")
+	}
+	// The in-process buffer must be untouched: the damage surfaces only
+	// on a later restore.
+	if got := c.Region("elem"); len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("in-process region perturbed: %v", got)
+	}
+	if c.StableSize() != len(after) {
+		t.Fatalf("StableSize = %d, want %d", c.StableSize(), len(after))
+	}
+}
+
+func TestCorruptStableDeterministic(t *testing.T) {
+	image := func(seed int64) []byte {
+		store := sim.NewFS()
+		c := NewCheckpoint(store, "ckpt/d")
+		c.Update("a", bytes.Repeat([]byte{0xAA}, 64))
+		c.Commit()
+		c.CorruptStable(rand.New(rand.NewSource(seed)), 4)
+		data, _ := store.Read("ckpt/d")
+		return data
+	}
+	if !bytes.Equal(image(5), image(5)) {
+		t.Fatal("same RNG seed produced different corruption")
+	}
+	if bytes.Equal(image(5), image(6)) {
+		t.Fatal("different RNG seeds produced identical corruption")
 	}
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"reesift/internal/inject"
+	"reesift/pkg/reesift"
+)
+
+// TestExtensionScenarioRegistered: the extension table must be
+// discoverable from the scenario registry like every paper artifact.
+func TestExtensionScenarioRegistered(t *testing.T) {
+	s, ok := reesift.Lookup("ext-faults")
+	if !ok {
+		t.Fatal("ext-faults not registered")
+	}
+	if _, ok := reesift.Lookup("extension"); !ok {
+		t.Fatal("extension alias not registered")
+	}
+	if s.Run == nil || s.Title == "" {
+		t.Fatalf("ext-faults registration incomplete: %+v", s)
+	}
+}
+
+// TestExtensionWorkerCountInvariance: the extension campaign must be a
+// pure function of the scale's seed at any worker count, like every
+// other campaign on the engine.
+func TestExtensionWorkerCountInvariance(t *testing.T) {
+	render := func(workers int) string {
+		sc := tinyScale()
+		sc.Workers = workers
+		tbl, _, err := TableExtension(sc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.Render()
+	}
+	want := render(1)
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != want {
+			t.Fatalf("workers=%d rendered differently than workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestExtensionCampaignMechanismsReachable: each extension model's cell
+// must actually insert errors at tiny scale — a silent all-zero column
+// would mean the model never armed.
+func TestExtensionCampaignMechanismsReachable(t *testing.T) {
+	sc := tinyScale()
+	_, data, err := TableExtension(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectedByModel := map[inject.Model]int{}
+	for _, cell := range extCells {
+		a := data.Cells[cell.model.String()+"/"+cell.target.String()]
+		injectedByModel[cell.model] += a.injectedRuns
+	}
+	for _, m := range []inject.Model{inject.ModelMsgDrop, inject.ModelMsgCorrupt,
+		inject.ModelCheckpoint, inject.ModelNodeCrash} {
+		if injectedByModel[m] == 0 {
+			t.Errorf("model %s never injected at tiny scale", m)
+		}
+	}
+}

@@ -155,4 +155,13 @@ func init() {
 		Aliases: []string{"ablation-checkpoint-store"},
 		Run:     single(AblationSharedCheckpoints),
 	})
+	reesift.Register(reesift.Scenario{
+		ID:      "ext-faults",
+		Title:   "Extension: communication, checkpoint-store, and node faults",
+		Aliases: []string{"extension"},
+		Run: single(func(sc Scale) (*Table, error) {
+			t, _, err := TableExtension(sc)
+			return t, err
+		}),
+	})
 }

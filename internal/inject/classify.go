@@ -1,0 +1,119 @@
+package inject
+
+import (
+	"fmt"
+	"strings"
+
+	"reesift/internal/core"
+)
+
+// TargetKind selects the process under injection.
+type TargetKind int
+
+// Targets (the paper's four: the application plus the three ARMOR kinds).
+const (
+	TargetNone TargetKind = iota
+	TargetApp
+	TargetFTM
+	TargetExecArmor
+	TargetHeartbeat
+)
+
+// String names the target.
+func (t TargetKind) String() string {
+	switch t {
+	case TargetNone:
+		return "none"
+	case TargetApp:
+		return "application"
+	case TargetFTM:
+		return "FTM"
+	case TargetExecArmor:
+		return "Execution ARMOR"
+	case TargetHeartbeat:
+		return "Heartbeat ARMOR"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// FailureClass is the paper's four-way classification (Table 6).
+type FailureClass int
+
+// Failure classes.
+const (
+	ClassNone FailureClass = iota
+	ClassSegFault
+	ClassIllegalInstr
+	ClassHang
+	ClassAssertion
+)
+
+// String names the class.
+func (c FailureClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassSegFault:
+		return "seg-fault"
+	case ClassIllegalInstr:
+		return "illegal-instr"
+	case ClassHang:
+		return "hang"
+	case ClassAssertion:
+		return "assertion"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// classify maps a process exit reason to the paper's failure classes.
+func classify(reason string, hang bool) FailureClass {
+	switch {
+	case hang:
+		return ClassHang
+	case strings.HasPrefix(reason, core.ReasonAssertion):
+		return ClassAssertion
+	case strings.HasPrefix(reason, core.ReasonIllegal):
+		return ClassIllegalInstr
+	case strings.HasPrefix(reason, core.ReasonSegfault),
+		strings.HasPrefix(reason, core.ReasonRestoreFail):
+		return ClassSegFault
+	default:
+		return ClassSegFault // SIGINT and other abrupt terminations
+	}
+}
+
+// SystemFailureMode refines a system failure by the run phase it broke
+// (the Table 8 columns).
+type SystemFailureMode int
+
+// System failure modes.
+const (
+	SysNone SystemFailureMode = iota
+	SysRegisterDaemons
+	SysInstallExecArmors
+	SysStartApplication
+	SysUninstallAfterCompletion
+	SysAppNotCompleted
+)
+
+// String names the mode.
+func (m SystemFailureMode) String() string {
+	switch m {
+	case SysNone:
+		return "none"
+	case SysRegisterDaemons:
+		return "unable to register daemons"
+	case SysInstallExecArmors:
+		return "unable to install Execution ARMORs"
+	case SysStartApplication:
+		return "unable to start application"
+	case SysUninstallAfterCompletion:
+		return "unable to uninstall after completion"
+	case SysAppNotCompleted:
+		return "application did not complete"
+	default:
+		return fmt.Sprintf("SysMode(%d)", int(m))
+	}
+}

@@ -1,0 +1,100 @@
+package inject
+
+import (
+	"testing"
+
+	"reesift/internal/core"
+)
+
+// TestClassifyEveryBranch pins classify before and after the Runner
+// refactor: every reason prefix and the hang override map to exactly one
+// of the paper's four classes.
+func TestClassifyEveryBranch(t *testing.T) {
+	cases := []struct {
+		name   string
+		reason string
+		hang   bool
+		want   FailureClass
+	}{
+		{"hang overrides reason", core.ReasonSegfault, true, ClassHang},
+		{"hang with empty reason", "", true, ClassHang},
+		{"assertion", core.ReasonAssertion + ": element node_mgmt: zero daemon ID", false, ClassAssertion},
+		{"assertion bare prefix", core.ReasonAssertion, false, ClassAssertion},
+		{"illegal instruction", core.ReasonIllegal, false, ClassIllegalInstr},
+		{"segfault", core.ReasonSegfault, false, ClassSegFault},
+		{"segfault from corrupted message", core.ReasonCorruptedMsg, false, ClassSegFault},
+		{"restore failure counts as segfault", core.ReasonRestoreFail + ": checkpoint unparseable", false, ClassSegFault},
+		{"SIGINT falls through to segfault", "SIGINT", false, ClassSegFault},
+		{"node failure falls through to segfault", "node n1 failure", false, ClassSegFault},
+		{"empty reason falls through to segfault", "", false, ClassSegFault},
+	}
+	for _, c := range cases {
+		if got := classify(c.reason, c.hang); got != c.want {
+			t.Errorf("%s: classify(%q, %v) = %v, want %v", c.name, c.reason, c.hang, got, c.want)
+		}
+	}
+}
+
+// TestFailureClassStringEveryValue covers every named class and the
+// out-of-range fallback.
+func TestFailureClassStringEveryValue(t *testing.T) {
+	cases := []struct {
+		c    FailureClass
+		want string
+	}{
+		{ClassNone, "none"},
+		{ClassSegFault, "seg-fault"},
+		{ClassIllegalInstr, "illegal-instr"},
+		{ClassHang, "hang"},
+		{ClassAssertion, "assertion"},
+		{FailureClass(99), "Class(99)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("FailureClass(%d).String() = %q, want %q", int(c.c), got, c.want)
+		}
+	}
+}
+
+// TestSystemFailureModeStringEveryValue covers every Table 8 phase name
+// and the out-of-range fallback.
+func TestSystemFailureModeStringEveryValue(t *testing.T) {
+	cases := []struct {
+		m    SystemFailureMode
+		want string
+	}{
+		{SysNone, "none"},
+		{SysRegisterDaemons, "unable to register daemons"},
+		{SysInstallExecArmors, "unable to install Execution ARMORs"},
+		{SysStartApplication, "unable to start application"},
+		{SysUninstallAfterCompletion, "unable to uninstall after completion"},
+		{SysAppNotCompleted, "application did not complete"},
+		{SystemFailureMode(99), "SysMode(99)"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("SystemFailureMode(%d).String() = %q, want %q", int(c.m), got, c.want)
+		}
+	}
+}
+
+// TestTargetKindStringEveryValue covers every target name and the
+// out-of-range fallback.
+func TestTargetKindStringEveryValue(t *testing.T) {
+	cases := []struct {
+		k    TargetKind
+		want string
+	}{
+		{TargetNone, "none"},
+		{TargetApp, "application"},
+		{TargetFTM, "FTM"},
+		{TargetExecArmor, "Execution ARMOR"},
+		{TargetHeartbeat, "Heartbeat ARMOR"},
+		{TargetKind(99), "Target(99)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("TargetKind(%d).String() = %q, want %q", int(c.k), got, c.want)
+		}
+	}
+}

@@ -2,7 +2,9 @@
 // error-injection campaigns against the SIFT environment and its
 // applications. Following NFTAPE's design point, the control, monitoring,
 // and data-collection machinery (the Runner) is separated from the error
-// injectors — one injector per error model of Table 2:
+// injectors: each error model is a self-registered Injector in its own
+// file, discovered through a registry keyed by Model. The paper's Table 2
+// models:
 //
 //	SIGINT    clean crash (kill the target process)
 //	SIGSTOP   clean hang (suspend the target process)
@@ -11,6 +13,13 @@
 //	Heap      repeated bit flips in live element state
 //	HeapData  one targeted non-pointer data flip in a named element
 //	AppHeap   one bit flip in the application's real numeric heap
+//
+// plus the extension models beyond the paper's campaigns:
+//
+//	MsgDrop     transient message omission on the target's network traffic
+//	MsgCorrupt  transient message value corruption (fail-silence violation)
+//	Checkpoint  bit flips in the target's stable checkpoint image
+//	NodeCrash   whole-node failure under the target, with delayed restart
 //
 // Each run builds a fresh simulated cluster, SIFT environment, and
 // application from a seed, schedules the injector, runs to completion or
@@ -22,167 +31,12 @@
 package inject
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
-	"strings"
 	"time"
 
-	"reesift/internal/core"
 	"reesift/internal/memsim"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
 )
-
-// Model selects the error model (Table 2).
-type Model int
-
-// Error models.
-const (
-	ModelNone Model = iota
-	ModelSIGINT
-	ModelSIGSTOP
-	ModelRegister
-	ModelText
-	ModelHeap
-	ModelHeapData
-	ModelAppHeap
-)
-
-// String names the model.
-func (m Model) String() string {
-	switch m {
-	case ModelNone:
-		return "baseline"
-	case ModelSIGINT:
-		return "SIGINT"
-	case ModelSIGSTOP:
-		return "SIGSTOP"
-	case ModelRegister:
-		return "register"
-	case ModelText:
-		return "text-segment"
-	case ModelHeap:
-		return "heap"
-	case ModelHeapData:
-		return "heap-targeted"
-	case ModelAppHeap:
-		return "app-heap"
-	default:
-		return fmt.Sprintf("Model(%d)", int(m))
-	}
-}
-
-// TargetKind selects the process under injection.
-type TargetKind int
-
-// Targets (the paper's four: the application plus the three ARMOR kinds).
-const (
-	TargetNone TargetKind = iota
-	TargetApp
-	TargetFTM
-	TargetExecArmor
-	TargetHeartbeat
-)
-
-// String names the target.
-func (t TargetKind) String() string {
-	switch t {
-	case TargetNone:
-		return "none"
-	case TargetApp:
-		return "application"
-	case TargetFTM:
-		return "FTM"
-	case TargetExecArmor:
-		return "Execution ARMOR"
-	case TargetHeartbeat:
-		return "Heartbeat ARMOR"
-	default:
-		return fmt.Sprintf("Target(%d)", int(t))
-	}
-}
-
-// FailureClass is the paper's four-way classification (Table 6).
-type FailureClass int
-
-// Failure classes.
-const (
-	ClassNone FailureClass = iota
-	ClassSegFault
-	ClassIllegalInstr
-	ClassHang
-	ClassAssertion
-)
-
-// String names the class.
-func (c FailureClass) String() string {
-	switch c {
-	case ClassNone:
-		return "none"
-	case ClassSegFault:
-		return "seg-fault"
-	case ClassIllegalInstr:
-		return "illegal-instr"
-	case ClassHang:
-		return "hang"
-	case ClassAssertion:
-		return "assertion"
-	default:
-		return fmt.Sprintf("Class(%d)", int(c))
-	}
-}
-
-// classify maps a process exit reason to the paper's failure classes.
-func classify(reason string, hang bool) FailureClass {
-	switch {
-	case hang:
-		return ClassHang
-	case strings.HasPrefix(reason, core.ReasonAssertion):
-		return ClassAssertion
-	case strings.HasPrefix(reason, core.ReasonIllegal):
-		return ClassIllegalInstr
-	case strings.HasPrefix(reason, core.ReasonSegfault),
-		strings.HasPrefix(reason, core.ReasonRestoreFail):
-		return ClassSegFault
-	default:
-		return ClassSegFault // SIGINT and other abrupt terminations
-	}
-}
-
-// SystemFailureMode refines a system failure by the run phase it broke
-// (the Table 8 columns).
-type SystemFailureMode int
-
-// System failure modes.
-const (
-	SysNone SystemFailureMode = iota
-	SysRegisterDaemons
-	SysInstallExecArmors
-	SysStartApplication
-	SysUninstallAfterCompletion
-	SysAppNotCompleted
-)
-
-// String names the mode.
-func (m SystemFailureMode) String() string {
-	switch m {
-	case SysNone:
-		return "none"
-	case SysRegisterDaemons:
-		return "unable to register daemons"
-	case SysInstallExecArmors:
-		return "unable to install Execution ARMORs"
-	case SysStartApplication:
-		return "unable to start application"
-	case SysUninstallAfterCompletion:
-		return "unable to uninstall after completion"
-	case SysAppNotCompleted:
-		return "application did not complete"
-	default:
-		return fmt.Sprintf("SysMode(%d)", int(m))
-	}
-}
 
 // Config describes one injection run.
 type Config struct {
@@ -213,6 +67,15 @@ type Config struct {
 	Env *sift.EnvConfig
 	// MemProfile overrides the register/text manifestation profile.
 	MemProfile *memsim.Profile
+	// NetFaultProb is the per-message fault probability while a message
+	// fault model (MsgDrop, MsgCorrupt) is active; default 0.5.
+	NetFaultProb float64
+	// NetFaultFor is the length of the transient network-fault interval;
+	// default 20 s.
+	NetFaultFor time.Duration
+	// NodeRestartAfter is the node outage length for ModelNodeCrash;
+	// default 30 s.
+	NodeRestartAfter time.Duration
 	// CheckVerdict, if set, classifies the application output on the
 	// shared store after the run ("correct"/"incorrect"/"missing").
 	CheckVerdict func(fs *sim.FS) string
@@ -269,7 +132,10 @@ type AppMeasure struct {
 	Actual    time.Duration
 }
 
-// Run executes one injection run and classifies it.
+// Run executes one injection run and classifies it: the Runner builds the
+// cluster and SIFT environment from the seed, the Model's registered
+// injector inserts the errors, and the Runner extracts the paper's
+// classification from the environment log.
 func Run(cfg Config) Result {
 	if cfg.SubmitAt <= 0 {
 		cfg.SubmitAt = 5 * time.Second
@@ -286,480 +152,20 @@ func Run(cfg Config) Result {
 	if cfg.Window <= 0 {
 		cfg.Window = 80 * time.Second
 	}
-
-	res := Result{Seed: cfg.Seed, Model: cfg.Model, Target: cfg.Target}
-
-	k := sim.NewKernel(sim.DefaultConfig(cfg.Seed))
-	defer k.Shutdown()
-	var envCfg sift.EnvConfig
-	if cfg.Env != nil {
-		envCfg = *cfg.Env
-	} else if len(cfg.Apps) > 1 {
-		envCfg = sift.DefaultEnvConfig("n1", "n2", "n3", "n4", "n5", "n6")
-	} else {
-		envCfg = sift.DefaultEnvConfig()
+	if cfg.NetFaultProb <= 0 {
+		cfg.NetFaultProb = 0.5
 	}
-	// Register/text models need a memory image attached to the target.
-	if cfg.Model == ModelRegister || cfg.Model == ModelText {
-		prof := memsim.ARMORProfile()
-		if cfg.MemProfile != nil {
-			prof = *cfg.MemProfile
-		}
-		switch cfg.Target {
-		case TargetFTM:
-			envCfg.MemTargets = map[core.AID]memsim.Profile{sift.AIDFTM: prof}
-		case TargetHeartbeat:
-			envCfg.MemTargets = map[core.AID]memsim.Profile{sift.AIDHeartbeat: prof}
-		case TargetExecArmor:
-			if len(cfg.Apps) > 0 {
-				aid := sift.AIDExec(cfg.Apps[0].ID, cfg.Rank)
-				envCfg.MemTargets = map[core.AID]memsim.Profile{aid: prof}
-			}
-		case TargetApp:
-			appProf := memsim.AppProfile()
-			if cfg.MemProfile != nil {
-				appProf = *cfg.MemProfile
-			}
-			if len(cfg.Apps) > 0 {
-				cfg.Apps[0].MemProfile = &appProf
-			}
-		}
+	if cfg.NetFaultFor <= 0 {
+		cfg.NetFaultFor = 20 * time.Second
 	}
-
-	env := sift.New(k, envCfg)
-	env.Setup()
-	var handles []*sift.AppHandle
-	for _, app := range cfg.Apps {
-		handles = append(handles, env.Submit(app, cfg.SubmitAt))
+	if cfg.NodeRestartAfter <= 0 {
+		cfg.NodeRestartAfter = 30 * time.Second
 	}
-	remaining := len(handles)
-	env.AppDoneHook = func(sift.AppID) {
-		remaining--
-		if remaining == 0 {
-			k.Stop()
-		}
-	}
-
-	// Schedule the injector.
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-	inj := &injector{cfg: cfg, env: env, k: k, res: &res, rng: rng}
-	inj.schedule()
-
-	k.Run(cfg.Timeout)
-
-	// Classification.
-	inj.finish(handles)
-	record(&res)
-	return res
+	r := newRunner(cfg)
+	defer r.k.Shutdown()
+	handles := r.deploy()
+	r.k.Run(cfg.Timeout)
+	r.finish(handles)
+	record(r.res)
+	return *r.res
 }
-
-// injector drives one run's error insertion and observation.
-type injector struct {
-	cfg Config
-	env *sift.Environment
-	k   *sim.Kernel
-	res *Result
-	rng *rand.Rand
-
-	stopped   bool
-	targetPID sim.PID
-}
-
-// targetAID returns the ARMOR AID under injection (invalid for app
-// targets).
-func (in *injector) targetAID() core.AID {
-	switch in.cfg.Target {
-	case TargetFTM:
-		return sift.AIDFTM
-	case TargetHeartbeat:
-		return sift.AIDHeartbeat
-	case TargetExecArmor:
-		if len(in.cfg.Apps) > 0 {
-			return sift.AIDExec(in.cfg.Apps[0].ID, in.cfg.Rank)
-		}
-	}
-	return core.InvalidAID
-}
-
-// pid resolves the target's current process.
-func (in *injector) pid() sim.PID {
-	if in.cfg.Target == TargetApp {
-		if len(in.cfg.Apps) == 0 {
-			return sim.NoPID
-		}
-		return in.env.AppProc(in.cfg.Apps[0].ID, in.cfg.Rank)
-	}
-	return in.env.ProcOf(in.targetAID())
-}
-
-// mem resolves the target's simulated memory image.
-func (in *injector) mem() *memsim.Memory {
-	if in.cfg.Target == TargetApp {
-		if len(in.cfg.Apps) == 0 {
-			return nil
-		}
-		return in.env.AppMem(in.cfg.Apps[0].ID, in.cfg.Rank)
-	}
-	armor := in.env.ArmorOf(in.targetAID())
-	if armor == nil {
-		return nil
-	}
-	return armor.Mem()
-}
-
-func (in *injector) schedule() {
-	if in.cfg.Model == ModelNone || in.cfg.Target == TargetNone {
-		return
-	}
-	start := in.cfg.SubmitAt
-	window := in.cfg.Window
-	if in.cfg.Model == ModelHeapData || in.cfg.Model == ModelHeap {
-		// The FTM "is used in all three phases of the run's execution"
-		// (Section 7.2): heap injections cover environment
-		// initialization too, not just the application window. Start
-		// right after the FTM exists.
-		start = 600 * time.Millisecond
-		window = in.cfg.SubmitAt + in.cfg.Window - start
-	}
-	at := start + time.Duration(in.rng.Int63n(int64(window)))
-	if in.cfg.Model == ModelHeapData && in.rng.Float64() < 0.5 {
-		// Section 7.2: the targeted injections "were biased to produce
-		// as many error propagations as possible" — half the draws
-		// land in the setup window, where the FTM's element data is
-		// being written and read.
-		setupWindow := in.cfg.SubmitAt + 2*time.Second - start
-		at = start + time.Duration(in.rng.Int63n(int64(setupWindow)))
-	}
-	in.k.Schedule(at, func() { in.fire(at) })
-}
-
-// fire performs the first injection action at the drawn time.
-func (in *injector) fire(at time.Duration) {
-	switch in.cfg.Model {
-	case ModelSIGINT, ModelSIGSTOP:
-		pid := in.pid()
-		if pid == sim.NoPID || !in.k.Alive(pid) || in.appAlreadyDone() {
-			return // injection time fell after completion: no error
-		}
-		in.res.Injected = 1
-		in.res.Activated = true
-		in.res.InjectedAt = at
-		if in.cfg.Model == ModelSIGINT {
-			in.k.Kill(pid, "SIGINT")
-		} else {
-			in.k.Suspend(pid)
-		}
-	case ModelRegister, ModelText:
-		in.repeatMemInjection(at)
-	case ModelHeap:
-		in.repeatHeapInjection(at)
-	case ModelHeapData:
-		in.singleTargetedHeap(at)
-	case ModelAppHeap:
-		in.singleAppHeap(at)
-	}
-}
-
-func (in *injector) appAlreadyDone() bool {
-	if len(in.cfg.Apps) == 0 {
-		return true
-	}
-	h := in.env.Handle(in.cfg.Apps[0].ID)
-	return h == nil || h.Done
-}
-
-// repeatMemInjection injects register/text errors every RepeatEvery until
-// the target fails (Section 4.1: "periodically flipped until a failure is
-// induced").
-func (in *injector) repeatMemInjection(at time.Duration) {
-	if in.stopped || in.appAlreadyDone() {
-		return
-	}
-	if in.targetFailed() {
-		in.stopped = true
-		return
-	}
-	if mem := in.mem(); mem != nil {
-		if in.res.Injected == 0 {
-			in.res.InjectedAt = at
-		}
-		if in.cfg.Model == ModelRegister {
-			mem.InjectRegister()
-		} else {
-			mem.InjectText()
-		}
-		in.res.Injected++
-	}
-	next := at + in.cfg.RepeatEvery
-	in.k.Schedule(in.cfg.RepeatEvery, func() { in.repeatMemInjection(next) })
-}
-
-// repeatHeapInjection flips bits in live element state until the target
-// fails (the Table 7 campaigns).
-func (in *injector) repeatHeapInjection(at time.Duration) {
-	if in.stopped || in.appAlreadyDone() {
-		return
-	}
-	if in.targetFailed() {
-		in.stopped = true
-		return
-	}
-	armor := in.env.ArmorOf(in.targetAID())
-	if armor != nil && in.k.Alive(in.env.ProcOf(in.targetAID())) {
-		var fields []core.HeapField
-		for _, el := range armor.Elements() {
-			if hi, ok := el.(core.HeapInjectable); ok {
-				fields = append(fields, hi.HeapFields()...)
-			}
-		}
-		if len(fields) > 0 {
-			f := fields[in.rng.Intn(len(fields))]
-			bit := uint(in.rng.Intn(int(f.Bits)))
-			f.Set(memsim.FlipBit(f.Get(), bit))
-			if in.res.Injected == 0 {
-				in.res.InjectedAt = at
-			}
-			in.res.Injected++
-		}
-	}
-	next := at + in.cfg.RepeatEvery
-	in.k.Schedule(in.cfg.RepeatEvery, func() { in.repeatHeapInjection(next) })
-}
-
-// singleTargetedHeap performs the Table 8 experiment: one bit flip in one
-// non-pointer data field of a named FTM element.
-func (in *injector) singleTargetedHeap(at time.Duration) {
-	armor := in.env.ArmorOf(in.targetAID())
-	if armor == nil || in.appAlreadyDone() {
-		return
-	}
-	el := armor.Element(in.cfg.Element)
-	hi, ok := el.(core.HeapInjectable)
-	if !ok {
-		return
-	}
-	fields := hi.HeapFields()
-	if len(fields) == 0 {
-		return
-	}
-	f := fields[in.rng.Intn(len(fields))]
-	bit := uint(in.rng.Intn(int(f.Bits)))
-	f.Set(memsim.FlipBit(f.Get(), bit))
-	in.res.Injected = 1
-	in.res.InjectedAt = at
-}
-
-// singleAppHeap performs the Table 10 experiment: one bit flip in the
-// application's real numeric heap (float matrices, with the occasional hit
-// on a size/index field).
-func (in *injector) singleAppHeap(at time.Duration) {
-	if len(in.cfg.Apps) == 0 || in.appAlreadyDone() {
-		return
-	}
-	ac := in.env.AppCtx(in.cfg.Apps[0].ID, in.cfg.Rank)
-	if ac == nil || !in.k.Alive(in.env.AppProc(in.cfg.Apps[0].ID, in.cfg.Rank)) {
-		return
-	}
-	floats := ac.HeapFloats()
-	ints := ac.HeapInts()
-	totalF := 0
-	for _, r := range floats {
-		totalF += len(r.Data)
-	}
-	if totalF == 0 && len(ints) == 0 {
-		return
-	}
-	in.res.Injected = 1
-	in.res.InjectedAt = at
-	// Control data — sizes, indices, allocator metadata — occupies a
-	// small but non-negligible fraction of a real process heap;
-	// corrupting it crashes rather than perturbs. Calibrated to the
-	// paper's 9 crashes per 1000 injections.
-	const controlFrac = 0.012
-	if len(ints) > 0 && (totalF == 0 || in.rng.Float64() < controlFrac) {
-		p := ints[in.rng.Intn(len(ints))].P
-		*p = int(memsim.FlipBit(uint64(*p), uint(in.rng.Intn(16))))
-		return
-	}
-	slot := in.rng.Intn(totalF)
-	for _, r := range floats {
-		if slot < len(r.Data) {
-			bits := memsim.FlipBit(f64bits(r.Data[slot]), uint(in.rng.Intn(64)))
-			r.Data[slot] = f64frombits(bits)
-			return
-		}
-		slot -= len(r.Data)
-	}
-}
-
-// targetFailed reports whether the target has failed at any point: the
-// repeated-injection models stop at the *first* induced failure
-// (Section 4.1), even if the environment has already recovered the target
-// by the time the injector looks again.
-func (in *injector) targetFailed() bool {
-	if in.cfg.Target == TargetApp {
-		for _, d := range in.env.Log.AppDetections {
-			if len(in.cfg.Apps) > 0 && d.App == in.cfg.Apps[0].ID {
-				return true
-			}
-		}
-	} else {
-		aid := in.targetAID()
-		for _, d := range in.env.Log.Detections {
-			if d.ID == aid {
-				return true
-			}
-		}
-	}
-	// Live probe for failures not yet detected by the environment
-	// (e.g. a hang before its heartbeat round).
-	pid := in.pid()
-	if pid == sim.NoPID {
-		return false
-	}
-	if !in.k.Alive(pid) {
-		return true
-	}
-	return in.k.Suspended(pid)
-}
-
-// finish extracts the run classification from the environment log.
-func (in *injector) finish(handles []*sift.AppHandle) {
-	res := in.res
-	env := in.env
-	if mem := in.mem(); mem != nil {
-		res.Activated = res.Activated || mem.Activated > 0
-	}
-
-	// Failure observation and classification for the target.
-	if in.cfg.Target == TargetApp {
-		for _, d := range env.Log.AppDetections {
-			if len(in.cfg.Apps) > 0 && d.App == in.cfg.Apps[0].ID {
-				res.Failed = true
-				res.Class = classify(d.Reason, d.Hang)
-				break
-			}
-		}
-		for _, r := range env.Log.AppRecoveries {
-			if len(in.cfg.Apps) > 0 && r.App == in.cfg.Apps[0].ID {
-				res.Recovered = true
-				res.RecoveryTime = r.RestartedAt - r.DetectedAt
-				break
-			}
-		}
-	} else {
-		aid := in.targetAID()
-		for _, d := range env.Log.Detections {
-			if d.ID == aid {
-				res.Failed = true
-				res.Class = classify(d.Reason, d.Hang)
-				if strings.HasPrefix(d.Reason, core.ReasonAssertion) {
-					res.AssertionFired = true
-				}
-				break
-			}
-		}
-		for _, r := range env.Log.Recoveries {
-			if r.ID == aid {
-				res.Recovered = true
-				res.RecoveryTime = r.RestoredAt - r.DetectedAt
-				break
-			}
-		}
-	}
-	// Heap-data injections can trip assertions without our target
-	// bookkeeping (e.g. via Touch); scan all FTM detections.
-	for _, d := range env.Log.Detections {
-		if strings.HasPrefix(d.Reason, core.ReasonAssertion) {
-			res.AssertionFired = true
-		}
-	}
-	// The daemon's invalid-destination check is the paper's "too late"
-	// detection: corrupted node_mgmt data yields the default daemon ID
-	// of zero, the FTM sends to it unchecked, and the error is caught
-	// only at the daemon — after it has already escaped the FTM.
-	if env.Log.Count("invalid-destination") > 0 {
-		res.AssertionFired = true
-	}
-
-	// Application measurements.
-	if len(handles) > 0 {
-		h := handles[0]
-		res.Done = h.Done
-		res.AppRestarts = h.Restarts
-		if h.Done {
-			res.Perceived = h.DoneAt - h.SubmittedAt
-		}
-		if start, ok := env.Log.First("app-started"); ok {
-			if end, ok2 := env.Log.Last("app-rank-exit"); ok2 {
-				res.Actual = end.At - start.At
-			}
-		}
-		if in.cfg.Target != TargetApp && h.Restarts > 0 {
-			res.Correlated = true
-		}
-	}
-	res.PerApp = make(map[sift.AppID]AppMeasure, len(handles))
-	for _, h := range handles {
-		m := AppMeasure{Done: h.Done, Restarts: h.Restarts}
-		if h.Done {
-			m.Perceived = h.DoneAt - h.SubmittedAt
-		}
-		tag := fmt.Sprintf("app=%d ", h.App.ID)
-		var startAt, endAt time.Duration
-		haveStart, haveEnd := false, false
-		for _, e := range env.Log.Entries {
-			if e.Kind == "app-started" && !haveStart && strings.HasPrefix(e.Detail, tag) {
-				startAt, haveStart = e.At, true
-			}
-			if e.Kind == "app-rank-exit" && strings.HasPrefix(e.Detail, tag) {
-				endAt, haveEnd = e.At, true
-			}
-		}
-		if haveStart && haveEnd {
-			m.Actual = endAt - startAt
-		}
-		res.PerApp[h.App.ID] = m
-	}
-	allDone := true
-	for _, h := range handles {
-		if !h.Done {
-			allDone = false
-		}
-	}
-	if !allDone {
-		res.SystemFailure = true
-		res.SysMode = in.systemFailureMode()
-	}
-	if in.cfg.CheckVerdict != nil {
-		res.Verdict = in.cfg.CheckVerdict(in.k.SharedFS())
-	}
-}
-
-// systemFailureMode locates the phase that broke (Table 8 columns).
-func (in *injector) systemFailureMode() SystemFailureMode {
-	log := in.env.Log
-	nodes := len(in.env.Config().Nodes)
-	if log.Count("daemon-registered") < nodes {
-		return SysRegisterDaemons
-	}
-	ranks := 2
-	if len(in.cfg.Apps) > 0 {
-		ranks = in.cfg.Apps[0].Ranks
-	}
-	if log.CountDetail("armor-installed", "kind=Execution") < ranks {
-		return SysInstallExecArmors
-	}
-	if _, started := log.First("app-started"); !started {
-		return SysStartApplication
-	}
-	// Did every rank of the final incarnation exit normally?
-	exits := log.Count("app-rank-exit")
-	if exits >= ranks {
-		return SysUninstallAfterCompletion
-	}
-	return SysAppNotCompleted
-}
-
-func f64bits(f float64) uint64     { return math.Float64bits(f) }
-func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -287,7 +287,7 @@ func TestClassifyMapping(t *testing.T) {
 }
 
 func TestStrings(t *testing.T) {
-	for m := ModelNone; m <= ModelAppHeap; m++ {
+	for m := ModelNone; m <= ModelNodeCrash; m++ {
 		if m.String() == "" {
 			t.Fatalf("model %d has no name", m)
 		}

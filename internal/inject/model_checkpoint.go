@@ -1,0 +1,49 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/sim"
+)
+
+func init() {
+	RegisterModel(ModelCheckpoint, "checkpoint", func() Injector { return &checkpointInjector{} })
+}
+
+// checkpointInjector implements the checkpoint-store corruption model:
+// the paper's "error corrupted the FTM's checkpoint prior to crashing"
+// scenario, made a first-class campaign. At the drawn time it flips a
+// few bits in the target ARMOR's committed checkpoint image on stable
+// storage, then crashes the process — recovery must now restore from the
+// damaged image. Depending on where the flips land, the restore fails
+// structurally, an element assertion catches the corruption after
+// rollback, or the corruption is silent.
+type checkpointInjector struct{}
+
+// Schedule draws the injection time uniformly over the application
+// window.
+func (ci *checkpointInjector) Schedule(r *Runner) {
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { ci.fire(r, at) })
+}
+
+// fire corrupts the stable checkpoint and crashes the target.
+func (ci *checkpointInjector) fire(r *Runner, at time.Duration) {
+	armor := r.env.ArmorOf(r.targetAID())
+	if armor == nil || r.appAlreadyDone() {
+		return
+	}
+	ckpt := armor.Checkpoint()
+	if ckpt == nil {
+		return
+	}
+	flips := 1 + r.rng.Intn(3)
+	if !ckpt.CorruptStable(r.rng, flips) {
+		return // nothing committed yet: no error inserted
+	}
+	r.res.Injected = flips
+	r.res.Activated = true
+	r.res.InjectedAt = at
+	if pid := r.pid(); pid != sim.NoPID && r.k.Alive(pid) {
+		r.k.Kill(pid, "SIGINT after checkpoint corruption")
+	}
+}

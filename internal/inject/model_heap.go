@@ -1,0 +1,59 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/memsim"
+)
+
+func init() {
+	RegisterModel(ModelHeap, "heap", func() Injector { return &heapInjector{} })
+}
+
+// heapStart is when heap-model injections may begin. The FTM "is used in
+// all three phases of the run's execution" (Section 7.2): heap injections
+// cover environment initialization too, not just the application window,
+// so they start right after the FTM exists.
+const heapStart = 600 * time.Millisecond
+
+// heapInjector implements the blind heap model (the Table 7 campaigns):
+// bits are flipped in randomly chosen live element state, repeatedly,
+// until the target fails.
+type heapInjector struct{}
+
+// Schedule draws the first injection time over the widened window that
+// includes environment initialization.
+func (hi *heapInjector) Schedule(r *Runner) {
+	window := r.cfg.SubmitAt + r.cfg.Window - heapStart
+	r.drawAt(heapStart, window, func(at time.Duration) { hi.repeat(r, at) })
+}
+
+// repeat flips one bit in live element state and re-arms itself every
+// RepeatEvery until the target fails.
+func (hi *heapInjector) repeat(r *Runner, at time.Duration) {
+	if r.stopped || r.appAlreadyDone() {
+		return
+	}
+	if r.targetFailed() {
+		r.stopped = true
+		return
+	}
+	armor := r.env.ArmorOf(r.targetAID())
+	if armor != nil && r.k.Alive(r.env.ProcOf(r.targetAID())) {
+		var fields []core.HeapField
+		for _, el := range armor.Elements() {
+			if inj, ok := el.(core.HeapInjectable); ok {
+				fields = append(fields, inj.HeapFields()...)
+			}
+		}
+		if len(fields) > 0 {
+			f := fields[r.rng.Intn(len(fields))]
+			bit := uint(r.rng.Intn(int(f.Bits)))
+			f.Set(memsim.FlipBit(f.Get(), bit))
+			r.recordInjection(at)
+		}
+	}
+	next := at + r.cfg.RepeatEvery
+	r.k.Schedule(r.cfg.RepeatEvery, func() { hi.repeat(r, next) })
+}

@@ -1,0 +1,55 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/memsim"
+)
+
+func init() {
+	RegisterModel(ModelHeapData, "heap-targeted", func() Injector { return &heapDataInjector{} })
+}
+
+// heapDataInjector implements the targeted heap model (the Table 8
+// experiment): one bit flip in one non-pointer data field of a named FTM
+// element.
+type heapDataInjector struct{}
+
+// Schedule draws the injection time over the widened window that
+// includes environment initialization, then biases half the draws into
+// the setup window — Section 7.2: the targeted injections "were biased
+// to produce as many error propagations as possible", and the setup
+// window is where the FTM's element data is being written and read.
+func (hd *heapDataInjector) Schedule(r *Runner) {
+	start := heapStart
+	window := r.cfg.SubmitAt + r.cfg.Window - start
+	at := start + time.Duration(r.rng.Int63n(int64(window)))
+	if r.rng.Float64() < 0.5 {
+		setupWindow := r.cfg.SubmitAt + 2*time.Second - start
+		at = start + time.Duration(r.rng.Int63n(int64(setupWindow)))
+	}
+	r.k.Schedule(at, func() { hd.fire(r, at) })
+}
+
+// fire performs the single targeted flip.
+func (hd *heapDataInjector) fire(r *Runner, at time.Duration) {
+	armor := r.env.ArmorOf(r.targetAID())
+	if armor == nil || r.appAlreadyDone() {
+		return
+	}
+	el := armor.Element(r.cfg.Element)
+	inj, ok := el.(core.HeapInjectable)
+	if !ok {
+		return
+	}
+	fields := inj.HeapFields()
+	if len(fields) == 0 {
+		return
+	}
+	f := fields[r.rng.Intn(len(fields))]
+	bit := uint(r.rng.Intn(int(f.Bits)))
+	f.Set(memsim.FlipBit(f.Get(), bit))
+	r.res.Injected = 1
+	r.res.InjectedAt = at
+}

@@ -1,0 +1,8 @@
+package inject
+
+// ModelMsgCorrupt shares its injector with ModelMsgDrop; both register
+// from model_msgdrop.go. This file anchors the model's place in the
+// one-file-per-model layout and documents the distinction: msg-corrupt
+// delivers the message with damaged contents (a fail-silence violation
+// the receiver dies parsing), where msg-drop suppresses delivery
+// entirely (an omission the reliable channels mask with retransmission).

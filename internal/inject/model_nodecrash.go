@@ -1,0 +1,44 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/sim"
+)
+
+func init() {
+	RegisterModel(ModelNodeCrash, "node-crash", func() Injector { return &nodeCrashInjector{} })
+}
+
+// nodeCrashInjector implements the whole-node failure model: at the
+// drawn time the node hosting the target process crashes — every process
+// on it dies and its RAM disk becomes unreachable (though nonvolatile) —
+// and the node restarts, with an empty process table, NodeRestartAfter
+// later. This is the fault class the paper's Section 3.4 centralized-
+// checkpoint discussion anticipates: recovery must migrate the lost
+// ARMORs to surviving nodes, and with node-local checkpoint storage the
+// migrated ARMOR starts from empty state.
+type nodeCrashInjector struct{}
+
+// Schedule draws the crash time uniformly over the application window.
+func (nc *nodeCrashInjector) Schedule(r *Runner) {
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { nc.fire(r, at) })
+}
+
+// fire crashes the target's node and arms the delayed restart.
+func (nc *nodeCrashInjector) fire(r *Runner, at time.Duration) {
+	pid := r.pid()
+	if pid == sim.NoPID || !r.k.Alive(pid) || r.appAlreadyDone() {
+		return // crash time fell after completion: no error
+	}
+	node := r.k.ProcNode(pid)
+	if node == nil || !node.Up() {
+		return
+	}
+	name := node.Name()
+	r.res.Injected = 1
+	r.res.Activated = true
+	r.res.InjectedAt = at
+	r.k.CrashNode(name)
+	r.k.Schedule(r.cfg.NodeRestartAfter, func() { r.k.RestartNode(name) })
+}

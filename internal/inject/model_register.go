@@ -1,0 +1,80 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/memsim"
+	"reesift/internal/sift"
+)
+
+func init() {
+	RegisterModel(ModelRegister, "register", func() Injector { return &memInjector{text: false} })
+}
+
+// memInjector implements the repeated register/text bit-flip models:
+// errors are periodically injected into the target's simulated memory
+// image until a failure is induced (Section 4.1: "periodically flipped
+// until a failure is induced"). The register and text models share the
+// repeat loop; they differ only in which memory plane they flip.
+type memInjector struct {
+	// text selects the text-segment plane over the register file.
+	text bool
+}
+
+// PrepareEnv attaches a simulated memory image to the target before the
+// cluster is built — the register/text manifestation machinery lives in
+// the process, so it must exist from the first instruction.
+func (mi *memInjector) PrepareEnv(cfg *Config, envCfg *sift.EnvConfig) {
+	prof := memsim.ARMORProfile()
+	if cfg.MemProfile != nil {
+		prof = *cfg.MemProfile
+	}
+	switch cfg.Target {
+	case TargetFTM:
+		envCfg.MemTargets = map[core.AID]memsim.Profile{sift.AIDFTM: prof}
+	case TargetHeartbeat:
+		envCfg.MemTargets = map[core.AID]memsim.Profile{sift.AIDHeartbeat: prof}
+	case TargetExecArmor:
+		if len(cfg.Apps) > 0 {
+			aid := sift.AIDExec(cfg.Apps[0].ID, cfg.Rank)
+			envCfg.MemTargets = map[core.AID]memsim.Profile{aid: prof}
+		}
+	case TargetApp:
+		appProf := memsim.AppProfile()
+		if cfg.MemProfile != nil {
+			appProf = *cfg.MemProfile
+		}
+		if len(cfg.Apps) > 0 {
+			cfg.Apps[0].MemProfile = &appProf
+		}
+	}
+}
+
+// Schedule draws the first injection time uniformly over the application
+// window.
+func (mi *memInjector) Schedule(r *Runner) {
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { mi.repeat(r, at) })
+}
+
+// repeat injects one register/text error and re-arms itself every
+// RepeatEvery until the target fails.
+func (mi *memInjector) repeat(r *Runner, at time.Duration) {
+	if r.stopped || r.appAlreadyDone() {
+		return
+	}
+	if r.targetFailed() {
+		r.stopped = true
+		return
+	}
+	if mem := r.mem(); mem != nil {
+		if mi.text {
+			mem.InjectText()
+		} else {
+			mem.InjectRegister()
+		}
+		r.recordInjection(at)
+	}
+	next := at + r.cfg.RepeatEvery
+	r.k.Schedule(r.cfg.RepeatEvery, func() { mi.repeat(r, next) })
+}

@@ -1,0 +1,43 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/sim"
+)
+
+func init() {
+	RegisterModel(ModelSIGINT, "SIGINT", func() Injector { return signalInjector{kill: true} })
+}
+
+// signalInjector implements the paper's clean-crash and clean-hang
+// models: one SIGINT (kill) or SIGSTOP (suspend) delivered to the target
+// process at the drawn time. Both models share the delivery mechanics;
+// only the signal differs.
+type signalInjector struct {
+	// kill selects SIGINT (terminate) over SIGSTOP (suspend).
+	kill bool
+}
+
+// Schedule draws the injection time uniformly over the application
+// window.
+func (s signalInjector) Schedule(r *Runner) {
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { s.fire(r, at) })
+}
+
+// fire delivers the signal if the target still exists and the
+// application has not already completed.
+func (s signalInjector) fire(r *Runner, at time.Duration) {
+	pid := r.pid()
+	if pid == sim.NoPID || !r.k.Alive(pid) || r.appAlreadyDone() {
+		return // injection time fell after completion: no error
+	}
+	r.res.Injected = 1
+	r.res.Activated = true
+	r.res.InjectedAt = at
+	if s.kill {
+		r.k.Kill(pid, "SIGINT")
+	} else {
+		r.k.Suspend(pid)
+	}
+}

@@ -1,0 +1,5 @@
+package inject
+
+func init() {
+	RegisterModel(ModelSIGSTOP, "SIGSTOP", func() Injector { return signalInjector{kill: false} })
+}

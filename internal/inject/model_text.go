@@ -1,0 +1,5 @@
+package inject
+
+func init() {
+	RegisterModel(ModelText, "text-segment", func() Injector { return &memInjector{text: true} })
+}

@@ -1,0 +1,94 @@
+package inject
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestRegistryNamesEveryModel pins the registry-driven Model.String: the
+// paper's Table 2 names must survive the registry refactor byte-for-byte
+// (every rendered table keys its rows on them), and the extension models
+// must be present.
+func TestRegistryNamesEveryModel(t *testing.T) {
+	want := map[Model]string{
+		ModelNone:       "baseline",
+		ModelSIGINT:     "SIGINT",
+		ModelSIGSTOP:    "SIGSTOP",
+		ModelRegister:   "register",
+		ModelText:       "text-segment",
+		ModelHeap:       "heap",
+		ModelHeapData:   "heap-targeted",
+		ModelAppHeap:    "app-heap",
+		ModelMsgDrop:    "msg-drop",
+		ModelMsgCorrupt: "msg-corrupt",
+		ModelCheckpoint: "checkpoint",
+		ModelNodeCrash:  "node-crash",
+	}
+	for m, name := range want {
+		if !Registered(m) {
+			t.Errorf("model %d (%s) not registered", int(m), name)
+		}
+		if got := m.String(); got != name {
+			t.Errorf("Model(%d).String() = %q, want %q", int(m), got, name)
+		}
+	}
+	if got := Model(1234).String(); got != "Model(1234)" {
+		t.Errorf("unknown model String() = %q", got)
+	}
+	if Registered(Model(1234)) {
+		t.Error("unknown model reports registered")
+	}
+}
+
+// TestModelsEnumeratesSorted checks the registry enumeration façade
+// consumers rely on.
+func TestModelsEnumeratesSorted(t *testing.T) {
+	ms := Models()
+	if !sort.SliceIsSorted(ms, func(i, j int) bool { return ms[i] < ms[j] }) {
+		t.Fatalf("Models() not sorted: %v", ms)
+	}
+	if len(ms) < 12 {
+		t.Fatalf("Models() returned %d models, want >= 12", len(ms))
+	}
+	if ms[0] != ModelNone {
+		t.Fatalf("Models()[0] = %v, want ModelNone", ms[0])
+	}
+	// Every enumerated model must name itself through the registry; the
+	// "Model(%d)" fallback would mean an enumeration/registration
+	// mismatch.
+	for _, m := range ms {
+		if s := m.String(); strings.HasPrefix(s, "Model(") {
+			t.Errorf("registered model %d renders as fallback %q", int(m), s)
+		}
+	}
+}
+
+// TestRegisterModelPanics pins the loud-failure contract of init-time
+// registration.
+func TestRegisterModelPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate model", func() { RegisterModel(ModelSIGINT, "dup", nil) })
+	mustPanic("empty name", func() { RegisterModel(Model(9999), "", nil) })
+}
+
+// TestNewInjectorFallbacks: ModelNone and unknown models yield no
+// injector, so the Runner performs a fault-free run.
+func TestNewInjectorFallbacks(t *testing.T) {
+	if inj := newInjector(ModelNone); inj != nil {
+		t.Errorf("newInjector(ModelNone) = %T, want nil", inj)
+	}
+	if inj := newInjector(Model(9999)); inj != nil {
+		t.Errorf("newInjector(unknown) = %T, want nil", inj)
+	}
+	if inj := newInjector(ModelMsgDrop); inj == nil {
+		t.Error("newInjector(ModelMsgDrop) = nil")
+	}
+}

@@ -1,0 +1,323 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"reesift/internal/core"
+	"reesift/internal/memsim"
+	"reesift/internal/sift"
+	"reesift/internal/sim"
+)
+
+// Runner owns one injection run's control, monitoring, and data
+// collection: it builds the cluster and SIFT environment from the seed,
+// schedules the model's registered Injector, and classifies the outcome
+// from the environment log. The injectors themselves only insert errors;
+// everything they need — the target oracles, the run RNG, the result —
+// they reach through the Runner.
+type Runner struct {
+	cfg Config
+	env *sift.Environment
+	k   *sim.Kernel
+	res *Result
+	rng *rand.Rand
+	inj Injector
+
+	// stopped latches once a repeated-injection model has observed its
+	// first induced failure (Section 4.1).
+	stopped bool
+}
+
+// newRunner builds the kernel, environment configuration, and injector
+// for one run.
+func newRunner(cfg Config) *Runner {
+	res := &Result{Seed: cfg.Seed, Model: cfg.Model, Target: cfg.Target}
+	k := sim.NewKernel(sim.DefaultConfig(cfg.Seed))
+	var envCfg sift.EnvConfig
+	if cfg.Env != nil {
+		envCfg = *cfg.Env
+	} else if len(cfg.Apps) > 1 {
+		envCfg = sift.DefaultEnvConfig("n1", "n2", "n3", "n4", "n5", "n6")
+	} else {
+		envCfg = sift.DefaultEnvConfig()
+	}
+	inj := newInjector(cfg.Model)
+	if prep, ok := inj.(EnvPreparer); ok {
+		prep.PrepareEnv(&cfg, &envCfg)
+	}
+	env := sift.New(k, envCfg)
+	return &Runner{
+		cfg: cfg,
+		env: env,
+		k:   k,
+		res: res,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		inj: inj,
+	}
+}
+
+// deploy installs the SIFT environment, submits the applications, and
+// arms the injector. It returns the submission handles the classifier
+// reads after the run.
+func (r *Runner) deploy() []*sift.AppHandle {
+	r.env.Setup()
+	var handles []*sift.AppHandle
+	for _, app := range r.cfg.Apps {
+		handles = append(handles, r.env.Submit(app, r.cfg.SubmitAt))
+	}
+	remaining := len(handles)
+	r.env.AppDoneHook = func(sift.AppID) {
+		remaining--
+		if remaining == 0 {
+			r.k.Stop()
+		}
+	}
+	if r.inj != nil && r.cfg.Target != TargetNone {
+		r.inj.Schedule(r)
+	}
+	return handles
+}
+
+// drawAt draws the injection time uniformly from [start, start+window)
+// and schedules fire there. It is the scheduling idiom shared by every
+// model.
+func (r *Runner) drawAt(start, window time.Duration, fire func(at time.Duration)) {
+	at := start + time.Duration(r.rng.Int63n(int64(window)))
+	r.k.Schedule(at, func() { fire(at) })
+}
+
+// targetAID returns the ARMOR AID under injection (invalid for app
+// targets).
+func (r *Runner) targetAID() core.AID {
+	switch r.cfg.Target {
+	case TargetFTM:
+		return sift.AIDFTM
+	case TargetHeartbeat:
+		return sift.AIDHeartbeat
+	case TargetExecArmor:
+		if len(r.cfg.Apps) > 0 {
+			return sift.AIDExec(r.cfg.Apps[0].ID, r.cfg.Rank)
+		}
+	}
+	return core.InvalidAID
+}
+
+// pid resolves the target's current process.
+func (r *Runner) pid() sim.PID {
+	if r.cfg.Target == TargetApp {
+		if len(r.cfg.Apps) == 0 {
+			return sim.NoPID
+		}
+		return r.env.AppProc(r.cfg.Apps[0].ID, r.cfg.Rank)
+	}
+	return r.env.ProcOf(r.targetAID())
+}
+
+// mem resolves the target's simulated memory image.
+func (r *Runner) mem() *memsim.Memory {
+	if r.cfg.Target == TargetApp {
+		if len(r.cfg.Apps) == 0 {
+			return nil
+		}
+		return r.env.AppMem(r.cfg.Apps[0].ID, r.cfg.Rank)
+	}
+	armor := r.env.ArmorOf(r.targetAID())
+	if armor == nil {
+		return nil
+	}
+	return armor.Mem()
+}
+
+// appAlreadyDone reports whether the injection subject has completed (a
+// drawn injection time past completion inserts nothing, as in the paper).
+func (r *Runner) appAlreadyDone() bool {
+	if len(r.cfg.Apps) == 0 {
+		return true
+	}
+	h := r.env.Handle(r.cfg.Apps[0].ID)
+	return h == nil || h.Done
+}
+
+// targetFailed reports whether the target has failed at any point: the
+// repeated-injection models stop at the *first* induced failure
+// (Section 4.1), even if the environment has already recovered the target
+// by the time the injector looks again.
+func (r *Runner) targetFailed() bool {
+	if r.cfg.Target == TargetApp {
+		for _, d := range r.env.Log.AppDetections {
+			if len(r.cfg.Apps) > 0 && d.App == r.cfg.Apps[0].ID {
+				return true
+			}
+		}
+	} else {
+		aid := r.targetAID()
+		for _, d := range r.env.Log.Detections {
+			if d.ID == aid {
+				return true
+			}
+		}
+	}
+	// Live probe for failures not yet detected by the environment
+	// (e.g. a hang before its heartbeat round).
+	pid := r.pid()
+	if pid == sim.NoPID {
+		return false
+	}
+	if !r.k.Alive(pid) {
+		return true
+	}
+	return r.k.Suspended(pid)
+}
+
+// recordInjection notes one error insertion in the result, stamping the
+// first insertion's time.
+func (r *Runner) recordInjection(at time.Duration) {
+	if r.res.Injected == 0 {
+		r.res.InjectedAt = at
+	}
+	r.res.Injected++
+}
+
+// finish extracts the run classification from the environment log.
+func (r *Runner) finish(handles []*sift.AppHandle) {
+	if fin, ok := r.inj.(Finisher); ok {
+		fin.Finish(r)
+	}
+	res := r.res
+	env := r.env
+	if mem := r.mem(); mem != nil {
+		res.Activated = res.Activated || mem.Activated > 0
+	}
+
+	// Failure observation and classification for the target.
+	if r.cfg.Target == TargetApp {
+		for _, d := range env.Log.AppDetections {
+			if len(r.cfg.Apps) > 0 && d.App == r.cfg.Apps[0].ID {
+				res.Failed = true
+				res.Class = classify(d.Reason, d.Hang)
+				break
+			}
+		}
+		for _, rec := range env.Log.AppRecoveries {
+			if len(r.cfg.Apps) > 0 && rec.App == r.cfg.Apps[0].ID {
+				res.Recovered = true
+				res.RecoveryTime = rec.RestartedAt - rec.DetectedAt
+				break
+			}
+		}
+	} else {
+		aid := r.targetAID()
+		for _, d := range env.Log.Detections {
+			if d.ID == aid {
+				res.Failed = true
+				res.Class = classify(d.Reason, d.Hang)
+				if strings.HasPrefix(d.Reason, core.ReasonAssertion) {
+					res.AssertionFired = true
+				}
+				break
+			}
+		}
+		for _, rec := range env.Log.Recoveries {
+			if rec.ID == aid {
+				res.Recovered = true
+				res.RecoveryTime = rec.RestoredAt - rec.DetectedAt
+				break
+			}
+		}
+	}
+	// Heap-data injections can trip assertions without our target
+	// bookkeeping (e.g. via Touch); scan all FTM detections.
+	for _, d := range env.Log.Detections {
+		if strings.HasPrefix(d.Reason, core.ReasonAssertion) {
+			res.AssertionFired = true
+		}
+	}
+	// The daemon's invalid-destination check is the paper's "too late"
+	// detection: corrupted node_mgmt data yields the default daemon ID
+	// of zero, the FTM sends to it unchecked, and the error is caught
+	// only at the daemon — after it has already escaped the FTM.
+	if env.Log.Count("invalid-destination") > 0 {
+		res.AssertionFired = true
+	}
+
+	// Application measurements.
+	if len(handles) > 0 {
+		h := handles[0]
+		res.Done = h.Done
+		res.AppRestarts = h.Restarts
+		if h.Done {
+			res.Perceived = h.DoneAt - h.SubmittedAt
+		}
+		if start, ok := env.Log.First("app-started"); ok {
+			if end, ok2 := env.Log.Last("app-rank-exit"); ok2 {
+				res.Actual = end.At - start.At
+			}
+		}
+		if r.cfg.Target != TargetApp && h.Restarts > 0 {
+			res.Correlated = true
+		}
+	}
+	res.PerApp = make(map[sift.AppID]AppMeasure, len(handles))
+	for _, h := range handles {
+		m := AppMeasure{Done: h.Done, Restarts: h.Restarts}
+		if h.Done {
+			m.Perceived = h.DoneAt - h.SubmittedAt
+		}
+		tag := fmt.Sprintf("app=%d ", h.App.ID)
+		var startAt, endAt time.Duration
+		haveStart, haveEnd := false, false
+		for _, e := range env.Log.Entries {
+			if e.Kind == "app-started" && !haveStart && strings.HasPrefix(e.Detail, tag) {
+				startAt, haveStart = e.At, true
+			}
+			if e.Kind == "app-rank-exit" && strings.HasPrefix(e.Detail, tag) {
+				endAt, haveEnd = e.At, true
+			}
+		}
+		if haveStart && haveEnd {
+			m.Actual = endAt - startAt
+		}
+		res.PerApp[h.App.ID] = m
+	}
+	allDone := true
+	for _, h := range handles {
+		if !h.Done {
+			allDone = false
+		}
+	}
+	if !allDone {
+		res.SystemFailure = true
+		res.SysMode = r.systemFailureMode()
+	}
+	if r.cfg.CheckVerdict != nil {
+		res.Verdict = r.cfg.CheckVerdict(r.k.SharedFS())
+	}
+}
+
+// systemFailureMode locates the phase that broke (Table 8 columns).
+func (r *Runner) systemFailureMode() SystemFailureMode {
+	log := r.env.Log
+	nodes := len(r.env.Config().Nodes)
+	if log.Count("daemon-registered") < nodes {
+		return SysRegisterDaemons
+	}
+	ranks := 2
+	if len(r.cfg.Apps) > 0 {
+		ranks = r.cfg.Apps[0].Ranks
+	}
+	if log.CountDetail("armor-installed", "kind=Execution") < ranks {
+		return SysInstallExecArmors
+	}
+	if _, started := log.First("app-started"); !started {
+		return SysStartApplication
+	}
+	// Did every rank of the final incarnation exit normally?
+	exits := log.Count("app-rank-exit")
+	if exits >= ranks {
+		return SysUninstallAfterCompletion
+	}
+	return SysAppNotCompleted
+}

@@ -37,16 +37,35 @@ func (n *Node) Procs() []PID {
 	return pids
 }
 
+// WatchNode registers a process to receive a NodeDown message when the
+// named node crashes. It is the experiment controller's uplink: SIFT
+// processes must discover node failures through heartbeats like in the
+// paper, but the injection harness is allowed to observe the crash
+// directly. Watching an unknown node is a no-op.
+func (k *Kernel) WatchNode(name string, watcher PID) {
+	if k.nodes[name] == nil {
+		return
+	}
+	if k.nodeWatchers == nil {
+		k.nodeWatchers = make(map[string][]PID)
+	}
+	k.nodeWatchers[name] = append(k.nodeWatchers[name], watcher)
+}
+
 // CrashNode fails a node: every process on it dies (without parent
 // notification reaching processes on the same node, naturally, since they
 // are dead too) and future message delivery to or from the node drops.
+// Watchers registered with WatchNode are notified with a NodeDown
+// message.
 func (k *Kernel) CrashNode(name string) {
 	n := k.nodes[name]
 	if n == nil || !n.up {
 		return
 	}
 	n.up = false
-	k.Tracef("node %s crashed", name)
+	if k.Tracing() {
+		k.Tracef("node %s crashed", name)
+	}
 	for _, pid := range n.Procs() {
 		p := n.procs[pid]
 		if p == nil || p.state == stateDead {
@@ -60,6 +79,9 @@ func (k *Kernel) CrashNode(name string) {
 			k.ready = append(k.ready, p)
 		}
 	}
+	for _, w := range k.nodeWatchers[name] {
+		k.deliver(w, Msg{From: NoPID, SentAt: k.now, Payload: NodeDown{Node: name}})
+	}
 }
 
 // RestartNode brings a crashed node back with an empty process table. The
@@ -71,5 +93,7 @@ func (k *Kernel) RestartNode(name string) {
 		return
 	}
 	n.up = true
-	k.Tracef("node %s restarted", name)
+	if k.Tracing() {
+		k.Tracef("node %s restarted", name)
+	}
 }

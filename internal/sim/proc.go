@@ -143,7 +143,9 @@ func (k *Kernel) finalize(p *Proc, code int, reason string) {
 	k.liveProcs--
 	delete(p.node.procs, p.pid)
 	p.exit = &ExitStatus{Code: code, Reason: reason, At: k.now}
-	k.Tracef("proc %d (%s) exited code=%d reason=%q", p.pid, p.name, code, reason)
+	if k.Tracing() {
+		k.Tracef("proc %d (%s) exited code=%d reason=%q", p.pid, p.name, code, reason)
+	}
 	if pp := k.procs[p.parent]; pp != nil && pp.state != stateDead {
 		delete(pp.children, p.pid)
 		k.deliver(p.parent, Msg{From: p.pid, SentAt: k.now, Payload: ChildExit{
@@ -358,6 +360,9 @@ func (p *Proc) Send(dst PID, payload interface{}) {
 	}
 	lat := k.latency(p.node, dp.node)
 	m := Msg{From: p.pid, SentAt: k.now, Payload: payload}
+	if k.applyNetFault(p.pid, dst, &m, &lat) {
+		return
+	}
 	k.Schedule(lat, func() { k.deliver(dst, m) })
 }
 

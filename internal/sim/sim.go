@@ -87,6 +87,17 @@ type Kernel struct {
 	rng      *rand.Rand
 	sharedFS *FS
 
+	// Message fault model (see netfault.go). The dedicated RNG keeps
+	// fault draws out of the kernel's main random stream.
+	netFault *NetFault
+	netRNG   *rand.Rand
+	netStats NetFaultStats
+
+	// nodeWatchers receive a NodeDown message when the named node
+	// crashes (the experiment controller's uplink; SIFT processes must
+	// discover node failures through heartbeats like in the paper).
+	nodeWatchers map[string][]PID
+
 	// tokenBack is signalled by a process goroutine when it parks or
 	// exits, returning control to the kernel loop.
 	tokenBack chan struct{}
@@ -131,6 +142,11 @@ func (k *Kernel) SharedFS() *FS { return k.sharedFS }
 func (k *Kernel) SetTrace(fn func(at time.Duration, format string, args []interface{})) {
 	k.traceFn = fn
 }
+
+// Tracing reports whether a trace sink is installed. Hot paths guard
+// their Tracef calls with it so the variadic argument slice (and any
+// fmt-able values in it) is never allocated on traced-off runs.
+func (k *Kernel) Tracing() bool { return k.traceFn != nil }
 
 // Tracef emits a timestamped trace line if tracing is enabled.
 func (k *Kernel) Tracef(format string, args ...interface{}) {

@@ -12,17 +12,28 @@ import (
 // Table 2).
 type Model = inject.Model
 
-// Error models.
+// Error models: the paper's Table 2 set plus the extension models
+// (message omission/corruption, checkpoint-store corruption, whole-node
+// crash).
 const (
-	ModelNone     = inject.ModelNone
-	ModelSIGINT   = inject.ModelSIGINT
-	ModelSIGSTOP  = inject.ModelSIGSTOP
-	ModelRegister = inject.ModelRegister
-	ModelText     = inject.ModelText
-	ModelHeap     = inject.ModelHeap
-	ModelHeapData = inject.ModelHeapData
-	ModelAppHeap  = inject.ModelAppHeap
+	ModelNone       = inject.ModelNone
+	ModelSIGINT     = inject.ModelSIGINT
+	ModelSIGSTOP    = inject.ModelSIGSTOP
+	ModelRegister   = inject.ModelRegister
+	ModelText       = inject.ModelText
+	ModelHeap       = inject.ModelHeap
+	ModelHeapData   = inject.ModelHeapData
+	ModelAppHeap    = inject.ModelAppHeap
+	ModelMsgDrop    = inject.ModelMsgDrop
+	ModelMsgCorrupt = inject.ModelMsgCorrupt
+	ModelCheckpoint = inject.ModelCheckpoint
+	ModelNodeCrash  = inject.ModelNodeCrash
 )
+
+// Models returns every registered error model in ascending order
+// (ModelNone first). The set is registry-driven: a model added to
+// internal/inject shows up here without façade changes.
+func Models() []Model { return inject.Models() }
 
 // Target selects the process under injection.
 type Target = inject.TargetKind
@@ -79,6 +90,16 @@ type Injection struct {
 	// Timeout is the run's system-failure deadline (default 400 s, or
 	// 600 s for multi-application runs).
 	Timeout time.Duration
+	// NetFaultProb is the per-message fault probability while a message
+	// fault model (ModelMsgDrop, ModelMsgCorrupt) is active; default
+	// 0.5.
+	NetFaultProb float64
+	// NetFaultFor is the length of the transient network-fault interval
+	// for the message fault models; default 20 s.
+	NetFaultFor time.Duration
+	// NodeRestartAfter is the node outage length for ModelNodeCrash;
+	// default 30 s.
+	NodeRestartAfter time.Duration
 	// CheckVerdict, if set, classifies the application output on the
 	// shared store after the run ("correct"/"incorrect"/"missing").
 	CheckVerdict func(fs *FS) string
@@ -87,18 +108,44 @@ type Injection struct {
 // Run executes the injection run. Option validation errors surface here,
 // before any simulation work.
 func (i Injection) Run() (InjectionResult, error) {
+	if !inject.Registered(i.Model) {
+		return InjectionResult{}, fmt.Errorf("reesift: Injection: unknown error model %d (see Models())", int(i.Model))
+	}
+	switch i.Model {
+	case ModelHeapData:
+		if i.Target == TargetApp {
+			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s targets a SIFT ARMOR element, not the application (use %s for application heap errors)", ModelHeapData, ModelAppHeap)
+		}
+		if i.Element == "" {
+			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s needs Element (the FTM element to corrupt)", ModelHeapData)
+		}
+	case ModelCheckpoint:
+		if i.Target == TargetApp {
+			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s targets an ARMOR's checkpoint store; applications are not microcheckpointed", ModelCheckpoint)
+		}
+	case ModelAppHeap:
+		if i.Target != TargetApp {
+			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s injects into the application heap; Target must be TargetApp", ModelAppHeap)
+		}
+	}
+	if i.NetFaultProb < 0 || i.NetFaultProb > 1 {
+		return InjectionResult{}, fmt.Errorf("reesift: Injection: NetFaultProb %v outside [0, 1]", i.NetFaultProb)
+	}
 	cfg := inject.Config{
-		Seed:         i.Seed,
-		Model:        i.Model,
-		Target:       i.Target,
-		Rank:         i.Rank,
-		Element:      i.Element,
-		Apps:         i.Apps,
-		SubmitAt:     i.SubmitAt,
-		Window:       i.Window,
-		RepeatEvery:  i.RepeatEvery,
-		Timeout:      i.Timeout,
-		CheckVerdict: i.CheckVerdict,
+		Seed:             i.Seed,
+		Model:            i.Model,
+		Target:           i.Target,
+		Rank:             i.Rank,
+		Element:          i.Element,
+		Apps:             i.Apps,
+		SubmitAt:         i.SubmitAt,
+		Window:           i.Window,
+		RepeatEvery:      i.RepeatEvery,
+		Timeout:          i.Timeout,
+		NetFaultProb:     i.NetFaultProb,
+		NetFaultFor:      i.NetFaultFor,
+		NodeRestartAfter: i.NodeRestartAfter,
+		CheckVerdict:     i.CheckVerdict,
 	}
 	// The run's node list: from the options when given, otherwise the
 	// model's defaults — the four-node testbed, or the six-node
