@@ -254,3 +254,22 @@ func BenchmarkAblationCheckpointStore(b *testing.B) {
 		return t.Render(), nil
 	})
 }
+
+// BenchmarkRecoveryTime runs the recovery-subsystem campaign (node
+// crashes against application-hosting nodes, compound FTM/daemon
+// losses) and reports the pooled mean application recovery time —
+// failure detection to restarted code running — as a custom metric, so
+// the BENCH.json artifact tracks the recovery path's performance
+// trajectory alongside the campaign-engine speedup.
+func BenchmarkRecoveryTime(b *testing.B) {
+	var mean float64
+	report(b, "recovery", func() (string, error) {
+		t, data, err := experiments.TableRecovery(scale())
+		if err != nil {
+			return "", err
+		}
+		mean = data.MeanRecoverySeconds
+		return t.Render(), nil
+	})
+	b.ReportMetric(mean, "s/recovery")
+}

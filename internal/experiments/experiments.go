@@ -70,6 +70,15 @@ type agg struct {
 	perceived    stats.Sample
 	actual       stats.Sample
 	recovery     stats.Sample
+	// Output verdicts (only counted when the campaign wires
+	// CheckVerdict).
+	verdictCorrect   int
+	verdictIncorrect int
+	verdictMissing   int
+	// Recovery-subsystem observables.
+	daemonReinstalls int
+	ftmMigrations    int
+	completed        int
 }
 
 func (a *agg) add(r inject.Result) {
@@ -99,12 +108,23 @@ func (a *agg) add(r inject.Result) {
 		a.correlated++
 	}
 	if r.Done {
+		a.completed++
 		a.perceived.AddDuration(r.Perceived)
 		a.actual.AddDuration(r.Actual)
 	}
 	if r.Recovered && r.RecoveryTime > 0 {
 		a.recovery.AddDuration(r.RecoveryTime)
 	}
+	switch r.Verdict {
+	case "correct":
+		a.verdictCorrect++
+	case "incorrect":
+		a.verdictIncorrect++
+	case "missing":
+		a.verdictMissing++
+	}
+	a.daemonReinstalls += r.DaemonReinstalls
+	a.ftmMigrations += r.FTMMigrations
 }
 
 // campaign fans n trials of a config generator across the campaign

@@ -11,18 +11,26 @@ import (
 type extCell struct {
 	model  inject.Model
 	target inject.TargetKind
-	// isolate places the FTM and Heartbeat ARMOR on the non-application
-	// nodes, so a whole-node fault under a SIFT process does not also
-	// take an application rank and its daemon with it.
-	isolate bool
+	// rank selects the targeted application rank / Execution ARMOR.
+	rank int
+	// shared runs the cell with centralized checkpoint storage — the
+	// Section 3.4 requirement the whole-node cells depend on for
+	// migrated ARMOR state to survive.
+	shared bool
+	// verdict wires the rover output verifier so the cell classifies
+	// application output (correct / incorrect / missing).
+	verdict bool
 }
 
 // extCells are the extension campaign's cells in presentation order. The
 // communication-fault models run against the paper's four targets where
-// the fault surface is reachable; the node-crash cells isolate the
-// target on a non-application node (crashing an application node is
-// unsurvivable while daemons cannot re-register after a node restart —
-// see the ROADMAP).
+// the fault surface is reachable. The node-crash cells target the
+// default placement — application-hosting nodes, where a crash takes an
+// application rank and its daemon along with the SIFT target: the
+// recovery subsystem (boot agent, SCC placement-table re-registration,
+// location-independent FTM migration) makes those survivable. The
+// shared-disk and partition cells exercise the cluster-wide store and
+// the FTM's node-declared-failed path under asymmetric reachability.
 var extCells = []extCell{
 	{model: inject.ModelMsgDrop, target: inject.TargetApp},
 	{model: inject.ModelMsgDrop, target: inject.TargetFTM},
@@ -33,8 +41,11 @@ var extCells = []extCell{
 	{model: inject.ModelCheckpoint, target: inject.TargetFTM},
 	{model: inject.ModelCheckpoint, target: inject.TargetExecArmor},
 	{model: inject.ModelCheckpoint, target: inject.TargetHeartbeat},
-	{model: inject.ModelNodeCrash, target: inject.TargetFTM, isolate: true},
-	{model: inject.ModelNodeCrash, target: inject.TargetHeartbeat, isolate: true},
+	{model: inject.ModelNodeCrash, target: inject.TargetFTM, shared: true},
+	{model: inject.ModelNodeCrash, target: inject.TargetHeartbeat, shared: true},
+	{model: inject.ModelSharedDisk, target: inject.TargetApp, verdict: true},
+	{model: inject.ModelPartition, target: inject.TargetApp, rank: 1, shared: true},
+	{model: inject.ModelPartition, target: inject.TargetHeartbeat, shared: true},
 }
 
 // TableExtensionData carries the per-cell aggregates.
@@ -46,16 +57,21 @@ type TableExtensionData struct {
 // communication-fault axis (message omission and value corruption on the
 // target's network traffic), checkpoint-store corruption (the paper's
 // "error corrupted the FTM's checkpoint prior to crashing" scenario as a
-// first-class campaign), and whole-node crashes. Every cell runs under
-// the parallel campaign engine and is a pure function of the scale's
-// seed at any worker count.
+// first-class campaign), whole-node crashes against application-hosting
+// nodes, shared-store corruption, and one-sided network partitions.
+// Every cell runs under the parallel campaign engine and is a pure
+// function of the scale's seed at any worker count.
 func TableExtension(sc Scale) (*Table, *TableExtensionData, error) {
+	check, err := roverVerdictCheck()
+	if err != nil {
+		return nil, nil, err
+	}
 	data := &TableExtensionData{Cells: make(map[string]agg)}
 	t := &Table{
 		ID:    "ext-faults",
-		Title: "Extension: communication, checkpoint-store, and node faults (beyond Table 2)",
+		Title: "Extension: communication, storage, node, and partition faults (beyond Table 2)",
 		Header: []string{"MODEL", "TARGET", "INJECTED RUNS", "FAILURES",
-			"SUCCESSFUL RECOVERIES", "SYSTEM FAILURES", "PERCEIVED (s)"},
+			"SUCCESSFUL RECOVERIES", "SYSTEM FAILURES", "VERDICTS C/I/M", "PERCEIVED (s)"},
 	}
 	for _, cell := range extCells {
 		cell := cell
@@ -65,17 +81,24 @@ func TableExtension(sc Scale) (*Table, *TableExtensionData, error) {
 				Seed:   seed,
 				Model:  cell.model,
 				Target: cell.target,
+				Rank:   cell.rank,
 				Apps:   []*sift.AppSpec{roverApp()},
 			}
-			if cell.isolate {
+			if cell.shared {
 				env := sift.DefaultEnvConfig()
-				env.FTMNode = "node-b1"
-				env.HeartbeatNode = "node-b2"
+				env.SharedCheckpoints = true
 				cfg.Env = &env
+			}
+			if cell.verdict {
+				cfg.CheckVerdict = check
 			}
 			return cfg
 		})
 		data.Cells[cell.model.String()+"/"+cell.target.String()] = a
+		verdicts := "-"
+		if cell.verdict {
+			verdicts = fmt.Sprintf("%d/%d/%d", a.verdictCorrect, a.verdictIncorrect, a.verdictMissing)
+		}
 		t.Rows = append(t.Rows, []Cell{
 			str(cell.model.String()),
 			str(cell.target.String()),
@@ -83,12 +106,16 @@ func TableExtension(sc Scale) (*Table, *TableExtensionData, error) {
 			num(a.failures),
 			num(a.sucRec),
 			num(a.sysFailures),
+			str(verdicts),
 			secCell(&a.perceived),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"msg-drop omissions are largely masked by the reliable channels' retransmission; msg-corrupt fail-silence violations propagate to whoever parses the message (Section 6's crash-loop mechanism)",
-		"node-crash cells isolate the target on a non-application node; crashing an application node is unsurvivable until daemons re-register after a node restart (ROADMAP)",
+		"node-crash cells target the default placement — application-hosting nodes: the boot agent reinstalls the daemon on restart, the SCC re-registers placed ARMORs, and the FTM migrates off its fixed node when its host dies (see the recovery scenario)",
+		"node-crash and partition cells run with centralized checkpoint storage (Section 3.4)",
+		"shared-disk corruptions classify the application output: C/I/M = correct / incorrect / missing verdicts",
+		"one-sided partitions are a real hazard the paper's symmetric crash model misses: the FTM declares the unreachable (but alive) node failed and migrates its ARMORs, so the heal leaves duplicate recoverers — the stale Heartbeat ARMOR then falsely re-recovers the FTM in a loop, generally a system failure",
 	)
 	return t, data, nil
 }

@@ -59,7 +59,8 @@ func TestExtensionCampaignMechanismsReachable(t *testing.T) {
 		injectedByModel[cell.model] += a.injectedRuns
 	}
 	for _, m := range []inject.Model{inject.ModelMsgDrop, inject.ModelMsgCorrupt,
-		inject.ModelCheckpoint, inject.ModelNodeCrash} {
+		inject.ModelCheckpoint, inject.ModelNodeCrash,
+		inject.ModelSharedDisk, inject.ModelPartition} {
 		if injectedByModel[m] == 0 {
 			t.Errorf("model %s never injected at tiny scale", m)
 		}

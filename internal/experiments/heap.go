@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"reesift/internal/apps/rover"
 	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
-	"reesift/internal/sim"
 )
 
 // table7Targets: heap injections target only the SIFT processes.
@@ -178,13 +176,10 @@ type Table10Data struct {
 // size fields (crash).
 func Table10(sc Scale) (*Table, *Table10Data, error) {
 	data := &Table10Data{}
-	p := rover.DefaultParams()
-	img := rover.GenerateImage(p.ImageSize, p.Seed)
-	ref, _, err := rover.Analyze(img, p.Clusters)
+	check, err := roverVerdictCheck()
 	if err != nil {
 		return nil, nil, err
 	}
-	check := func(fs *sim.FS) string { return rover.Verify(fs, 1, ref, p.Tolerance).String() }
 	results := engine.Map(sc.Workers, sc.AppHeapRuns, func(run int) inject.Result {
 		return inject.Run(inject.Config{
 			Seed:         engine.DeriveSeed(sc.Seed, "table10", run),

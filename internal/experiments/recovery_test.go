@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"reesift/pkg/reesift"
+)
+
+// TestRecoveryScenarioRegistered: the recovery campaign must be
+// discoverable from the scenario registry like every other workload.
+func TestRecoveryScenarioRegistered(t *testing.T) {
+	s, ok := reesift.Lookup("recovery")
+	if !ok {
+		t.Fatal("recovery not registered")
+	}
+	if _, ok := reesift.Lookup("recovery-subsystem"); !ok {
+		t.Fatal("recovery-subsystem alias not registered")
+	}
+	if s.Run == nil || s.Title == "" {
+		t.Fatalf("recovery registration incomplete: %+v", s)
+	}
+}
+
+// TestRecoveryWorkerCountInvariance pins the acceptance criterion: the
+// recovery scenario is a pure function of the scale's seed, byte-
+// identical at 1 and 8 workers.
+func TestRecoveryWorkerCountInvariance(t *testing.T) {
+	render := func(workers int) string {
+		sc := tinyScale()
+		sc.Workers = workers
+		tbl, _, err := TableRecovery(sc)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tbl.Render()
+	}
+	want := render(1)
+	if got := render(8); got != want {
+		t.Fatalf("workers=8 rendered differently than workers=1:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", want, got)
+	}
+}
+
+// TestRecoveryCampaignSurvivability pins the headline: node-crash
+// injections against application-hosting nodes report recoveries, not
+// 100% system failures, and crashing the FTM's node migrates the FTM.
+// (TableRecovery itself errors on these conditions; this test documents
+// and exercises them at tiny scale.)
+func TestRecoveryCampaignSurvivability(t *testing.T) {
+	_, data, err := TableRecovery(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, a := range data.Cells {
+		if a.injectedRuns > 0 && a.completed == 0 {
+			t.Errorf("cell %q: all %d injected runs were system failures", id, a.injectedRuns)
+		}
+	}
+	if a := data.Cells["node-crash/app-node (isolated SIFT)"]; a.daemonReinstalls == 0 {
+		t.Error("pure application-node crashes never reinstalled a daemon")
+	}
+	if a := data.Cells["node-crash/app-node+FTM"]; a.ftmMigrations == 0 {
+		t.Error("FTM-node crashes never migrated the FTM")
+	}
+}

@@ -157,10 +157,19 @@ func init() {
 	})
 	reesift.Register(reesift.Scenario{
 		ID:      "ext-faults",
-		Title:   "Extension: communication, checkpoint-store, and node faults",
+		Title:   "Extension: communication, storage, node, and partition faults",
 		Aliases: []string{"extension"},
 		Run: single(func(sc Scale) (*Table, error) {
 			t, _, err := TableExtension(sc)
+			return t, err
+		}),
+	})
+	reesift.Register(reesift.Scenario{
+		ID:      "recovery",
+		Title:   "Recovery subsystem: application-node crashes and compound FTM/daemon losses",
+		Aliases: []string{"recovery-subsystem"},
+		Run: single(func(sc Scale) (*Table, error) {
+			t, _, err := TableRecovery(sc)
 			return t, err
 		}),
 	})

@@ -20,6 +20,12 @@
 //	MsgCorrupt  transient message value corruption (fail-silence violation)
 //	Checkpoint  bit flips in the target's stable checkpoint image
 //	NodeCrash   whole-node failure under the target, with delayed restart
+//	SharedDisk  bit flips in the cluster-wide store's files (input,
+//	            checkpoints, application output)
+//	Partition   one-sided network partition of the target's node, with a
+//	            scheduled heal
+//	Compound    two registered models armed with a controlled lag (the
+//	            Section 6 correlated failures, reproduced on purpose)
 //
 // Each run builds a fresh simulated cluster, SIFT environment, and
 // application from a seed, schedules the injector, runs to completion or
@@ -31,6 +37,7 @@
 package inject
 
 import (
+	"fmt"
 	"time"
 
 	"reesift/internal/memsim"
@@ -76,9 +83,87 @@ type Config struct {
 	// NodeRestartAfter is the node outage length for ModelNodeCrash;
 	// default 30 s.
 	NodeRestartAfter time.Duration
+	// Compound describes the two correlated stages of a ModelCompound
+	// run; nil selects the paper's Section 6 pair (Heartbeat ARMOR made
+	// deaf, then the FTM's node crashed under it).
+	Compound *CompoundSpec
 	// CheckVerdict, if set, classifies the application output on the
 	// shared store after the run ("correct"/"incorrect"/"missing").
 	CheckVerdict func(fs *sim.FS) string
+}
+
+// CompoundStage is one arm of a compound injection: an error model and
+// the target it fires against. The model must implement Firer.
+type CompoundStage struct {
+	Model  Model
+	Target TargetKind
+	Rank   int
+}
+
+// CompoundSpec arms two injectors with a controlled lag — the
+// correlated multi-point faults of the paper's Section 6, reproduced on
+// purpose instead of waited for. First fires at the drawn injection
+// time, Second fires Lag later. At most one of the stages may be a
+// network-interval model (msg-drop, msg-corrupt, partition): the kernel
+// carries a single message fault model at a time.
+type CompoundSpec struct {
+	First  CompoundStage
+	Second CompoundStage
+	Lag    time.Duration
+}
+
+// CompoundDefault is the paper's Section 6 compound failure: the
+// Heartbeat ARMOR is suspended (so the FTM's dedicated recoverer is
+// deaf), and the FTM's node crashes five seconds later.
+func CompoundDefault() CompoundSpec {
+	return CompoundSpec{
+		First:  CompoundStage{Model: ModelSIGSTOP, Target: TargetHeartbeat},
+		Second: CompoundStage{Model: ModelNodeCrash, Target: TargetFTM},
+		Lag:    5 * time.Second,
+	}
+}
+
+// netInterval reports whether a model installs the kernel's (single)
+// transient message fault slot.
+func netInterval(m Model) bool {
+	return m == ModelMsgDrop || m == ModelMsgCorrupt || m == ModelPartition
+}
+
+// ValidateCompound checks a compound spec for the constraints the
+// coordinator cannot surface at run time (its Schedule hook has no
+// error path, so an invalid spec would silently run fault-free): stage
+// models must be registered and composable (implement Firer), compounds
+// cannot nest, the lag must not be negative, and at most one stage may
+// be a network-interval model — the kernel carries a single message
+// fault model, so a second interval stage would displace the first and
+// double-count its insertions. A nil spec is valid (CompoundDefault
+// applies).
+func ValidateCompound(sp *CompoundSpec) error {
+	if sp == nil {
+		return nil
+	}
+	for _, stage := range []CompoundStage{sp.First, sp.Second} {
+		if stage.Model == ModelCompound {
+			return fmt.Errorf("inject: compound stages cannot nest another compound")
+		}
+		if !Registered(stage.Model) {
+			return fmt.Errorf("inject: compound stage model %d is not registered", int(stage.Model))
+		}
+		if _, ok := newInjector(stage.Model).(Firer); !ok {
+			return fmt.Errorf("inject: model %s cannot be a compound stage (no fixed-time insertion)", stage.Model)
+		}
+		if stage.Target == TargetNone {
+			return fmt.Errorf("inject: compound stage %s has no target (a forgotten Target would silently inject nothing)", stage.Model)
+		}
+	}
+	if sp.Lag < 0 {
+		return fmt.Errorf("inject: compound lag %v must not be negative", sp.Lag)
+	}
+	if netInterval(sp.First.Model) && netInterval(sp.Second.Model) {
+		return fmt.Errorf("inject: at most one compound stage may be a network-interval model (%s and %s both are)",
+			sp.First.Model, sp.Second.Model)
+	}
+	return nil
 }
 
 // Result is one run's outcome.
@@ -122,6 +207,13 @@ type Result struct {
 	// PerApp carries per-application measurements for multi-application
 	// runs (Tables 11-12), keyed by AppID.
 	PerApp map[sift.AppID]AppMeasure
+
+	// DaemonReinstalls counts boot-agent daemon reinstalls on restarted
+	// nodes; FTMMigrations counts FTM reinstalls that landed on a
+	// different node than the one it failed on. Both are zero outside
+	// the recovery subsystem's fault classes.
+	DaemonReinstalls int
+	FTMMigrations    int
 }
 
 // AppMeasure is one application's outcome within a run.
@@ -160,6 +252,10 @@ func Run(cfg Config) Result {
 	}
 	if cfg.NodeRestartAfter <= 0 {
 		cfg.NodeRestartAfter = 30 * time.Second
+	}
+	if cfg.Model == ModelCompound && cfg.Compound == nil {
+		def := CompoundDefault()
+		cfg.Compound = &def
 	}
 	r := newRunner(cfg)
 	defer r.k.Shutdown()

@@ -23,11 +23,12 @@ type checkpointInjector struct{}
 // Schedule draws the injection time uniformly over the application
 // window.
 func (ci *checkpointInjector) Schedule(r *Runner) {
-	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { ci.fire(r, at) })
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { ci.Fire(r, at) })
 }
 
-// fire corrupts the stable checkpoint and crashes the target.
-func (ci *checkpointInjector) fire(r *Runner, at time.Duration) {
+// Fire corrupts the stable checkpoint and crashes the target. It
+// implements Firer, so the compound coordinator can arm it as a stage.
+func (ci *checkpointInjector) Fire(r *Runner, at time.Duration) {
 	armor := r.env.ArmorOf(r.targetAID())
 	if armor == nil || r.appAlreadyDone() {
 		return
@@ -40,9 +41,8 @@ func (ci *checkpointInjector) fire(r *Runner, at time.Duration) {
 	if !ckpt.CorruptStable(r.rng, flips) {
 		return // nothing committed yet: no error inserted
 	}
-	r.res.Injected = flips
+	r.recordInjections(at, flips)
 	r.res.Activated = true
-	r.res.InjectedAt = at
 	if pid := r.pid(); pid != sim.NoPID && r.k.Alive(pid) {
 		r.k.Kill(pid, "SIGINT after checkpoint corruption")
 	}

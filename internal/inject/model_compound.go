@@ -1,0 +1,67 @@
+package inject
+
+import (
+	"time"
+)
+
+func init() {
+	RegisterModel(ModelCompound, "compound", func() Injector { return &compoundInjector{} })
+}
+
+// compoundInjector is the composite injector coordinator: it pulls two
+// registered error models out of the registry and arms them with a
+// controlled lag — correlated multi-point faults on purpose, instead of
+// waiting for a single-point campaign to stumble into them. The default
+// pairing (CompoundDefault) reproduces the paper's Section 6 compound
+// failure: the Heartbeat ARMOR is made deaf, then the FTM's node crashes
+// under it, so the FTM's dedicated recoverer cannot act and recovery
+// falls to the boot-agent/SCC subsystem.
+//
+// Each stage runs against its own target: the coordinator redirects the
+// Runner's target resolution (withTarget) while arming a stage, and
+// interval models capture the redirected target reference so their
+// long-lived match closures keep pointing at the right process. Stage
+// models must implement Firer; the coordinator draws one injection time
+// and fires the first stage there, the second Lag later.
+type compoundInjector struct {
+	// first and second keep the armed stage injectors reachable for
+	// Finish.
+	first, second Firer
+}
+
+// Schedule draws the first stage's time uniformly over the application
+// window and chains the second stage Lag after it.
+func (ci *compoundInjector) Schedule(r *Runner) {
+	sp := r.cfg.Compound
+	if sp == nil {
+		return
+	}
+	first, okF := newInjector(sp.First.Model).(Firer)
+	second, okS := newInjector(sp.Second.Model).(Firer)
+	if !okF || !okS {
+		return // a stage model is unregistered or not composable
+	}
+	ci.first, ci.second = first, second
+	lag := sp.Lag // zero is legal: both stages fire at the drawn time
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) {
+		r.withTarget(targetRef{kind: sp.First.Target, rank: sp.First.Rank}, func() {
+			first.Fire(r, at)
+		})
+		r.k.Schedule(lag, func() {
+			r.withTarget(targetRef{kind: sp.Second.Target, rank: sp.Second.Rank}, func() {
+				second.Fire(r, at+lag)
+			})
+		})
+	})
+}
+
+// Finish forwards to any stage that folds post-run observations into the
+// result (the message-interval models count their touched messages
+// there).
+func (ci *compoundInjector) Finish(r *Runner) {
+	for _, stage := range []Firer{ci.first, ci.second} {
+		if fin, ok := stage.(Finisher); ok {
+			fin.Finish(r)
+		}
+	}
+}

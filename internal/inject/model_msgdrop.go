@@ -33,23 +33,27 @@ type msgFaultInjector struct {
 // Schedule draws the interval start uniformly over the application
 // window.
 func (mf *msgFaultInjector) Schedule(r *Runner) {
-	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { mf.fire(r, at) })
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { mf.Fire(r, at) })
 }
 
-// fire arms the kernel's message fault model for the transient interval.
-func (mf *msgFaultInjector) fire(r *Runner, at time.Duration) {
+// Fire arms the kernel's message fault model for the transient interval.
+// It implements Firer, so the compound coordinator can arm it as a
+// stage.
+func (mf *msgFaultInjector) Fire(r *Runner, at time.Duration) {
 	pid := r.pid()
 	if pid == sim.NoPID || !r.k.Alive(pid) || r.appAlreadyDone() {
 		return // interval fell after completion: no error
 	}
 	mf.at = at
 	mf.armed = true
+	sel := r.target()
 	fault := &sim.NetFault{
-		// Match resolves the target's pid per message, so traffic of a
-		// recovered (re-spawned) target stays under fault for the rest
-		// of the interval.
+		// Match re-resolves the captured target's pid per message, so
+		// traffic of a recovered (re-spawned) target stays under fault
+		// for the rest of the interval — and a compound stage keeps
+		// matching its own target after the coordinator moves on.
 		Match: func(src, dst sim.PID, payload interface{}) bool {
-			t := r.pid()
+			t := r.pidOfRef(sel)
 			return t != sim.NoPID && (src == t || dst == t)
 		},
 	}
@@ -87,7 +91,6 @@ func (mf *msgFaultInjector) Finish(r *Runner) {
 	if n == 0 {
 		return // interval passed without touching a message
 	}
-	r.res.Injected = n
+	r.recordInjections(mf.at, n)
 	r.res.Activated = true
-	r.res.InjectedAt = mf.at
 }

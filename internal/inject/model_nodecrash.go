@@ -22,11 +22,12 @@ type nodeCrashInjector struct{}
 
 // Schedule draws the crash time uniformly over the application window.
 func (nc *nodeCrashInjector) Schedule(r *Runner) {
-	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { nc.fire(r, at) })
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { nc.Fire(r, at) })
 }
 
-// fire crashes the target's node and arms the delayed restart.
-func (nc *nodeCrashInjector) fire(r *Runner, at time.Duration) {
+// Fire crashes the target's node and arms the delayed restart. It
+// implements Firer, so the compound coordinator can arm it as a stage.
+func (nc *nodeCrashInjector) Fire(r *Runner, at time.Duration) {
 	pid := r.pid()
 	if pid == sim.NoPID || !r.k.Alive(pid) || r.appAlreadyDone() {
 		return // crash time fell after completion: no error
@@ -36,9 +37,8 @@ func (nc *nodeCrashInjector) fire(r *Runner, at time.Duration) {
 		return
 	}
 	name := node.Name()
-	r.res.Injected = 1
+	r.recordInjection(at)
 	r.res.Activated = true
-	r.res.InjectedAt = at
 	r.k.CrashNode(name)
 	r.k.Schedule(r.cfg.NodeRestartAfter, func() { r.k.RestartNode(name) })
 }

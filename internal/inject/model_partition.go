@@ -1,0 +1,73 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/sim"
+)
+
+func init() {
+	RegisterModel(ModelPartition, "partition", func() Injector { return &partitionInjector{} })
+}
+
+// partitionInjector implements a one-sided network partition: for a
+// transient interval of NetFaultFor starting at the drawn time, every
+// message from the rest of the cluster INTO the target's node is
+// dropped, while the node's own outbound traffic still flows. The
+// asymmetry is the point — it is the reachability pattern a failing
+// switch port or a deaf NIC produces, and it drives the FTM's
+// node-declared-failed path against a node that is in fact alive: the
+// daemon never receives the FTM's are-you-alive inquiries, the FTM
+// declares the node failed and migrates its ARMORs, and when the
+// scheduled heal arrives the cluster must reconcile with the stale
+// survivors on the partitioned node.
+//
+// Like the message fault models, the partition installs at the kernel's
+// send/latency boundary with a derived RNG, so untouched messages keep
+// their nominal schedule and the run stays a pure function of the seed.
+type partitionInjector struct {
+	at    time.Duration
+	armed bool
+}
+
+// Schedule draws the partition start uniformly over the application
+// window.
+func (pi *partitionInjector) Schedule(r *Runner) {
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { pi.Fire(r, at) })
+}
+
+// Fire partitions the target's node and schedules the heal. It
+// implements Firer, so the compound coordinator can arm it as a stage.
+func (pi *partitionInjector) Fire(r *Runner, at time.Duration) {
+	pid := r.pid()
+	if pid == sim.NoPID || !r.k.Alive(pid) || r.appAlreadyDone() {
+		return // partition fell after completion: no error
+	}
+	node := r.k.ProcNode(pid)
+	if node == nil || !node.Up() {
+		return
+	}
+	name := node.Name()
+	pi.at = at
+	pi.armed = true
+	r.k.InstallNetFault(r.cfg.Seed^0x9a27, &sim.NetFault{
+		Drop: 1,
+		Match: func(src, dst sim.PID, payload interface{}) bool {
+			sn, dn := r.k.ProcNode(src), r.k.ProcNode(dst)
+			return sn != nil && dn != nil && sn.Name() != name && dn.Name() == name
+		},
+	})
+	r.k.Schedule(r.cfg.NetFaultFor, func() { r.k.ClearNetFault() })
+}
+
+// Finish counts the partition's dropped messages as the run's error
+// insertions.
+func (pi *partitionInjector) Finish(r *Runner) {
+	if !pi.armed {
+		return
+	}
+	if n := r.k.NetFaultStats().Dropped; n > 0 {
+		r.recordInjections(pi.at, n)
+		r.res.Activated = true
+	}
+}

@@ -1,0 +1,70 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/sim"
+)
+
+func init() {
+	RegisterModel(ModelSharedDisk, "shared-disk", func() Injector { return &sharedDiskInjector{} })
+}
+
+// sharedDiskInjector implements faults in the cluster-wide store itself
+// (the testbed's Sun workstation disk): at the drawn time it flips a few
+// bits in one randomly chosen file on the shared FS — input images,
+// rudimentary application checkpoints (status and per-filter feature
+// files), or already-written application output — and then kills the
+// target process, so the restarted incarnation must rebuild from the
+// damaged store. Everything goes through sim.FS.CorruptBit, the same
+// hook the checkpoint injector uses; the corrupt-then-crash pairing is
+// the storage-side analogue of the paper's "error corrupted the FTM's
+// checkpoint prior to crashing" scenario.
+//
+// The interesting classification axis is the output verdict: depending
+// on where the flips land, the restarted run recomputes from damaged
+// intermediate state ("incorrect" output), the application cannot finish
+// at all ("missing" — nothing parseable is ever produced), or the flips
+// land in dead or regenerable bytes and the verdict stays "correct".
+// Campaigns wire CheckVerdict to exercise all three paths.
+type sharedDiskInjector struct{}
+
+// Schedule draws the injection time uniformly over the application
+// window.
+func (sd *sharedDiskInjector) Schedule(r *Runner) {
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { sd.Fire(r, at) })
+}
+
+// Fire corrupts one file on the shared store and crashes the target. It
+// implements Firer, so the compound coordinator can arm it as a stage.
+func (sd *sharedDiskInjector) Fire(r *Runner, at time.Duration) {
+	if r.appAlreadyDone() {
+		return // drawn time fell after completion: no error
+	}
+	fs := r.k.SharedFS()
+	files := fs.List() // sorted: the pick is a pure function of the seed
+	if len(files) == 0 {
+		return // nothing on the store yet
+	}
+	path := files[r.rng.Intn(len(files))]
+	size := fs.Size(path)
+	if size == 0 {
+		return
+	}
+	flips := 1 + r.rng.Intn(4)
+	done := 0
+	for i := 0; i < flips; i++ {
+		if err := fs.CorruptBit(path, r.rng.Intn(size), uint(r.rng.Intn(8))); err != nil {
+			break
+		}
+		done++
+	}
+	if done == 0 {
+		return
+	}
+	r.recordInjections(at, done)
+	r.res.Activated = true
+	if pid := r.pid(); pid != sim.NoPID && r.k.Alive(pid) {
+		r.k.Kill(pid, "SIGINT after shared-store corruption")
+	}
+}

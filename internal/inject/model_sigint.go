@@ -22,19 +22,19 @@ type signalInjector struct {
 // Schedule draws the injection time uniformly over the application
 // window.
 func (s signalInjector) Schedule(r *Runner) {
-	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { s.fire(r, at) })
+	r.drawAt(r.cfg.SubmitAt, r.cfg.Window, func(at time.Duration) { s.Fire(r, at) })
 }
 
-// fire delivers the signal if the target still exists and the
-// application has not already completed.
-func (s signalInjector) fire(r *Runner, at time.Duration) {
+// Fire delivers the signal if the target still exists and the
+// application has not already completed. It implements Firer, so the
+// compound coordinator can arm it as a stage.
+func (s signalInjector) Fire(r *Runner, at time.Duration) {
 	pid := r.pid()
 	if pid == sim.NoPID || !r.k.Alive(pid) || r.appAlreadyDone() {
 		return // injection time fell after completion: no error
 	}
-	r.res.Injected = 1
+	r.recordInjection(at)
 	r.res.Activated = true
-	r.res.InjectedAt = at
 	if s.kill {
 		r.k.Kill(pid, "SIGINT")
 	} else {

@@ -3,6 +3,7 @@ package inject
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"reesift/internal/sift"
 )
@@ -25,6 +26,9 @@ const (
 	ModelMsgCorrupt
 	ModelCheckpoint
 	ModelNodeCrash
+	ModelSharedDisk
+	ModelPartition
+	ModelCompound
 )
 
 // Injector is one error model's insertion strategy. The Runner owns the
@@ -51,6 +55,15 @@ type EnvPreparer interface {
 // outcome (the message fault models read the kernel's fault counters).
 type Finisher interface {
 	Finish(r *Runner)
+}
+
+// Firer is an optional Injector extension for models that can insert
+// their error at a caller-chosen instant instead of drawing one — the
+// contract the compound coordinator composes on. Fire runs in kernel
+// context at virtual time at; the model's own Schedule is typically
+// drawAt wired to the same method.
+type Firer interface {
+	Fire(r *Runner, at time.Duration)
 }
 
 // modelEntry is one registered error model.

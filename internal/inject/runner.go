@@ -29,6 +29,37 @@ type Runner struct {
 	// stopped latches once a repeated-injection model has observed its
 	// first induced failure (Section 4.1).
 	stopped bool
+
+	// override temporarily redirects target resolution while a compound
+	// coordinator arms one of its stages; nil means the Config's target
+	// governs.
+	override *targetRef
+}
+
+// targetRef is a resolved injection subject: the stable binding a
+// long-lived injector closure captures so it keeps pointing at its own
+// stage's target after the coordinator moves on.
+type targetRef struct {
+	kind TargetKind
+	rank int
+}
+
+// target returns the currently armed injection subject.
+func (r *Runner) target() targetRef {
+	if r.override != nil {
+		return *r.override
+	}
+	return targetRef{kind: r.cfg.Target, rank: r.cfg.Rank}
+}
+
+// withTarget runs fn with target resolution redirected to t. It is the
+// compound coordinator's arming scope; everything runs in kernel
+// context, so no synchronization is needed.
+func (r *Runner) withTarget(t targetRef, fn func()) {
+	old := r.override
+	r.override = &t
+	fn()
+	r.override = old
 }
 
 // newRunner builds the kernel, environment configuration, and injector
@@ -91,40 +122,50 @@ func (r *Runner) drawAt(start, window time.Duration, fire func(at time.Duration)
 
 // targetAID returns the ARMOR AID under injection (invalid for app
 // targets).
-func (r *Runner) targetAID() core.AID {
-	switch r.cfg.Target {
+func (r *Runner) targetAID() core.AID { return r.aidOfRef(r.target()) }
+
+// aidOfRef resolves a target reference to its ARMOR AID.
+func (r *Runner) aidOfRef(t targetRef) core.AID {
+	switch t.kind {
 	case TargetFTM:
 		return sift.AIDFTM
 	case TargetHeartbeat:
 		return sift.AIDHeartbeat
 	case TargetExecArmor:
 		if len(r.cfg.Apps) > 0 {
-			return sift.AIDExec(r.cfg.Apps[0].ID, r.cfg.Rank)
+			return sift.AIDExec(r.cfg.Apps[0].ID, t.rank)
 		}
 	}
 	return core.InvalidAID
 }
 
 // pid resolves the target's current process.
-func (r *Runner) pid() sim.PID {
-	if r.cfg.Target == TargetApp {
+func (r *Runner) pid() sim.PID { return r.pidOfRef(r.target()) }
+
+// pidOfRef resolves a target reference's current process. Injectors that
+// outlive their arming scope (the message fault models) capture the ref
+// once and re-resolve the pid per use, so a recovered (re-spawned)
+// target stays covered.
+func (r *Runner) pidOfRef(t targetRef) sim.PID {
+	if t.kind == TargetApp {
 		if len(r.cfg.Apps) == 0 {
 			return sim.NoPID
 		}
-		return r.env.AppProc(r.cfg.Apps[0].ID, r.cfg.Rank)
+		return r.env.AppProc(r.cfg.Apps[0].ID, t.rank)
 	}
-	return r.env.ProcOf(r.targetAID())
+	return r.env.ProcOf(r.aidOfRef(t))
 }
 
 // mem resolves the target's simulated memory image.
 func (r *Runner) mem() *memsim.Memory {
-	if r.cfg.Target == TargetApp {
+	t := r.target()
+	if t.kind == TargetApp {
 		if len(r.cfg.Apps) == 0 {
 			return nil
 		}
-		return r.env.AppMem(r.cfg.Apps[0].ID, r.cfg.Rank)
+		return r.env.AppMem(r.cfg.Apps[0].ID, t.rank)
 	}
-	armor := r.env.ArmorOf(r.targetAID())
+	armor := r.env.ArmorOf(r.aidOfRef(t))
 	if armor == nil {
 		return nil
 	}
@@ -174,11 +215,21 @@ func (r *Runner) targetFailed() bool {
 
 // recordInjection notes one error insertion in the result, stamping the
 // first insertion's time.
-func (r *Runner) recordInjection(at time.Duration) {
-	if r.res.Injected == 0 {
+func (r *Runner) recordInjection(at time.Duration) { r.recordInjections(at, 1) }
+
+// recordInjections notes n error insertions at once (bit-flip bursts,
+// message-interval tallies). Activation is the caller's call: insertion
+// does not imply the error manifested. InjectedAt keeps the earliest
+// insertion time regardless of recording order — the message-interval
+// models tally in Finish, after any later stage already recorded.
+func (r *Runner) recordInjections(at time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	if r.res.Injected == 0 || at < r.res.InjectedAt {
 		r.res.InjectedAt = at
 	}
-	r.res.Injected++
+	r.res.Injected += n
 }
 
 // finish extracts the run classification from the environment log.
@@ -242,6 +293,10 @@ func (r *Runner) finish(handles []*sift.AppHandle) {
 	if env.Log.Count("invalid-destination") > 0 {
 		res.AssertionFired = true
 	}
+	// Recovery-subsystem observables: boot-agent daemon reinstalls and
+	// FTM migrations off its configured node.
+	res.DaemonReinstalls = env.Log.Count("daemon-reinstalled")
+	res.FTMMigrations = env.Log.Count("ftm-migrated")
 
 	// Application measurements.
 	if len(handles) > 0 {

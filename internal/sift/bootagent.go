@@ -1,0 +1,78 @@
+package sift
+
+import (
+	"reesift/internal/core"
+	"reesift/internal/sim"
+)
+
+// BootReport is the boot agent's completion message to the SCC: the
+// restarted node's daemon is back and ready to be re-registered with the
+// FTM. It travels on the trusted ground channel (a raw sim message, not a
+// SIFT envelope), like the SCC's other control traffic.
+type BootReport struct {
+	Node      string
+	DaemonAID core.AID
+}
+
+// BootAgent is the per-node recovery process of the SIFT environment: the
+// piece the original testbed lacked. When a crashed node powers back up,
+// the SCC (notified through Kernel.WatchNode) starts the node's boot
+// agent — the simulation analogue of the board's boot ROM handing control
+// to a recovery image. The agent reinstalls the node's daemon, replays
+// the DaemonBootstrap it would have received at environment
+// initialization (peer daemon addresses, the location cache including
+// post-migration ARMOR placements, the SCC's process address), announces
+// the daemon's fresh process address to the surviving peers, and reports
+// to the SCC, which re-registers the daemon with the FTM and reinstalls
+// whatever ARMORs its placement table says belong on the node.
+//
+// The agent then stays resident as the node's init process: if the
+// daemon dies again while the node stays up, nothing here intervenes —
+// daemon failures are node failures (Section 3.3), and the next
+// crash/restart cycle runs the whole sequence again.
+type BootAgent struct {
+	env  *Environment
+	node string
+}
+
+// NewBootAgent builds the boot agent for a restarted node.
+func NewBootAgent(env *Environment, node string) *BootAgent {
+	return &BootAgent{env: env, node: node}
+}
+
+// Run is the boot agent process body. It must run on the restarted node.
+func (b *BootAgent) Run(p *sim.Proc) {
+	e := b.env
+	n := e.K.Node(b.node)
+	if n == nil || !n.Up() {
+		return
+	}
+	e.Log.Add(p.Now(), "boot-agent-started", b.node)
+	// Loading the daemon image and forking it costs the same install
+	// delay as any daemon-driven process installation.
+	p.Sleep(e.cfg.InstallDelay)
+	aid := e.DaemonAID(b.node)
+	d := NewDaemon(e, n, aid)
+	pid := p.SpawnChild(n, "daemon-"+b.node, d.Run)
+	e.daemons[b.node] = d
+	e.daemonPID[b.node] = pid
+
+	// Replay the bootstrap: the fresh daemon needs the full table, and
+	// every surviving peer needs the restarted daemon's new process
+	// address (their cached one points at the dead incarnation).
+	boot := e.bootstrapSnapshot()
+	for _, name := range e.cfg.Nodes {
+		peer := e.daemonPID[name]
+		if peer == sim.NoPID || !e.K.Alive(peer) {
+			continue
+		}
+		p.Send(peer, boot)
+	}
+	e.Log.Add(p.Now(), "daemon-reinstalled", b.node)
+	p.Send(e.sccPID, BootReport{Node: b.node, DaemonAID: aid})
+
+	// Remain resident as the node's init process.
+	for {
+		p.Recv()
+	}
+}

@@ -107,6 +107,21 @@ func NewDaemon(env *Environment, node *sim.Node, aid core.AID) *Daemon {
 // AID returns the daemon's ARMOR ID.
 func (d *Daemon) AID() core.AID { return d.aid }
 
+// Bootstrap snapshots the daemon's bootstrap-fed tables (peer daemon
+// addresses, location cache, SCC address). The recovery tests use it to
+// verify a reinstalled daemon received an identical replay.
+func (d *Daemon) Bootstrap() DaemonBootstrap {
+	pids := make(map[string]sim.PID, len(d.daemonPIDs))
+	for host, pid := range d.daemonPIDs {
+		pids[host] = pid
+	}
+	nodeOf := make(map[core.AID]string, len(d.nodeOf))
+	for aid, host := range d.nodeOf {
+		nodeOf[aid] = host
+	}
+	return DaemonBootstrap{DaemonPIDs: pids, NodeOf: nodeOf, SCCPID: d.sccPID}
+}
+
 // Run is the daemon process body.
 func (d *Daemon) Run(p *sim.Proc) {
 	d.proc = p

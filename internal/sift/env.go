@@ -2,6 +2,7 @@ package sift
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"reesift/internal/core"
@@ -51,6 +52,12 @@ type EnvConfig struct {
 	// ablation of the paper's Section 7/9 claim that assertions plus
 	// microcheckpointing prevent system failures.
 	DisableSelfChecks bool
+	// DisableBootAgent turns off the recovery subsystem: restarted nodes
+	// come back with an empty process table and no daemon, reproducing
+	// the original testbed's gap (node crashes of application-hosting
+	// nodes are then unsurvivable). The default — boot agent enabled —
+	// has the SCC start a boot agent on every restarted node.
+	DisableBootAgent bool
 	// MemTargets attaches simulated memory images (register/text
 	// injection) to specific ARMORs by AID.
 	MemTargets map[core.AID]memsim.Profile
@@ -94,6 +101,11 @@ type Environment struct {
 
 	armors    map[core.AID]*core.Armor
 	procOfAID map[core.AID]sim.PID
+	// placement is the SCC's placement table: where every ARMOR was last
+	// installed, and the spec to reinstall it with. The SCC-side recovery
+	// state machine reads it when a restarted node's daemon comes back,
+	// to re-register whatever belongs on that node.
+	placement map[core.AID]placeRec
 	appSpecs  map[AppID]*AppSpec
 	appMem    map[appKey]*memsim.Memory
 	appPID    map[appKey]sim.PID
@@ -108,6 +120,12 @@ type Environment struct {
 type appKey struct {
 	app  AppID
 	rank int
+}
+
+// placeRec is one row of the SCC's placement table.
+type placeRec struct {
+	Spec ArmorSpec
+	Node string
 }
 
 // AppHandle tracks one submission from the SCC's point of view.
@@ -154,6 +172,7 @@ func New(k *sim.Kernel, cfg EnvConfig) *Environment {
 		daemonPID: make(map[string]sim.PID),
 		armors:    make(map[core.AID]*core.Armor),
 		procOfAID: make(map[core.AID]sim.PID),
+		placement: make(map[core.AID]placeRec),
 		appSpecs:  make(map[AppID]*AppSpec),
 		appMem:    make(map[appKey]*memsim.Memory),
 		appPID:    make(map[appKey]sim.PID),
@@ -178,6 +197,13 @@ func (e *Environment) Setup() {
 	ground := e.K.AddNode("scc-ground")
 	e.scc = &sccProc{env: e, seen: make(map[string]bool)}
 	e.sccPID = e.K.Spawn(ground, "scc", sim.NoPID, e.scc.Run)
+	if !e.cfg.DisableBootAgent {
+		// The SCC observes node power transitions out of band and starts
+		// a boot agent on every restarted node (the recovery subsystem).
+		for _, name := range e.cfg.Nodes {
+			e.K.WatchNode(name, e.sccPID)
+		}
+	}
 
 	// Push static bootstrap tables to the daemons.
 	nodeOf := make(map[core.AID]string, len(e.cfg.Nodes))
@@ -256,6 +282,32 @@ func (e *Environment) AppCtx(app AppID, rank int) *AppContext {
 // Config returns the environment configuration.
 func (e *Environment) Config() EnvConfig { return e.cfg }
 
+// ftmSites orders the cluster's daemon-bearing nodes as FTM reinstall
+// candidates for a Heartbeat ARMOR hosted on own: the configured FTM
+// node first (the paper's fixed-node recovery), then the other nodes in
+// cluster order, and the Heartbeat ARMOR's own node as the last resort
+// (co-locating the FTM with its recoverer sacrifices single-node fault
+// tolerance, so every other option is preferred).
+func (e *Environment) ftmSites(own string) []FTMSite {
+	sites := make([]FTMSite, 0, len(e.cfg.Nodes))
+	add := func(name string) {
+		for _, s := range sites {
+			if s.Node == name {
+				return
+			}
+		}
+		sites = append(sites, FTMSite{Node: name, Daemon: e.DaemonAID(name)})
+	}
+	add(e.cfg.FTMNode)
+	for _, name := range e.cfg.Nodes {
+		if name != own {
+			add(name)
+		}
+	}
+	add(own)
+	return sites
+}
+
 // buildArmor constructs an ARMOR process image for a daemon install on
 // the given node. The node matters: the ARMOR's lower layer is its *local*
 // daemon, which after a migration is not the node named in the original
@@ -294,6 +346,7 @@ func (e *Environment) buildArmor(spec ArmorSpec, node string) *core.Armor {
 			FTMNode:   e.cfg.FTMNode,
 			FTMDaemon: e.DaemonAID(e.cfg.FTMNode),
 			Period:    e.cfg.HeartbeatArmorPeriod,
+			Sites:     e.ftmSites(node),
 		}}
 	case KindExecution:
 		cfg.Elements = []core.Element{&ExecElem{
@@ -308,12 +361,42 @@ func (e *Environment) buildArmor(spec ArmorSpec, node string) *core.Armor {
 	return core.New(cfg)
 }
 
-// registerArmorProc records a fresh ARMOR process in the oracles and
-// completes any pending recovery measurement.
+// registerArmorProc records a fresh ARMOR process in the oracles and the
+// SCC's placement table, and completes any pending recovery measurement.
 func (e *Environment) registerArmorProc(spec ArmorSpec, armor *core.Armor, pid sim.PID, node string) {
 	e.armors[spec.ID] = armor
 	e.procOfAID[spec.ID] = pid
+	e.placement[spec.ID] = placeRec{Spec: spec, Node: node}
 	e.Log.RecoveryDone(e.K.Now(), spec.ID)
+}
+
+// placementNode returns the node an ARMOR was last installed on ("" if
+// never installed). The SCC consults it so its uplink follows a migrated
+// FTM instead of the static configuration.
+func (e *Environment) placementNode(aid core.AID) string {
+	return e.placement[aid].Node
+}
+
+// bootstrapSnapshot rebuilds the DaemonBootstrap as it stands now: the
+// current daemon process addresses, the static daemon placements, and —
+// unlike the Setup-time original — the *current* location of every
+// installed ARMOR, so a daemon reinstalled after a node restart routes
+// around completed migrations.
+func (e *Environment) bootstrapSnapshot() DaemonBootstrap {
+	pids := make(map[string]sim.PID, len(e.daemonPID))
+	for host, pid := range e.daemonPID {
+		pids[host] = pid
+	}
+	nodeOf := make(map[core.AID]string, len(e.cfg.Nodes)+len(e.placement))
+	for i, name := range e.cfg.Nodes {
+		nodeOf[AIDDaemon(i)] = name
+	}
+	nodeOf[AIDFTM] = e.cfg.FTMNode
+	nodeOf[AIDHeartbeat] = e.cfg.HeartbeatNode
+	for aid, rec := range e.placement {
+		nodeOf[aid] = rec.Node
+	}
+	return DaemonBootstrap{DaemonPIDs: pids, NodeOf: nodeOf, SCCPID: e.sccPID}
 }
 
 // launchApp starts one application rank. When spawner is non-nil the
@@ -457,8 +540,82 @@ func (s *sccProc) Run(p *sim.Proc) {
 			s.sendReliable(AIDFTM, EvSubmitApp, SubmitApp{App: pl.App})
 		case core.Envelope:
 			s.handleEnvelope(pl)
+		case sim.NodeDown:
+			s.env.Log.Add(p.Now(), "node-down-observed", pl.Node)
+		case sim.NodeUp:
+			s.nodeRestarted(pl.Node)
+		case BootReport:
+			s.recoverNode(pl)
 		}
 	}
+}
+
+// nodeRestarted starts the boot agent on a node that just powered back
+// up — the first step of the recovery subsystem. The agent reinstalls
+// the daemon and reports back with a BootReport.
+func (s *sccProc) nodeRestarted(name string) {
+	if s.env.cfg.DisableBootAgent {
+		return
+	}
+	node := s.env.K.Node(name)
+	if node == nil || !node.Up() {
+		return
+	}
+	s.env.Log.Add(s.proc.Now(), "node-restart-detected", name)
+	agent := NewBootAgent(s.env, name)
+	s.proc.SpawnChild(node, "boot-"+name, agent.Run)
+}
+
+// recoverNode is the SCC-side recovery state machine, entered when a
+// restarted node's boot agent reports its daemon reinstalled. The SCC
+// first reinstalls every dead ARMOR its placement table still places on
+// the node (ARMORs the FTM migrated away have updated placements and are
+// skipped). The FTM itself is normally left to the Heartbeat ARMOR's
+// two-step recovery; the SCC steps in only when that recoverer is dead
+// or hung too — the last-resort path that closes the paper's Section 6
+// compound FTM/Heartbeat failure. Finally the daemon is re-registered
+// with the FTM so heartbeat rounds and hostname translation resume.
+func (s *sccProc) recoverNode(rep BootReport) {
+	e := s.env
+	aids := make([]core.AID, 0, len(e.placement))
+	for aid := range e.placement {
+		aids = append(aids, aid)
+	}
+	sort.Slice(aids, func(i, j int) bool { return aids[i] < aids[j] })
+	for _, aid := range aids {
+		rec := e.placement[aid]
+		if rec.Node != rep.Node || rec.Spec.Kind == KindDaemon {
+			continue
+		}
+		if pid := e.procOfAID[aid]; pid != sim.NoPID && e.K.Alive(pid) {
+			continue // survived elsewhere or already reinstalled
+		}
+		if aid == AIDFTM && s.ftmRecovererAlive() {
+			continue // the Heartbeat ARMOR owns FTM recovery
+		}
+		spec := rec.Spec
+		spec.AutoRestore = true
+		spec.AwaitRestore = false
+		spec.NotifyInstalled = AIDSCC
+		s.env.Log.Add(s.proc.Now(), "armor-reregistered", fmt.Sprintf("%s node=%s", aid, rep.Node))
+		s.sendReliable(rep.DaemonAID, EvInstallArmor, InstallArmor{Spec: spec})
+	}
+	// Re-registration resumes the FTM's heartbeat rounds for the node
+	// and restores hostname translation for future installs. It blocks
+	// (retransmitting) until the FTM — possibly mid-migration — acks.
+	s.sendReliable(AIDFTM, EvRegisterDaemon, RegisterDaemon{Hostname: rep.Node, DaemonAID: rep.DaemonAID})
+	s.env.Log.Add(s.proc.Now(), "daemon-reregistered", rep.Node)
+}
+
+// ftmRecovererAlive reports whether the Heartbeat ARMOR is in a state to
+// perform FTM recovery: alive and not suspended (a hung recoverer is as
+// good as dead for the compound-failure path).
+func (s *sccProc) ftmRecovererAlive() bool {
+	pid := s.env.procOfAID[AIDHeartbeat]
+	if pid == sim.NoPID {
+		return false
+	}
+	return s.env.K.Alive(pid) && !s.env.K.Suspended(pid)
 }
 
 // nextMsg pops a stashed message or blocks for a new one.
@@ -546,6 +703,11 @@ func (s *sccProc) hostOf(aid core.AID) string {
 		if AIDDaemon(i) == aid {
 			return name
 		}
+	}
+	// The placement table tracks migrations: the SCC's uplink follows a
+	// migrated FTM instead of the static configuration.
+	if node := s.env.placementNode(aid); node != "" {
+		return node
 	}
 	if aid == AIDFTM {
 		return s.env.cfg.FTMNode

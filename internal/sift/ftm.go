@@ -161,10 +161,26 @@ func (e *NodeMgmtElem) Handle(ctx *core.Ctx, ev core.Event) {
 }
 
 func (e *NodeMgmtElem) register(ctx *core.Ctx, reg RegisterDaemon) {
-	for _, n := range e.Nodes {
-		if n.Hostname == reg.Hostname {
-			return // already registered
+	for i := range e.Nodes {
+		n := &e.Nodes[i]
+		if n.Hostname != reg.Hostname {
+			continue
 		}
+		// Re-registration after a node restart: revive the record so
+		// heartbeat rounds and hostname translation resume, and clear
+		// any inquiry outstanding toward the dead daemon incarnation
+		// (it would otherwise declare the fresh node failed). The
+		// Heartbeat ARMOR is not reinstalled here — if it lived on this
+		// node and died, the SCC's placement table (or a completed
+		// migration) already covers it.
+		n.DaemonAID = reg.DaemonAID
+		n.Alive = true
+		n.AwaitingReply = false
+		n.Missed = 0
+		e.ftm.ArmorInfo.recordArmor(reg.DaemonAID, KindDaemon, reg.Hostname, statusUp)
+		ctx.Touch(e.ftm.ArmorInfo)
+		e.ftm.env.Log.Add(ctx.Now(), "daemon-rebound", reg.Hostname)
+		return
 	}
 	e.Nodes = append(e.Nodes, nodeRec{Hostname: reg.Hostname, DaemonAID: reg.DaemonAID, Alive: true})
 	e.ftm.ArmorInfo.recordArmor(reg.DaemonAID, KindDaemon, reg.Hostname, statusUp)

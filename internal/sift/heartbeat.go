@@ -9,37 +9,64 @@ import (
 	"reesift/internal/sim"
 )
 
+// FTMSite is one daemon-bearing node the FTM can be (re)installed on.
+type FTMSite struct {
+	Node   string
+	Daemon core.AID
+}
+
 // HeartbeatElem is the single element the Heartbeat ARMOR adds beyond the
 // basic set (Section 3.1): it periodically polls the FTM for liveness and
 // drives the two-step FTM recovery when the poll times out.
 //
-// The two-step structure — (1) instruct the FTM's daemon to reinstall the
-// FTM, (2) after the install acknowledgment, instruct the FTM to restore
-// its state from checkpoint — is kept exactly as described, because its
+// The two-step structure — (1) instruct a daemon to reinstall the FTM,
+// (2) after the install acknowledgment, instruct the FTM to restore its
+// state from checkpoint — is kept exactly as described, because its
 // failure mode is one of the paper's system failures: a Heartbeat ARMOR
 // suffering receive omissions falsely detects an FTM failure, reinstalls
 // the FTM, never sees the acknowledgment, and never sends the restore,
 // leaving the FTM wedged.
+//
+// Reinstallation is location-independent (the recovery subsystem's FTM
+// migration path): the element walks its Sites list, instructing one
+// daemon per polling period until an install acknowledgment arrives. If
+// the FTM's own node (or its daemon) is gone, the FTM migrates to the
+// first surviving daemon-bearing node and the new location is broadcast
+// to every daemon's routing cache. Install instructions are sent
+// unreliably on purpose — the retry walk is the reliability layer, and a
+// blindly retransmitted install must not resurrect a stale FTM shell on
+// a node the recovery has already moved past.
 type HeartbeatElem struct {
 	env *Environment
 
-	// FTMNode is the hostname the FTM runs on.
+	// FTMNode is the hostname the FTM currently runs on.
 	FTMNode string
-	// FTMDaemon is the daemon AID on the FTM's node.
+	// FTMDaemon is the daemon AID on the FTM's current node.
 	FTMDaemon core.AID
 	// Period is the polling period (10 s in the paper).
 	Period time.Duration
+	// Sites lists every daemon-bearing node the FTM may be reinstalled
+	// on, in preference order (current FTM node first, this ARMOR's own
+	// node last). Empty Sites degrade to the fixed-node behaviour.
+	Sites []FTMSite
 
 	// AwaitingReply marks an outstanding liveness inquiry.
 	AwaitingReply bool
 	// Recovering is true from false/true detection until the restore
 	// command is sent.
 	Recovering bool
-	// Recoveries counts initiated FTM recoveries.
+	// Recoveries counts initiated FTM recoveries. (Migrations are
+	// accounted through the environment log's "ftm-migrated" entries.)
 	Recoveries int64
+
+	// TryIdx indexes Sites during a recovery walk; RetryEpoch
+	// invalidates stale install-retry timers once a walk ends.
+	TryIdx     int64
+	RetryEpoch int64
 }
 
 type ftmPollTag struct{}
+type ftmRetryTag struct{ epoch int64 }
 
 // Name implements core.Element.
 func (e *HeartbeatElem) Name() string { return "ftm_watch" }
@@ -66,18 +93,90 @@ func (e *HeartbeatElem) Handle(ctx *core.Ctx, ev core.Event) {
 		if !ok || ack.ID != AIDFTM || !e.Recovering {
 			return
 		}
-		// Step two: restore the FTM's state from checkpoint.
-		if e.env != nil {
-			e.env.Log.Add(ctx.Now(), "ftm-restore-sent", "")
-		}
-		ctx.Send(AIDFTM, core.EventRestore, nil)
-		e.Recovering = false
-		e.AwaitingReply = false
+		e.installAcked(ctx, ack)
 	case core.EventTimer:
-		if _, ok := ev.Data.(ftmPollTag); ok {
+		switch tag := ev.Data.(type) {
+		case ftmPollTag:
 			e.poll(ctx)
+		case ftmRetryTag:
+			e.installRetry(ctx, tag)
 		}
 	}
+}
+
+// installAcked completes a recovery walk: adopt the acked site as the
+// FTM's location, broadcast it to every daemon's routing cache, and send
+// step two (restore from checkpoint). The site is resolved from the
+// acked process itself (a process-table read, like the daemons'
+// waitpid): under lossy networks the ack may be a retransmission from
+// an earlier walk step, and attributing it to the walk's *current*
+// position would broadcast a location with no FTM on it.
+func (e *HeartbeatElem) installAcked(ctx *core.Ctx, ack core.InstallAck) {
+	site := e.currentSite()
+	if n := ctx.Proc.Kernel().ProcNode(ack.PID); n != nil {
+		for _, s := range e.Sites {
+			if s.Node == n.Name() {
+				site = s
+				break
+			}
+		}
+	}
+	e.RetryEpoch++ // cancel the pending retry step
+	if site.Node != "" && site.Node != e.FTMNode && e.env != nil {
+		e.env.Log.Add(ctx.Now(), "ftm-migrated", fmt.Sprintf("%s -> %s", e.FTMNode, site.Node))
+	}
+	if site.Node != "" {
+		e.FTMNode, e.FTMDaemon = site.Node, site.Daemon
+		for _, s := range e.Sites {
+			ctx.SendUnreliable(s.Daemon, EvLocation, Location{ID: AIDFTM, Node: site.Node})
+		}
+	}
+	// Step two: restore the FTM's state from checkpoint.
+	if e.env != nil {
+		e.env.Log.Add(ctx.Now(), "ftm-restore-sent", "")
+	}
+	ctx.Send(AIDFTM, core.EventRestore, nil)
+	e.Recovering = false
+	e.AwaitingReply = false
+}
+
+// currentSite returns the site the recovery walk is pointing at (the
+// fixed FTM daemon when no Sites are configured).
+func (e *HeartbeatElem) currentSite() FTMSite {
+	if len(e.Sites) == 0 {
+		return FTMSite{Node: e.FTMNode, Daemon: e.FTMDaemon}
+	}
+	return e.Sites[int(e.TryIdx)%len(e.Sites)]
+}
+
+// sendInstall instructs the walk's current daemon to reinstall the FTM
+// and arms the next retry step one period out.
+func (e *HeartbeatElem) sendInstall(ctx *core.Ctx) {
+	site := e.currentSite()
+	spec := ArmorSpec{
+		ID:              AIDFTM,
+		Kind:            KindFTM,
+		Name:            "ftm",
+		AwaitRestore:    true,
+		NotifyInstalled: AIDHeartbeat,
+	}
+	if e.env != nil {
+		e.env.Log.Add(ctx.Now(), "ftm-reinstall-attempt", site.Node)
+	}
+	ctx.SendUnreliable(site.Daemon, EvInstallArmor, InstallArmor{Spec: spec})
+	e.RetryEpoch++
+	ctx.After(e.Name(), e.Period, ftmRetryTag{epoch: e.RetryEpoch})
+}
+
+// installRetry advances the recovery walk to the next candidate site
+// when an install went unacknowledged for a full period (dead daemon,
+// dead node, or a lost message).
+func (e *HeartbeatElem) installRetry(ctx *core.Ctx, tag ftmRetryTag) {
+	if !e.Recovering || tag.epoch != e.RetryEpoch {
+		return
+	}
+	e.TryIdx++
+	e.sendInstall(ctx)
 }
 
 func (e *HeartbeatElem) poll(ctx *core.Ctx) {
@@ -110,14 +209,16 @@ func (e *HeartbeatElem) poll(ctx *core.Ctx) {
 			}
 			e.env.Log.Detect(ctx.Now(), AIDFTM, reason, hang)
 		}
-		spec := ArmorSpec{
-			ID:              AIDFTM,
-			Kind:            KindFTM,
-			Name:            "ftm",
-			AwaitRestore:    true,
-			NotifyInstalled: AIDHeartbeat,
+		// Start the location-independent recovery walk at the FTM's
+		// current node.
+		e.TryIdx = 0
+		for i, s := range e.Sites {
+			if s.Node == e.FTMNode {
+				e.TryIdx = int64(i)
+				break
+			}
 		}
-		ctx.Send(e.FTMDaemon, EvInstallArmor, InstallArmor{Spec: spec})
+		e.sendInstall(ctx)
 		return
 	}
 	e.AwaitingReply = true

@@ -39,3 +39,11 @@ type TimerFired struct {
 type NodeDown struct {
 	Node string
 }
+
+// NodeUp is delivered to watchers registered via Kernel.WatchNode when a
+// crashed node restarts. It stands in for the out-of-band power-on signal
+// a rebooting board raises toward the trusted controller: the SCC uses it
+// to start the node's boot agent, which reinstalls the daemon.
+type NodeUp struct {
+	Node string
+}

@@ -38,10 +38,12 @@ func (n *Node) Procs() []PID {
 }
 
 // WatchNode registers a process to receive a NodeDown message when the
-// named node crashes. It is the experiment controller's uplink: SIFT
-// processes must discover node failures through heartbeats like in the
-// paper, but the injection harness is allowed to observe the crash
-// directly. Watching an unknown node is a no-op.
+// named node crashes and a NodeUp message when it later restarts. It is
+// the trusted controller's uplink: SIFT processes must discover node
+// failures through heartbeats like in the paper, but the injection
+// harness and the SCC (which commands the reboot sequence) are allowed
+// to observe the transitions directly. Watching an unknown node is a
+// no-op.
 func (k *Kernel) WatchNode(name string, watcher PID) {
 	if k.nodes[name] == nil {
 		return
@@ -86,7 +88,8 @@ func (k *Kernel) CrashNode(name string) {
 
 // RestartNode brings a crashed node back with an empty process table. The
 // RAM disk contents persist across the restart, emulating nonvolatile
-// memory.
+// memory. Watchers registered with WatchNode are notified with a NodeUp
+// message — the hook the SCC's boot agent machinery hangs off.
 func (k *Kernel) RestartNode(name string) {
 	n := k.nodes[name]
 	if n == nil || n.up {
@@ -95,5 +98,8 @@ func (k *Kernel) RestartNode(name string) {
 	n.up = true
 	if k.Tracing() {
 		k.Tracef("node %s restarted", name)
+	}
+	for _, w := range k.nodeWatchers[name] {
+		k.deliver(w, Msg{From: NoPID, SentAt: k.now, Payload: NodeUp{Node: name}})
 	}
 }

@@ -26,6 +26,31 @@ func TestRestartNodeAllowsRespawn(t *testing.T) {
 	}
 }
 
+func TestWatchNodeDeliversDownAndUp(t *testing.T) {
+	k := newTestKernel(t)
+	k.AddNode("a")
+	w := k.AddNode("watchtower")
+	var got []string
+	pid := k.Spawn(w, "watcher", NoPID, func(p *Proc) {
+		for {
+			m := p.Recv()
+			switch pl := m.Payload.(type) {
+			case NodeDown:
+				got = append(got, "down:"+pl.Node)
+			case NodeUp:
+				got = append(got, "up:"+pl.Node)
+			}
+		}
+	})
+	k.WatchNode("a", pid)
+	k.Schedule(time.Second, func() { k.CrashNode("a") })
+	k.Schedule(5*time.Second, func() { k.RestartNode("a") })
+	k.Run(10 * time.Second)
+	if len(got) != 2 || got[0] != "down:a" || got[1] != "up:a" {
+		t.Fatalf("watcher saw %v, want [down:a up:a]", got)
+	}
+}
+
 func TestCrashNodeIdempotent(t *testing.T) {
 	k := newTestKernel(t)
 	k.AddNode("a")

@@ -14,7 +14,8 @@ type Model = inject.Model
 
 // Error models: the paper's Table 2 set plus the extension models
 // (message omission/corruption, checkpoint-store corruption, whole-node
-// crash).
+// crash, shared-store corruption, one-sided partition, and the compound
+// coordinator that arms two models with a controlled lag).
 const (
 	ModelNone       = inject.ModelNone
 	ModelSIGINT     = inject.ModelSIGINT
@@ -28,7 +29,24 @@ const (
 	ModelMsgCorrupt = inject.ModelMsgCorrupt
 	ModelCheckpoint = inject.ModelCheckpoint
 	ModelNodeCrash  = inject.ModelNodeCrash
+	ModelSharedDisk = inject.ModelSharedDisk
+	ModelPartition  = inject.ModelPartition
+	ModelCompound   = inject.ModelCompound
 )
+
+// CompoundSpec and CompoundStage describe a ModelCompound run: two
+// registered error models armed with a controlled lag (the paper's
+// Section 6 correlated failures, reproduced on purpose). CompoundDefault
+// is the Section 6 pair: the Heartbeat ARMOR suspended, then the FTM's
+// node crashed under it.
+type (
+	CompoundSpec  = inject.CompoundSpec
+	CompoundStage = inject.CompoundStage
+)
+
+// CompoundDefault returns the default compound pairing (see
+// inject.CompoundDefault).
+func CompoundDefault() CompoundSpec { return inject.CompoundDefault() }
 
 // Models returns every registered error model in ascending order
 // (ModelNone first). The set is registry-driven: a model added to
@@ -100,6 +118,9 @@ type Injection struct {
 	// NodeRestartAfter is the node outage length for ModelNodeCrash;
 	// default 30 s.
 	NodeRestartAfter time.Duration
+	// Compound describes the two correlated stages of a ModelCompound
+	// run; nil selects CompoundDefault (the paper's Section 6 pair).
+	Compound *CompoundSpec
 	// CheckVerdict, if set, classifies the application output on the
 	// shared store after the run ("correct"/"incorrect"/"missing").
 	CheckVerdict func(fs *FS) string
@@ -127,6 +148,10 @@ func (i Injection) Run() (InjectionResult, error) {
 		if i.Target != TargetApp {
 			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s injects into the application heap; Target must be TargetApp", ModelAppHeap)
 		}
+	case ModelCompound:
+		if err := inject.ValidateCompound(i.Compound); err != nil {
+			return InjectionResult{}, fmt.Errorf("reesift: Injection: %w", err)
+		}
 	}
 	if i.NetFaultProb < 0 || i.NetFaultProb > 1 {
 		return InjectionResult{}, fmt.Errorf("reesift: Injection: NetFaultProb %v outside [0, 1]", i.NetFaultProb)
@@ -145,6 +170,7 @@ func (i Injection) Run() (InjectionResult, error) {
 		NetFaultProb:     i.NetFaultProb,
 		NetFaultFor:      i.NetFaultFor,
 		NodeRestartAfter: i.NodeRestartAfter,
+		Compound:         i.Compound,
 		CheckVerdict:     i.CheckVerdict,
 	}
 	// The run's node list: from the options when given, otherwise the

@@ -10,7 +10,7 @@ import (
 // registered model without hard-coding the set.
 func facadeTarget(m Model) (Target, string) {
 	switch m {
-	case ModelAppHeap:
+	case ModelAppHeap, ModelSharedDisk:
 		return TargetApp, ""
 	case ModelHeapData:
 		return TargetFTM, "node_mgmt"
@@ -82,6 +82,24 @@ func TestInjectionModelValidation(t *testing.T) {
 		{"app-heap into FTM", Injection{Model: ModelAppHeap, Target: TargetFTM, Apps: app()}},
 		{"fault probability above 1", Injection{Model: ModelMsgDrop, Target: TargetFTM, NetFaultProb: 1.5, Apps: app()}},
 		{"negative fault probability", Injection{Model: ModelMsgDrop, Target: TargetFTM, NetFaultProb: -0.1, Apps: app()}},
+		{"nested compound stage", Injection{Model: ModelCompound, Target: TargetFTM, Apps: app(),
+			Compound: &CompoundSpec{First: CompoundStage{Model: ModelCompound, Target: TargetFTM},
+				Second: CompoundStage{Model: ModelNodeCrash, Target: TargetFTM}}}},
+		{"unregistered compound stage", Injection{Model: ModelCompound, Target: TargetFTM, Apps: app(),
+			Compound: &CompoundSpec{First: CompoundStage{Model: Model(999), Target: TargetFTM},
+				Second: CompoundStage{Model: ModelNodeCrash, Target: TargetFTM}}}},
+		{"negative compound lag", Injection{Model: ModelCompound, Target: TargetFTM, Apps: app(),
+			Compound: &CompoundSpec{First: CompoundStage{Model: ModelSIGSTOP, Target: TargetHeartbeat},
+				Second: CompoundStage{Model: ModelNodeCrash, Target: TargetFTM}, Lag: -time.Second}}},
+		{"non-composable compound stage", Injection{Model: ModelCompound, Target: TargetFTM, Apps: app(),
+			Compound: &CompoundSpec{First: CompoundStage{Model: ModelRegister, Target: TargetFTM},
+				Second: CompoundStage{Model: ModelNodeCrash, Target: TargetFTM}}}},
+		{"two network-interval compound stages", Injection{Model: ModelCompound, Target: TargetFTM, Apps: app(),
+			Compound: &CompoundSpec{First: CompoundStage{Model: ModelMsgDrop, Target: TargetHeartbeat},
+				Second: CompoundStage{Model: ModelPartition, Target: TargetApp}}}},
+		{"compound stage without target", Injection{Model: ModelCompound, Target: TargetFTM, Apps: app(),
+			Compound: &CompoundSpec{First: CompoundStage{Model: ModelSIGSTOP, Target: TargetHeartbeat},
+				Second: CompoundStage{Model: ModelNodeCrash}}}},
 	}
 	for _, c := range cases {
 		if _, err := c.inj.Run(); err == nil {

@@ -30,6 +30,7 @@ type settings struct {
 	legacyRace    bool
 	shared        bool
 	noChecks      bool
+	noBootAgent   bool
 }
 
 // defaultNodeNames returns the paper's 4-node testbed names for n == 4
@@ -219,6 +220,18 @@ func WithoutSelfChecks() Option {
 	}
 }
 
+// WithoutBootAgent disables the recovery subsystem: restarted nodes
+// come back with an empty process table and no daemon — the original
+// testbed's behaviour, kept as an ablation. With the boot agent enabled
+// (the default), the SCC reinstalls the daemon on every restarted node
+// and re-registers the processes its placement table puts there.
+func WithoutBootAgent() Option {
+	return func(s *settings) error {
+		s.noBootAgent = true
+		return nil
+	}
+}
+
 // WithRegistrationRace reintroduces the Figure 10 registration race
 // (install the Execution ARMOR before registering it in the FTM's
 // table). The paper's final configuration — and this package's default —
@@ -316,5 +329,6 @@ func buildConfigNodes(opts []Option, defaultNodes int) (sift.EnvConfig, int64, e
 	cfg.FixRegistrationRace = !s.legacyRace
 	cfg.SharedCheckpoints = s.shared
 	cfg.DisableSelfChecks = s.noChecks
+	cfg.DisableBootAgent = s.noBootAgent
 	return cfg, s.seed, nil
 }
