@@ -273,3 +273,17 @@ func BenchmarkRecoveryTime(b *testing.B) {
 	})
 	b.ReportMetric(mean, "s/recovery")
 }
+
+// BenchmarkSweepCampaign runs the recovery-sweep scenario — the public
+// Campaign/Sweep API path (axis crossing, campaign-derived seeds,
+// per-campaign census) — so the BENCH.json trajectory covers the
+// authoring layer alongside the internal engine.
+func BenchmarkSweepCampaign(b *testing.B) {
+	report(b, "recovery-sweep", func() (string, error) {
+		res, err := experiments.RecoverySweep(scale())
+		if err != nil {
+			return "", err
+		}
+		return res.Render(), nil
+	})
+}

@@ -46,17 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	if *listFlag {
-		for _, s := range reesift.Scenarios() {
-			id := s.ID
-			if len(s.Aliases) > 0 {
-				id += " (" + strings.Join(s.Aliases, ", ") + ")"
-			}
-			fmt.Fprintf(stdout, "%-40s %s\n", id, s.Title)
-		}
-		return 0
-	}
-
+	// Scale resolves before -list so a typo'd -scale fails loudly even
+	// on a listing run.
 	var sc reesift.Scale
 	switch *scaleFlag {
 	case "small":
@@ -69,6 +60,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sc.Seed = *seed
 	sc = sc.WithWorkers(*workers)
+
+	if *listFlag {
+		for _, s := range reesift.Scenarios() {
+			id := s.ID
+			if len(s.Aliases) > 0 {
+				id += " (" + strings.Join(s.Aliases, ", ") + ")"
+			}
+			fmt.Fprintf(stdout, "%-40s %s\n", id, s.Title)
+		}
+		return 0
+	}
 
 	if *formatFlag != "text" && *formatFlag != "json" {
 		fmt.Fprintf(stderr, "unknown format %q (want text or json)\n", *formatFlag)

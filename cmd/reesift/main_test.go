@@ -58,6 +58,52 @@ func TestBadFlagsExitNonzero(t *testing.T) {
 	}
 }
 
+// TestScaleFlag pins the -scale selector: both named scales are
+// accepted (checked against the cheap -list path so the paper scale is
+// never actually run here), and an unknown scale exits nonzero naming
+// the bad value — even on a listing run.
+func TestScaleFlag(t *testing.T) {
+	for _, scale := range []string{"small", "paper"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-scale", scale, "-list"}, &stdout, &stderr); code != 0 {
+			t.Errorf("run(-scale %s -list) = %d, stderr: %s", scale, code, stderr.String())
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scale", "enormous", "-list"}, &stdout, &stderr); code == 0 {
+		t.Fatal("run(-scale enormous -list) = 0, want nonzero")
+	}
+	if !strings.Contains(stderr.String(), "enormous") {
+		t.Errorf("stderr does not name the unknown scale: %s", stderr.String())
+	}
+}
+
+// TestSeedFlagChangesCampaigns pins that -seed actually reaches the
+// campaigns: the same cheap scenario run under two seeds must measure
+// different samples (every campaign seed-derives its runs from the
+// scale's seed).
+func TestSeedFlagChangesCampaigns(t *testing.T) {
+	render := func(seed string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-exp", "fig6", "-seed", seed}, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(-seed %s) = %d, stderr: %s", seed, code, stderr.String())
+		}
+		// Strip the wall-clock trailer lines; the tables carry the
+		// measurements.
+		var tables []string
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if strings.HasPrefix(line, "[") || strings.HasPrefix(line, "all requested") {
+				continue
+			}
+			tables = append(tables, line)
+		}
+		return strings.Join(tables, "\n")
+	}
+	if render("1") == render("424242") {
+		t.Fatal("-seed 1 and -seed 424242 produced identical tables; the seed flag is not reaching the campaigns")
+	}
+}
+
 // TestJSONFormatParses runs one cheap scenario end-to-end and checks the
 // -format json stream is valid and carries the scenario's tables.
 func TestJSONFormatParses(t *testing.T) {

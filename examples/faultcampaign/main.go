@@ -1,11 +1,17 @@
-// Faultcampaign: a small SIGINT/SIGSTOP injection campaign against all
-// four targets (application, FTM, Execution ARMOR, Heartbeat ARMOR)
-// driven through the reesift façade, printing a Table 4-shaped summary.
-// This is the programmatic equivalent of `reesift -exp table4` with
-// custom campaign sizes.
+// Faultcampaign: a SIGINT/SIGSTOP injection campaign against all four
+// targets (application, FTM, Execution ARMOR, Heartbeat ARMOR) authored
+// on the public Campaign API, printing a Table 4-shaped summary. This is
+// the programmatic equivalent of `reesift -exp table4` with custom
+// campaign sizes.
+//
+// The campaign derives every run's seed from its cell identity
+// ("faultcampaign/SIGINT/FTM", run), and an Observer streams per-run
+// progress to stderr — callbacks arrive in seed order at any worker
+// count.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,15 +19,49 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	runs := flag.Int("runs", 8, "injection runs per model x target cell")
+	seed := flag.Int64("seed", 1, "campaign base seed")
+	progress := flag.Bool("progress", false, "stream per-run progress to stderr")
+	flag.Parse()
+	os.Exit(run(*runs, *seed, *progress))
 }
 
-func run() int {
-	const runsPerCell = 8
+func run(runsPerCell int, seed int64, progress bool) int {
 	models := []reesift.Model{reesift.ModelSIGINT, reesift.ModelSIGSTOP}
 	targets := []reesift.Target{
 		reesift.TargetApp, reesift.TargetFTM,
 		reesift.TargetExecArmor, reesift.TargetHeartbeat,
+	}
+
+	campaign := reesift.Campaign{
+		Name: "faultcampaign",
+		Seed: seed,
+	}
+	for _, model := range models {
+		for _, target := range targets {
+			campaign.Cells = append(campaign.Cells, reesift.CampaignCell{
+				Name: model.String() + "/" + target.String(),
+				Runs: runsPerCell,
+				Injection: reesift.Injection{
+					Model:  model,
+					Target: target,
+					Apps:   []*reesift.AppSpec{reesift.RoverApp(1, "node-a1", "node-a2")},
+				},
+			})
+		}
+	}
+	if progress {
+		campaign.Observer = &reesift.Observer{
+			OnResult: func(ref reesift.RunRef, res reesift.InjectionResult) {
+				fmt.Fprintf(os.Stderr, "%-28s run %2d seed %-20d injected=%d recovered=%v\n",
+					ref.Cell, ref.Run, ref.Seed, res.Injected, res.Recovered)
+			},
+		}
+	}
+	cres, err := campaign.Run()
+	if err != nil {
+		fmt.Println("campaign setup failed:", err)
+		return 1
 	}
 
 	fmt.Printf("crash/hang campaign: %d runs per model x target\n\n", runsPerCell)
@@ -29,20 +69,11 @@ func run() int {
 		"MODEL", "TARGET", "INJ", "REC", "CORR", "PERCEIVED (s)", "ACTUAL (s)", "RECOVERY (s)")
 	totalRuns, totalSys := 0, 0
 	for _, model := range models {
-		for ti, target := range targets {
+		for _, target := range targets {
+			cell := cres.Cell(model.String() + "/" + target.String())
 			var perceived, actual, recovery reesift.Sample
 			injected, recovered, correlated := 0, 0, 0
-			for i := 0; i < runsPerCell; i++ {
-				res, err := reesift.Injection{
-					Seed:   int64(1000*int(model) + 100*ti + i),
-					Model:  model,
-					Target: target,
-					Apps:   []*reesift.AppSpec{reesift.RoverApp(1, "node-a1", "node-a2")},
-				}.Run()
-				if err != nil {
-					fmt.Println("injection setup failed:", err)
-					return 1
-				}
+			for _, res := range cell.Results {
 				if res.Injected == 0 {
 					continue
 				}
@@ -67,7 +98,8 @@ func run() int {
 				perceived.MeanCI(), actual.MeanCI(), recovery.MeanCI())
 		}
 	}
-	fmt.Printf("\n%d injected runs, %d system failures\n", totalRuns, totalSys)
+	fmt.Printf("\n%d injected runs, %d system failures (campaign tally: %d runs, %d insertions)\n",
+		totalRuns, totalSys, cres.Tally.Runs, cres.Tally.Injections)
 	fmt.Printf("95%% no-failure bound on unrecoverable probability: p < %.5f\n",
 		reesift.NoFailureBound(totalRuns))
 	if totalSys > 0 {

@@ -26,5 +26,5 @@ func runSilenced(t *testing.T) int {
 		os.Stdout = old
 		null.Close()
 	}()
-	return run()
+	return run(3, 1, false)
 }

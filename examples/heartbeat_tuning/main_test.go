@@ -16,6 +16,11 @@ func TestRunSmoke(t *testing.T) {
 
 func runSilenced(t *testing.T) int {
 	t.Helper()
+	return silenced(t, func() int { return run(2, 1) })
+}
+
+func silenced(t *testing.T, f func() int) int {
+	t.Helper()
 	old := os.Stdout
 	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
@@ -26,5 +31,5 @@ func runSilenced(t *testing.T) int {
 		os.Stdout = old
 		null.Close()
 	}()
-	return run()
+	return f()
 }

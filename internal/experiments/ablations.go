@@ -10,6 +10,7 @@ import (
 	"reesift/internal/sift"
 	"reesift/internal/sim"
 	"reesift/internal/stats"
+	"reesift/pkg/reesift"
 )
 
 // AblationWatchdog compares the paper's polling-based hang detection
@@ -89,22 +90,29 @@ func AblationWatchdog(sc Scale) (*Table, error) {
 // assertions-plus-microcheckpointing actually prevent (the Section 11
 // claim: up to 42% fewer system failures from data errors).
 func AblationAssertions(sc Scale) (*Table, error) {
-	runCampaign := func(disable bool) (sys, runs int) {
-		// The enabled/disabled arms share seed identities on purpose: the
-		// ablation replays identical injections with assertions off.
+	arm := func(disable bool) (sys, runs int, err error) {
+		// The enabled/disabled arms share seed identities on purpose
+		// (both campaigns are named "ablation-assertions"): the ablation
+		// replays identical injections with assertions off.
+		var cells []reesift.CampaignCell
 		for _, element := range ftmElements {
-			for _, res := range engine.Map(sc.Workers, sc.TargetedHeapRuns, func(run int) inject.Result {
-				env := sift.DefaultEnvConfig()
-				env.DisableSelfChecks = disable
-				return inject.Run(inject.Config{
-					Seed:    engine.DeriveSeed(sc.Seed, "ablation-assertions/"+element, run),
-					Model:   inject.ModelHeapData,
-					Target:  inject.TargetFTM,
-					Element: element,
-					Apps:    []*sift.AppSpec{roverApp()},
-					Env:     &env,
-				})
-			}) {
+			inj := roverInjection(inject.ModelHeapData, inject.TargetFTM)
+			inj.Element = element
+			if disable {
+				inj.Cluster = []reesift.Option{reesift.WithoutSelfChecks()}
+			}
+			cells = append(cells, reesift.CampaignCell{
+				Name:      element,
+				Runs:      sc.TargetedHeapRuns,
+				Injection: inj,
+			})
+		}
+		cres, err := runCampaign(sc, "ablation-assertions", cells...)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, cell := range cres.Cells {
+			for _, res := range cell.Results {
 				if res.Injected == 0 {
 					continue
 				}
@@ -114,10 +122,16 @@ func AblationAssertions(sc Scale) (*Table, error) {
 				}
 			}
 		}
-		return sys, runs
+		return sys, runs, nil
 	}
-	sysOn, runsOn := runCampaign(false)
-	sysOff, runsOff := runCampaign(true)
+	sysOn, runsOn, err := arm(false)
+	if err != nil {
+		return nil, err
+	}
+	sysOff, runsOff, err := arm(true)
+	if err != nil {
+		return nil, err
+	}
 	rate := func(s, r int) string {
 		if r == 0 {
 			return "-"

@@ -10,6 +10,7 @@ import (
 	"reesift/internal/sift"
 	"reesift/internal/sim"
 	"reesift/internal/stats"
+	"reesift/pkg/reesift"
 )
 
 // Table3Data carries the baseline measurements.
@@ -54,15 +55,17 @@ func Table3(sc Scale) (*Table, *Table3Data, error) {
 		data.NoSIFTActual.AddDuration(s.actual)
 		data.NoSIFTPerceived.AddDuration(s.actual)
 	}
-	// Baseline SIFT: same application submitted through the SCC.
-	for i, res := range engine.Map(sc.Workers, runs, func(run int) inject.Result {
-		return inject.Run(inject.Config{
-			Seed:   engine.DeriveSeed(sc.Seed, "table3/sift", run),
-			Model:  inject.ModelNone,
-			Target: inject.TargetNone,
-			Apps:   []*sift.AppSpec{roverApp()},
-		})
-	}) {
+	// Baseline SIFT: same application submitted through the SCC,
+	// driven as a fault-free public campaign.
+	cres, err := runCampaign(sc, "table3", reesift.CampaignCell{
+		Name:      "sift",
+		Runs:      runs,
+		Injection: roverInjection(inject.ModelNone, inject.TargetNone),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, res := range cres.Cell("sift").Results {
 		if !res.Done {
 			return nil, nil, fmt.Errorf("table3: SIFT baseline run %d did not finish", i)
 		}

@@ -5,14 +5,17 @@ import (
 	"time"
 
 	"reesift/internal/inject"
-	"reesift/internal/sift"
 	"reesift/internal/stats"
+	"reesift/pkg/reesift"
 )
 
 // table4Targets are the SIGINT/SIGSTOP injection subjects in paper order.
 var table4Targets = []inject.TargetKind{
 	inject.TargetApp, inject.TargetFTM, inject.TargetExecArmor, inject.TargetHeartbeat,
 }
+
+// table4Models are the crash/hang error models.
+var table4Models = []inject.Model{inject.ModelSIGINT, inject.ModelSIGSTOP}
 
 // Table4Data carries the crash/hang campaign aggregates per model/target.
 type Table4Data struct {
@@ -25,14 +28,31 @@ type Table4Data struct {
 
 // Table4 reproduces the SIGINT/SIGSTOP injection results: per target, the
 // number of errors injected, successful recoveries, perceived and actual
-// application execution times, and recovery times.
+// application execution times, and recovery times. The whole experiment
+// is one public campaign — a failure-free baseline cell plus one cell
+// per model/target pair.
 func Table4(sc Scale) (*Table, *Table4Data, error) {
+	cells := []reesift.CampaignCell{{
+		Name:      "baseline",
+		Runs:      maxInt(3, sc.Runs/4),
+		Injection: roverInjection(inject.ModelNone, inject.TargetNone),
+	}}
+	for _, model := range table4Models {
+		for _, target := range table4Targets {
+			cells = append(cells, reesift.CampaignCell{
+				Name:      model.String() + "/" + target.String(),
+				Runs:      sc.Runs,
+				Injection: roverInjection(model, target),
+			})
+		}
+	}
+	cres, err := runCampaign(sc, "table4", cells...)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	data := &Table4Data{Cells: make(map[string]agg)}
-	// Failure-free baseline row.
-	base := campaign(sc, "table4/baseline", maxInt(3, sc.Runs/4), func(seed int64) inject.Config {
-		return inject.Config{Seed: seed, Model: inject.ModelNone, Target: inject.TargetNone,
-			Apps: []*sift.AppSpec{roverApp()}}
-	})
+	base := foldAgg(cres.Cell("baseline"))
 	data.Baseline.Perceived = base.perceived
 	data.Baseline.Actual = base.actual
 
@@ -42,17 +62,13 @@ func Table4(sc Scale) (*Table, *Table4Data, error) {
 		Header: []string{"TARGET", "ERRORS INJECTED", "SUCCESSFUL RECOVERIES",
 			"PERCEIVED (s)", "ACTUAL (s)", "RECOVERY TIME (s)"},
 	}
-	for _, model := range []inject.Model{inject.ModelSIGINT, inject.ModelSIGSTOP} {
+	for _, model := range table4Models {
 		t.Rows = append(t.Rows, strRow("-- "+model.String()+" --", "", "", "", "", ""))
 		t.Rows = append(t.Rows, []Cell{str("Baseline"), str("-"), str("-"),
 			secCell(&data.Baseline.Perceived), secCell(&data.Baseline.Actual), str("-")})
 		for _, target := range table4Targets {
-			model, target := model, target
-			a := campaign(sc, "table4/"+model.String()+"/"+target.String(), sc.Runs, func(seed int64) inject.Config {
-				return inject.Config{Seed: seed, Model: model, Target: target,
-					Apps: []*sift.AppSpec{roverApp()}}
-			})
 			key := model.String() + "/" + target.String()
+			a := foldAgg(cres.Cell(key))
 			data.Cells[key] = a
 			data.Total += a.injectedRuns
 			recoveries := a.injectedRuns - a.sysFailures
@@ -79,25 +95,40 @@ type Table5Data struct {
 	Actual    []stats.Sample
 }
 
+// table5Periods is the Section 5.3 heartbeat-period axis.
+var table5Periods = []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second}
+
 // Table5 reproduces the heartbeat-frequency study (Section 5.3): SIGINT
-// into the FTM under heartbeat periods of 5/10/20/30 s. Perceived time
-// grows with the period (detection latency); actual time stays flat.
+// into the FTM under heartbeat periods of 5/10/20/30 s, authored as a
+// public Sweep over the cluster's heartbeat-period option. Perceived
+// time grows with the period (detection latency); actual time stays
+// flat.
 func Table5(sc Scale) (*Table, *Table5Data, error) {
+	points := make([]reesift.SweepPoint, len(table5Periods))
+	for i, period := range table5Periods {
+		points[i] = reesift.ClusterPoint(fmt.Sprintf("%ds", int(period.Seconds())),
+			reesift.WithHeartbeatPeriod(period))
+	}
+	cres, err := (&reesift.Sweep{
+		Name:        "table5",
+		Seed:        sc.Seed,
+		Workers:     sc.Workers,
+		RunsPerCell: sc.Table5Runs,
+		Census:      sc.Census,
+		Base:        roverInjection(inject.ModelSIGINT, inject.TargetFTM),
+	}).Axis("period", points...).Run()
+	if err != nil {
+		return nil, nil, err
+	}
+
 	data := &Table5Data{}
 	t := &Table{
 		ID:     "table5",
 		Title:  "Application execution time with varying heartbeat periods (SIGINT into FTM)",
 		Header: []string{"HEARTBEAT PERIOD (s)", "PERCEIVED (s)", "ACTUAL (s)"},
 	}
-	for _, period := range []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second} {
-		env := sift.DefaultEnvConfig()
-		env.FTMHeartbeatPeriod = period
-		env.HeartbeatArmorPeriod = period
-		envCopy := env
-		a := campaign(sc, fmt.Sprintf("table5/period=%ds", int(period.Seconds())), sc.Table5Runs, func(seed int64) inject.Config {
-			return inject.Config{Seed: seed, Model: inject.ModelSIGINT, Target: inject.TargetFTM,
-				Apps: []*sift.AppSpec{roverApp()}, Env: &envCopy}
-		})
+	for i, period := range table5Periods {
+		a := foldAgg(&cres.Cells[i])
 		data.Periods = append(data.Periods, period)
 		data.Perceived = append(data.Perceived, a.perceived)
 		data.Actual = append(data.Actual, a.actual)

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"reesift/internal/apps/rover"
-	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
@@ -127,37 +126,41 @@ func (a *agg) add(r inject.Result) {
 	a.ftmMigrations += r.FTMMigrations
 }
 
-// campaign fans n trials of a config generator across the campaign
-// engine's worker pool and aggregates the results in run order. Trial
-// seeds derive from (sc.Seed, id, run); id is the campaign's global
-// identity ("table4/SIGINT/FTM", ...), so no two campaigns ever replay
-// the same kernels. The aggregate is a pure function of sc.Seed — the
-// worker count changes wall-clock time only.
-func campaign(sc Scale, id string, n int, mk func(seed int64) inject.Config) agg {
+// runCampaign executes a public reesift.Campaign wired to the scale —
+// its seed, its worker pool, and the per-scenario census RunScenario
+// threads through Scale.Census. Every injection campaign in this
+// package goes through here: the scenarios are written on the same
+// public primitives a user authors campaigns with, and their seed
+// identities ("table4/SIGINT/FTM", ...) come from the campaign and
+// cell names.
+func runCampaign(sc Scale, name string, cells ...reesift.CampaignCell) (*reesift.CampaignResult, error) {
+	return reesift.Campaign{
+		Name:    name,
+		Seed:    sc.Seed,
+		Workers: sc.Workers,
+		Census:  sc.Census,
+		Cells:   cells,
+	}.Run()
+}
+
+// foldAgg folds one cell's results into the shared aggregate.
+func foldAgg(cr *reesift.CellResult) agg {
 	var a agg
-	for _, r := range engine.Map(sc.Workers, n, func(run int) inject.Result {
-		return inject.Run(mk(engine.DeriveSeed(sc.Seed, id, run)))
-	}) {
+	for _, r := range cr.Results {
 		a.add(r)
 	}
 	return a
 }
 
-// campaignUntilFailures keeps running until `quota` target failures are
-// observed or maxRuns is exhausted (the paper's register/text methodology:
-// "the goal was to achieve between 90 and 100 error activations per
-// target"). Trials run in fixed-size parallel waves; results are folded
-// in run order with the sequential stopping rule, so the chosen run
-// count matches a sequential loop exactly at every worker count.
-func campaignUntilFailures(sc Scale, id string, quota, maxRuns int, mk func(seed int64) inject.Config) (agg, int) {
-	var a agg
-	runs := engine.Until(sc.Workers, maxRuns, func(run int) inject.Result {
-		return inject.Run(mk(engine.DeriveSeed(sc.Seed, id, run)))
-	}, func(r inject.Result) bool {
-		a.add(r)
-		return a.failures >= quota
-	})
-	return a, runs
+// roverInjection is the standard single-application injection template:
+// the texture-analysis program on the 4-node testbed, the given error
+// model aimed at the given target.
+func roverInjection(model inject.Model, target inject.TargetKind) reesift.Injection {
+	return reesift.Injection{
+		Model:  model,
+		Target: target,
+		Apps:   []*sift.AppSpec{roverApp()},
+	}
 }
 
 // mergeSample pools src into dst.

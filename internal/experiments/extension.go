@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"reesift/internal/inject"
-	"reesift/internal/sift"
+	"reesift/pkg/reesift"
 )
 
 // extCell is one model/target cell of the extension table.
@@ -73,27 +73,28 @@ func TableExtension(sc Scale) (*Table, *TableExtensionData, error) {
 		Header: []string{"MODEL", "TARGET", "INJECTED RUNS", "FAILURES",
 			"SUCCESSFUL RECOVERIES", "SYSTEM FAILURES", "VERDICTS C/I/M", "PERCEIVED (s)"},
 	}
+	var cells []reesift.CampaignCell
 	for _, cell := range extCells {
-		cell := cell
-		id := fmt.Sprintf("ext/%s/%s", cell.model, cell.target)
-		a := campaign(sc, id, sc.Runs, func(seed int64) inject.Config {
-			cfg := inject.Config{
-				Seed:   seed,
-				Model:  cell.model,
-				Target: cell.target,
-				Rank:   cell.rank,
-				Apps:   []*sift.AppSpec{roverApp()},
-			}
-			if cell.shared {
-				env := sift.DefaultEnvConfig()
-				env.SharedCheckpoints = true
-				cfg.Env = &env
-			}
-			if cell.verdict {
-				cfg.CheckVerdict = check
-			}
-			return cfg
+		inj := roverInjection(cell.model, cell.target)
+		inj.Rank = cell.rank
+		if cell.shared {
+			inj.Cluster = []reesift.Option{reesift.WithSharedCheckpoints()}
+		}
+		if cell.verdict {
+			inj.CheckVerdict = check
+		}
+		cells = append(cells, reesift.CampaignCell{
+			Name:      fmt.Sprintf("%s/%s", cell.model, cell.target),
+			Runs:      sc.Runs,
+			Injection: inj,
 		})
+	}
+	cres, err := runCampaign(sc, "ext", cells...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, cell := range extCells {
+		a := foldAgg(cres.Cell(fmt.Sprintf("%s/%s", cell.model, cell.target)))
 		data.Cells[cell.model.String()+"/"+cell.target.String()] = a
 		verdicts := "-"
 		if cell.verdict {

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reesift/pkg/reesift"
+)
+
+// update regenerates the golden files from the current code:
+//
+//	go test ./internal/experiments -run TestScenarioGolden -update
+//
+// Only do this for a deliberate output change (a new scenario, a
+// changed table) — the goldens exist to pin every scenario's JSON and
+// text output across refactors of the campaign machinery.
+var update = flag.Bool("update", false, "rewrite golden scenario outputs")
+
+// TestScenarioGoldenOutput pins the byte-exact text and JSON output of
+// every registered scenario at tinyScale, at 1 and 8 campaign workers.
+// A refactor of the campaign/injection plumbing must not move a single
+// byte of any scenario product: per-run seeds, per-cell aggregation
+// order, and the per-scenario tallies (runs / injections / failures /
+// system failures) are all pinned here. Wall-clock time is the one
+// nondeterministic field and is zeroed before comparison.
+func TestScenarioGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep runs every scenario twice; skipped in -short")
+	}
+	for _, s := range reesift.Scenarios() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			var text1, json1 string
+			for _, workers := range []int{1, 8} {
+				sc := tinyScale()
+				sc.Workers = workers
+				res, err := reesift.RunScenario(s, sc)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				res.WallClockSeconds = 0
+				text := res.Render()
+				js, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					text1, json1 = text, string(js)
+					continue
+				}
+				// Worker-count invariance: the 8-worker run must match
+				// the 1-worker run byte for byte.
+				if text != text1 {
+					t.Fatalf("text output differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", text1, text)
+				}
+				if string(js) != json1 {
+					t.Fatalf("JSON output differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", json1, js)
+				}
+			}
+			compareGolden(t, filepath.Join("testdata", "golden", s.ID+".txt"), text1)
+			compareGolden(t, filepath.Join("testdata", "golden", s.ID+".json"), json1)
+		})
+	}
+}
+
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create it): %v", path, err)
+	}
+	if got != string(want) {
+		t.Fatalf("output diverged from golden %s\n--- golden ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}

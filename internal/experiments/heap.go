@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
-	"reesift/internal/sift"
+	"reesift/pkg/reesift"
 )
 
 // table7Targets: heap injections target only the SIFT processes.
@@ -29,12 +28,20 @@ func Table7(sc Scale) (*Table, *Table7Data, error) {
 		Header: []string{"TARGET", "RUNS", "FAILURES", "SUC. REC.",
 			"PERCEIVED (s)", "ACTUAL (s)", "RECOVERY (s)"},
 	}
+	var cells []reesift.CampaignCell
 	for _, target := range table7Targets {
-		target := target
-		a := campaign(sc, "table7/"+target.String(), sc.Runs, func(seed int64) inject.Config {
-			return inject.Config{Seed: seed, Model: inject.ModelHeap, Target: target,
-				Apps: []*sift.AppSpec{roverApp()}}
+		cells = append(cells, reesift.CampaignCell{
+			Name:      target.String(),
+			Runs:      sc.Runs,
+			Injection: roverInjection(inject.ModelHeap, target),
 		})
+	}
+	cres, err := runCampaign(sc, "table7", cells...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, target := range table7Targets {
+		a := foldAgg(cres.Cell(target.String()))
 		data.Cells[target] = a
 		t.Rows = append(t.Rows, []Cell{
 			str(target.String()),
@@ -84,18 +91,23 @@ func Table8And9(sc Scale) (*Table, *Table, *Table8Data, error) {
 		inject.SysStartApplication, inject.SysUninstallAfterCompletion,
 		inject.SysAppNotCompleted,
 	}
+	var cells []reesift.CampaignCell
+	for _, element := range ftmElements {
+		inj := roverInjection(inject.ModelHeapData, inject.TargetFTM)
+		inj.Element = element
+		cells = append(cells, reesift.CampaignCell{
+			Name:      element,
+			Runs:      sc.TargetedHeapRuns,
+			Injection: inj,
+		})
+	}
+	cres, err := runCampaign(sc, "table8", cells...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	for _, element := range ftmElements {
 		data.Sys[element] = make(map[inject.SystemFailureMode]int)
-		results := engine.Map(sc.Workers, sc.TargetedHeapRuns, func(run int) inject.Result {
-			return inject.Run(inject.Config{
-				Seed:    engine.DeriveSeed(sc.Seed, "table8/"+element, run),
-				Model:   inject.ModelHeapData,
-				Target:  inject.TargetFTM,
-				Element: element,
-				Apps:    []*sift.AppSpec{roverApp()},
-			})
-		})
-		for _, res := range results {
+		for _, res := range cres.Cell(element).Results {
 			if res.Injected == 0 {
 				continue
 			}
@@ -180,16 +192,18 @@ func Table10(sc Scale) (*Table, *Table10Data, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	results := engine.Map(sc.Workers, sc.AppHeapRuns, func(run int) inject.Result {
-		return inject.Run(inject.Config{
-			Seed:         engine.DeriveSeed(sc.Seed, "table10", run),
-			Model:        inject.ModelAppHeap,
-			Target:       inject.TargetApp,
-			Apps:         []*sift.AppSpec{roverApp()},
-			CheckVerdict: check,
-		})
+	// A single-cell campaign whose empty cell name keeps the historical
+	// seed identity "table10".
+	inj := roverInjection(inject.ModelAppHeap, inject.TargetApp)
+	inj.CheckVerdict = check
+	cres, err := runCampaign(sc, "table10", reesift.CampaignCell{
+		Runs:      sc.AppHeapRuns,
+		Injection: inj,
 	})
-	for _, res := range results {
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, res := range cres.Cells[0].Results {
 		if res.Injected == 0 {
 			continue
 		}

@@ -9,6 +9,7 @@ import (
 	"reesift/internal/inject"
 	"reesift/internal/sift"
 	"reesift/internal/stats"
+	"reesift/pkg/reesift"
 )
 
 // multiAppSpecs builds the Section 8 configuration: Mars Rover and OTIS
@@ -92,29 +93,44 @@ func Table11And12(sc Scale) (*Table, *Table, *Table11And12Data, error) {
 		}
 	}
 
+	// One public campaign covers every injection cell: the OTIS
+	// application cells plus the three ARMOR-target cells per model.
 	armorTargets := []inject.TargetKind{inject.TargetFTM, inject.TargetExecArmor, inject.TargetHeartbeat}
+	var cells []reesift.CampaignCell
 	for _, model := range multiAppModels {
-		oa := &multiAgg{}
-		for _, r := range engine.Map(sc.Workers, sc.MultiAppRuns, func(run int) inject.Result {
-			return inject.Run(inject.Config{
-				Seed:  engine.DeriveSeed(sc.Seed, "table11/otis/"+model.String(), run),
+		cells = append(cells, reesift.CampaignCell{
+			Name: "otis/" + model.String(),
+			Runs: sc.MultiAppRuns,
+			Injection: reesift.Injection{
 				Model: model, Target: inject.TargetApp,
 				Apps: multiAppSpecs(),
+			},
+		})
+		for _, target := range armorTargets {
+			cells = append(cells, reesift.CampaignCell{
+				Name: "armors/" + model.String() + "/" + target.String(),
+				Runs: sc.MultiAppRuns,
+				Injection: reesift.Injection{
+					Model: model, Target: target,
+					Apps: multiAppSpecs(),
+				},
 			})
-		}) {
+		}
+	}
+	cres, err := runCampaign(sc, "table11", cells...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, model := range multiAppModels {
+		oa := &multiAgg{}
+		for _, r := range cres.Cell("otis/" + model.String()).Results {
 			oa.addMulti(r)
 		}
 		data.OTISApp[model] = oa
 
 		ar := &multiAgg{}
 		for _, target := range armorTargets {
-			for _, r := range engine.Map(sc.Workers, sc.MultiAppRuns, func(run int) inject.Result {
-				return inject.Run(inject.Config{
-					Seed:  engine.DeriveSeed(sc.Seed, "table11/armors/"+model.String()+"/"+target.String(), run),
-					Model: model, Target: target,
-					Apps: multiAppSpecs(),
-				})
-			}) {
+			for _, r := range cres.Cell("armors/" + model.String() + "/" + target.String()).Results {
 				ar.addMulti(r)
 			}
 		}

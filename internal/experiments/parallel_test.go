@@ -7,6 +7,7 @@ import (
 	engine "reesift/internal/campaign"
 	"reesift/internal/inject"
 	"reesift/internal/sift"
+	"reesift/pkg/reesift"
 )
 
 // TestCampaignDeterminismAcrossWorkerCounts is the campaign engine's
@@ -42,13 +43,14 @@ func TestCampaignDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-// TestCampaignUntilFailuresMatchesSequentialCount pins the wave
-// semantics: the parallel failure-quota search must choose exactly the
-// run count a sequential loop would, and aggregate exactly the same
-// trials.
+// TestCampaignUntilFailuresMatchesSequentialCount pins the
+// failure-quota cell semantics on the public Campaign API: the parallel
+// wave search must choose exactly the run count a sequential loop
+// would, and aggregate exactly the same trials, at any worker count.
 func TestCampaignUntilFailuresMatchesSequentialCount(t *testing.T) {
 	sc := tinyScale()
-	const id = "test/wave-count"
+	const name = "test"
+	const cellName = "wave-count"
 	mk := func(seed int64) inject.Config {
 		return inject.Config{Seed: seed, Model: inject.ModelRegister, Target: inject.TargetFTM,
 			Apps: []*sift.AppSpec{roverApp()}}
@@ -57,7 +59,7 @@ func TestCampaignUntilFailuresMatchesSequentialCount(t *testing.T) {
 	var ref agg
 	seqRuns := 0
 	for ref.failures < sc.FailureQuota && seqRuns < sc.MaxRunsPerCell {
-		ref.add(inject.Run(mk(engine.DeriveSeed(sc.Seed, id, seqRuns))))
+		ref.add(inject.Run(mk(engine.DeriveSeed(sc.Seed, name+"/"+cellName, seqRuns))))
 		seqRuns++
 	}
 	if seqRuns == sc.MaxRunsPerCell {
@@ -65,12 +67,25 @@ func TestCampaignUntilFailuresMatchesSequentialCount(t *testing.T) {
 	}
 
 	for _, workers := range []int{1, 3, 8} {
-		scw := sc
-		scw.Workers = workers
-		a, runs := campaignUntilFailures(scw, id, sc.FailureQuota, sc.MaxRunsPerCell, mk)
-		if runs != seqRuns {
-			t.Fatalf("workers=%d: chose %d runs, sequential chose %d", workers, runs, seqRuns)
+		cres, err := reesift.Campaign{
+			Name:    name,
+			Seed:    sc.Seed,
+			Workers: workers,
+			Cells: []reesift.CampaignCell{{
+				Name:         cellName,
+				Runs:         sc.MaxRunsPerCell,
+				FailureQuota: sc.FailureQuota,
+				Injection:    roverInjection(inject.ModelRegister, inject.TargetFTM),
+			}},
+		}.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
 		}
+		cell := cres.Cell(cellName)
+		if cell.Runs != seqRuns {
+			t.Fatalf("workers=%d: chose %d runs, sequential chose %d", workers, cell.Runs, seqRuns)
+		}
+		a := foldAgg(cell)
 		if !reflect.DeepEqual(a, ref) {
 			t.Fatalf("workers=%d: aggregate diverged from sequential:\n%+v\nvs\n%+v", workers, a, ref)
 		}

@@ -6,8 +6,8 @@ import (
 
 	"reesift/internal/apps/rover"
 	"reesift/internal/inject"
-	"reesift/internal/sift"
 	"reesift/internal/sim"
+	"reesift/pkg/reesift"
 )
 
 // recCell is one cell of the recovery campaign: an error model aimed at
@@ -74,27 +74,30 @@ func TableRecovery(sc Scale) (*Table, *TableRecoveryData, error) {
 		Header: []string{"CELL", "INJECTED RUNS", "COMPLETED", "SYSTEM FAILURES",
 			"DAEMON REINSTALLS", "FTM MIGRATIONS", "PERCEIVED (s)"},
 	}
+	var cells []reesift.CampaignCell
+	for _, cell := range recoveryCells {
+		inj := roverInjection(cell.model, cell.target)
+		inj.Rank = cell.rank
+		inj.Compound = cell.compound
+		inj.Cluster = []reesift.Option{reesift.WithSharedCheckpoints()}
+		if cell.isolate {
+			inj.Cluster = append(inj.Cluster,
+				reesift.WithFTMNode("node-b1"), reesift.WithHeartbeatNode("node-b2"))
+		}
+		cells = append(cells, reesift.CampaignCell{
+			Name:      cell.id,
+			Runs:      sc.Runs,
+			Injection: inj,
+		})
+	}
+	cres, err := runCampaign(sc, "recovery", cells...)
+	if err != nil {
+		return nil, nil, err
+	}
 	var pooled int
 	var pooledSum float64
 	for _, cell := range recoveryCells {
-		cell := cell
-		a := campaign(sc, "recovery/"+cell.id, sc.Runs, func(seed int64) inject.Config {
-			env := sift.DefaultEnvConfig()
-			env.SharedCheckpoints = true
-			if cell.isolate {
-				env.FTMNode = "node-b1"
-				env.HeartbeatNode = "node-b2"
-			}
-			return inject.Config{
-				Seed:     seed,
-				Model:    cell.model,
-				Target:   cell.target,
-				Rank:     cell.rank,
-				Apps:     []*sift.AppSpec{roverApp()},
-				Env:      &env,
-				Compound: cell.compound,
-			}
-		})
+		a := foldAgg(cres.Cell(cell.id))
 		data.Cells[cell.id] = a
 		if a.recovery.N() > 0 {
 			pooled += a.recovery.N()

@@ -173,4 +173,10 @@ func init() {
 			return t, err
 		}),
 	})
+	reesift.Register(reesift.Scenario{
+		ID:      "recovery-sweep",
+		Title:   "Recovery-time tuning: node-restart delay x heartbeat period (public Sweep API)",
+		Aliases: []string{"recovery-tuning"},
+		Run:     RecoverySweep,
+	})
 }

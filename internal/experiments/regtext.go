@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"reesift/internal/inject"
-	"reesift/internal/sift"
+	"reesift/pkg/reesift"
 )
 
 // Table6Data carries register/text campaign aggregates per model/target.
@@ -19,6 +19,27 @@ type Table6Data struct {
 // errors must produce relatively more illegal instructions and more system
 // failures than register errors (Section 6).
 func Table6(sc Scale) (*Table, *Table6Data, error) {
+	// One failure-quota cell per model/target pair: each searches until
+	// sc.FailureQuota target failures are observed (the paper's "between
+	// 90 and 100 error activations per target"), bounded by
+	// sc.MaxRunsPerCell trials.
+	regtextModels := []inject.Model{inject.ModelRegister, inject.ModelText}
+	var cells []reesift.CampaignCell
+	for _, model := range regtextModels {
+		for _, target := range table4Targets {
+			cells = append(cells, reesift.CampaignCell{
+				Name:         model.String() + "/" + target.String(),
+				Runs:         sc.MaxRunsPerCell,
+				FailureQuota: sc.FailureQuota,
+				Injection:    roverInjection(model, target),
+			})
+		}
+	}
+	cres, err := runCampaign(sc, "table6", cells...)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	data := &Table6Data{Cells: make(map[string]agg), Runs: make(map[string]int)}
 	t := &Table{
 		ID:    "table6",
@@ -27,18 +48,14 @@ func Table6(sc Scale) (*Table, *Table6Data, error) {
 			"SEG. FAULT", "ILLEGAL INSTR.", "HANG", "ASSERT.",
 			"PERCEIVED (s)", "ACTUAL (s)", "RECOVERY (s)"},
 	}
-	for _, model := range []inject.Model{inject.ModelRegister, inject.ModelText} {
+	for _, model := range regtextModels {
 		t.Rows = append(t.Rows, strRow("-- "+model.String()+" --", "", "", "", "", "", "", "", "", ""))
 		for _, target := range table4Targets {
-			model, target := model, target
-			a, runs := campaignUntilFailures(sc, "table6/"+model.String()+"/"+target.String(),
-				sc.FailureQuota, sc.MaxRunsPerCell, func(seed int64) inject.Config {
-					return inject.Config{Seed: seed, Model: model, Target: target,
-						Apps: []*sift.AppSpec{roverApp()}}
-				})
 			key := model.String() + "/" + target.String()
+			cell := cres.Cell(key)
+			a := foldAgg(cell)
 			data.Cells[key] = a
-			data.Runs[key] = runs
+			data.Runs[key] = cell.Runs
 			t.Rows = append(t.Rows, []Cell{
 				str(target.String()),
 				num(a.failures),

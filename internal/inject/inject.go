@@ -90,6 +90,11 @@ type Config struct {
 	// CheckVerdict, if set, classifies the application output on the
 	// shared store after the run ("correct"/"incorrect"/"missing").
 	CheckVerdict func(fs *sim.FS) string
+	// Census lists the campaign-scoped censuses this run reports to, in
+	// addition to the process-wide census (which every run always
+	// updates). A campaign threads its own census here so its tally is
+	// exact even while other campaigns run concurrently in the process.
+	Census []*Census
 }
 
 // CompoundStage is one arm of a compound injection: an error model and
@@ -262,6 +267,6 @@ func Run(cfg Config) Result {
 	handles := r.deploy()
 	r.k.Run(cfg.Timeout)
 	r.finish(handles)
-	record(r.res)
+	record(&cfg, r.res)
 	return *r.res
 }

@@ -2,54 +2,87 @@ package inject
 
 import "sync/atomic"
 
-// Tally is a monotonic census of the injection work performed by this
-// process. The scenario runner snapshots it before and after a run to
-// attribute campaign totals (runs, individual error insertions,
-// manifested failures, system failures) to one scenario without
-// threading counters through every campaign loop.
+// Tally is a census snapshot of injection work: framework runs,
+// individual error insertions, manifested target failures, and system
+// failures.
 type Tally struct {
-	Runs           int64
-	Injections     int64
-	Failures       int64
-	SystemFailures int64
+	Runs           int64 `json:"runs"`
+	Injections     int64 `json:"injections"`
+	Failures       int64 `json:"failures"`
+	SystemFailures int64 `json:"system_failures"`
 }
 
-var tally struct {
+// Add returns the component-wise sum t + o.
+func (t Tally) Add(o Tally) Tally {
+	return Tally{
+		Runs:           t.Runs + o.Runs,
+		Injections:     t.Injections + o.Injections,
+		Failures:       t.Failures + o.Failures,
+		SystemFailures: t.SystemFailures + o.SystemFailures,
+	}
+}
+
+// Census is a concurrency-safe tally accumulator. Every run whose
+// Config lists a census adds itself there in addition to the
+// process-wide census, so a campaign (or a scenario, or any other
+// scope) owns an exact count of its own work — including trials a
+// failure-quota wave computed past the stopping index — without
+// snapshot subtraction, which misattributes work when two campaigns
+// run concurrently. The zero value is ready to use.
+type Census struct {
 	runs        atomic.Int64
 	injections  atomic.Int64
 	failures    atomic.Int64
 	sysFailures atomic.Int64
 }
 
-// CurrentTally returns the process-wide injection census so far.
-func CurrentTally() Tally {
+// Tally returns a snapshot of the census.
+func (c *Census) Tally() Tally {
 	return Tally{
-		Runs:           tally.runs.Load(),
-		Injections:     tally.injections.Load(),
-		Failures:       tally.failures.Load(),
-		SystemFailures: tally.sysFailures.Load(),
+		Runs:           c.runs.Load(),
+		Injections:     c.injections.Load(),
+		Failures:       c.failures.Load(),
+		SystemFailures: c.sysFailures.Load(),
 	}
 }
 
-// Sub returns the component-wise difference t - o (the work done between
-// two snapshots).
-func (t Tally) Sub(o Tally) Tally {
-	return Tally{
-		Runs:           t.Runs - o.Runs,
-		Injections:     t.Injections - o.Injections,
-		Failures:       t.Failures - o.Failures,
-		SystemFailures: t.SystemFailures - o.SystemFailures,
-	}
+// AddTally folds a finished scope's tally into this census — the
+// roll-up path a campaign uses to push its per-cell counts into an
+// enclosing scenario census.
+func (c *Census) AddTally(t Tally) {
+	c.runs.Add(t.Runs)
+	c.injections.Add(t.Injections)
+	c.failures.Add(t.Failures)
+	c.sysFailures.Add(t.SystemFailures)
 }
 
-// record accumulates one classified run into the census.
-func record(res *Result) {
-	tally.runs.Add(1)
-	tally.injections.Add(int64(res.Injected))
+// add accumulates one classified run.
+func (c *Census) add(res *Result) {
+	c.runs.Add(1)
+	c.injections.Add(int64(res.Injected))
 	if res.Failed {
-		tally.failures.Add(1)
+		c.failures.Add(1)
 	}
 	if res.SystemFailure {
-		tally.sysFailures.Add(1)
+		c.sysFailures.Add(1)
+	}
+}
+
+// process is the process-wide census: the monotonic roll-up of every
+// injection run this process ever performed, regardless of which
+// campaign asked for it.
+var process Census
+
+// CurrentTally returns the process-wide injection census so far.
+func CurrentTally() Tally { return process.Tally() }
+
+// record accumulates one classified run into the process census and
+// into every census the run's Config listed.
+func record(cfg *Config, res *Result) {
+	process.add(res)
+	for _, c := range cfg.Census {
+		if c != nil {
+			c.add(res)
+		}
 	}
 }

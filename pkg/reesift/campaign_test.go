@@ -1,0 +1,312 @@
+package reesift
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCampaign builds a small two-cell crash/hang campaign.
+func testCampaign(workers int) Campaign {
+	return Campaign{
+		Name:    "campaign-test",
+		Seed:    7,
+		Workers: workers,
+		Cells: []CampaignCell{
+			{Name: "SIGINT/FTM", Runs: 4, Injection: Injection{
+				Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}},
+			{Name: "SIGSTOP/Heartbeat", Runs: 4, Injection: Injection{
+				Model: ModelSIGSTOP, Target: TargetHeartbeat, Apps: []*AppSpec{RoverApp(1)}}},
+		},
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers pins the public API's core
+// guarantee: a CampaignResult is a pure function of (Campaign, Seed) —
+// every cell's per-run results and every tally are byte-identical at 1
+// and 8 workers.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	want, err := testCampaign(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := testCampaign(8).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("campaign result differs between 1 and 8 workers:\n%+v\nvs\n%+v", want, got)
+	}
+	if want.Tally.Runs != 8 {
+		t.Fatalf("campaign tally runs = %d, want 8", want.Tally.Runs)
+	}
+	for _, cell := range want.Cells {
+		if cell.Tally.Runs != 4 || cell.Runs != 4 || len(cell.Results) != 4 {
+			t.Fatalf("cell %q: runs=%d tally=%+v results=%d", cell.Name, cell.Runs, cell.Tally, len(cell.Results))
+		}
+	}
+}
+
+// TestCampaignCellSeedStreamsDisjoint pins seed-identity isolation: the
+// seed streams of distinct cells in one campaign must be pairwise
+// disjoint (the property additive seed offsets kept losing).
+func TestCampaignCellSeedStreamsDisjoint(t *testing.T) {
+	c := Campaign{
+		Name: "disjoint-test",
+		Seed: 1,
+		Cells: []CampaignCell{
+			{Name: "a", Runs: 6, Injection: Injection{Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}},
+			{Name: "b", Runs: 6, Injection: Injection{Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}},
+			{Name: "c", Runs: 6, Injection: Injection{Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}},
+		},
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]string)
+	for _, cell := range res.Cells {
+		for _, r := range cell.Results {
+			if owner, dup := seen[r.Seed]; dup {
+				t.Fatalf("seed %d drawn by both cell %q and cell %q", r.Seed, owner, cell.Name)
+			}
+			seen[r.Seed] = cell.Name
+		}
+	}
+	if len(seen) != 18 {
+		t.Fatalf("expected 18 distinct seeds, got %d", len(seen))
+	}
+}
+
+// TestObserverSeedOrder pins the Observer contract: within a cell, both
+// callback streams arrive in seed (run) order at any worker count, and
+// a run's result never precedes its start.
+func TestObserverSeedOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var mu sync.Mutex
+		var starts, results []int
+		started := make(map[int]bool)
+		c := Campaign{
+			Name:    "observer-test",
+			Seed:    3,
+			Workers: workers,
+			Cells: []CampaignCell{{Name: "cell", Runs: 12, Injection: Injection{
+				Model: ModelSIGINT, Target: TargetHeartbeat, Apps: []*AppSpec{RoverApp(1)}}}},
+			Observer: &Observer{
+				OnStart: func(ref RunRef) {
+					mu.Lock()
+					starts = append(starts, ref.Run)
+					started[ref.Run] = true
+					mu.Unlock()
+				},
+				OnResult: func(ref RunRef, res InjectionResult) {
+					mu.Lock()
+					if !started[ref.Run] {
+						t.Errorf("workers=%d: OnResult(%d) before OnStart(%d)", workers, ref.Run, ref.Run)
+					}
+					if res.Seed != ref.Seed {
+						t.Errorf("workers=%d: result seed %d != ref seed %d", workers, res.Seed, ref.Seed)
+					}
+					results = append(results, ref.Run)
+					mu.Unlock()
+				},
+			},
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for name, seq := range map[string][]int{"starts": starts, "results": results} {
+			if len(seq) != 12 {
+				t.Fatalf("workers=%d: %s delivered %d callbacks, want 12", workers, name, len(seq))
+			}
+			for i, run := range seq {
+				if run != i {
+					t.Fatalf("workers=%d: %s out of seed order: %v", workers, name, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestObserverQuotaCell pins the failure-quota observer contract:
+// OnResult fires only for accepted runs, in order, while OnStart may
+// additionally cover the deterministic wave overshoot.
+func TestObserverQuotaCell(t *testing.T) {
+	var mu sync.Mutex
+	var results []int
+	starts := 0
+	c := Campaign{
+		Name:    "observer-quota-test",
+		Seed:    5,
+		Workers: 4,
+		Cells: []CampaignCell{{Name: "cell", Runs: 12, FailureQuota: 3, Injection: Injection{
+			Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}}},
+		Observer: &Observer{
+			OnStart: func(RunRef) { mu.Lock(); starts++; mu.Unlock() },
+			OnResult: func(ref RunRef, _ InjectionResult) {
+				mu.Lock()
+				results = append(results, ref.Run)
+				mu.Unlock()
+			},
+		},
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := res.Cells[0].Runs
+	if len(results) != accepted {
+		t.Fatalf("OnResult fired %d times, accepted %d runs", len(results), accepted)
+	}
+	for i, run := range results {
+		if run != i {
+			t.Fatalf("quota results out of order: %v", results)
+		}
+	}
+	if starts < accepted {
+		t.Fatalf("OnStart fired %d times, fewer than %d accepted runs", starts, accepted)
+	}
+}
+
+// TestCampaignValidation pins the eager error paths: a misconfigured
+// campaign must fail before any simulation work.
+func TestCampaignValidation(t *testing.T) {
+	ok := Injection{Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}
+	cases := []struct {
+		name string
+		c    Campaign
+		want string
+	}{
+		{"no cells", Campaign{Name: "x"}, "no cells"},
+		{"no identity", Campaign{Cells: []CampaignCell{{Runs: 1, Injection: ok}}}, "no identity"},
+		{"duplicate identity", Campaign{Name: "x", Cells: []CampaignCell{
+			{Name: "a", Runs: 1, Injection: ok}, {Name: "a", Runs: 1, Injection: ok}}}, "share the seed identity"},
+		{"bad runs", Campaign{Name: "x", Cells: []CampaignCell{{Name: "a", Injection: ok}}}, "Runs must be positive"},
+		{"negative quota", Campaign{Name: "x", Cells: []CampaignCell{
+			{Name: "a", Runs: 1, FailureQuota: -1, Injection: ok}}}, "FailureQuota"},
+		{"bad injection", Campaign{Name: "x", Cells: []CampaignCell{
+			{Name: "a", Runs: 1, Injection: Injection{Model: Model(99), Target: TargetFTM}}}}, "unknown error model"},
+	}
+	for _, tc := range cases {
+		_, err := tc.c.Run()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestConcurrentCampaignTallies pins the tally-attribution fix: two
+// campaigns running concurrently in one process must each report
+// exactly their own work, not a snapshot delta polluted by the other.
+func TestConcurrentCampaignTallies(t *testing.T) {
+	mk := func(name string, runs int) Campaign {
+		return Campaign{
+			Name:    name,
+			Seed:    11,
+			Workers: 2,
+			Cells: []CampaignCell{{Name: "cell", Runs: runs, Injection: Injection{
+				Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}}},
+		}
+	}
+	var wg sync.WaitGroup
+	var resA, resB *CampaignResult
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); resA, errA = mk("concurrent-a", 6).Run() }()
+	go func() { defer wg.Done(); resB, errB = mk("concurrent-b", 9).Run() }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if resA.Tally.Runs != 6 {
+		t.Fatalf("campaign A attributed %d runs, want exactly its own 6", resA.Tally.Runs)
+	}
+	if resB.Tally.Runs != 9 {
+		t.Fatalf("campaign B attributed %d runs, want exactly its own 9", resB.Tally.Runs)
+	}
+}
+
+// TestSweepCrossing pins the axis crossing: row-major cell order,
+// "axis=label" naming, and the base injection left untouched.
+func TestSweepCrossing(t *testing.T) {
+	base := Injection{Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}
+	s := (&Sweep{Name: "sweep-test", Seed: 1, RunsPerCell: 2, Base: base}).
+		Axis("restart",
+			Point("10s", func(i *Injection) { i.NodeRestartAfter = 10 * time.Second }),
+			Point("30s", func(i *Injection) { i.NodeRestartAfter = 30 * time.Second })).
+		Axis("hb",
+			ClusterPoint("5s", WithHeartbeatPeriod(5*time.Second)),
+			ClusterPoint("10s", WithHeartbeatPeriod(10*time.Second)))
+	c, err := s.Campaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, cell := range c.Cells {
+		names = append(names, cell.Name)
+		if cell.Runs != 2 {
+			t.Fatalf("cell %q runs = %d", cell.Name, cell.Runs)
+		}
+	}
+	want := []string{"restart=10s/hb=5s", "restart=10s/hb=10s", "restart=30s/hb=5s", "restart=30s/hb=10s"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("cell names = %v, want %v", names, want)
+	}
+	if len(base.Cluster) != 0 || base.NodeRestartAfter != 0 {
+		t.Fatalf("sweep mutated its base injection: %+v", base)
+	}
+	// Option isolation: applying one cell's cluster options must not
+	// leak into another's.
+	if len(c.Cells[0].Injection.Cluster) != 1 || len(c.Cells[1].Injection.Cluster) != 1 {
+		t.Fatalf("cluster options leaked across cells")
+	}
+}
+
+// TestSweepValidation pins the sweep-specific error paths.
+func TestSweepValidation(t *testing.T) {
+	base := Injection{Model: ModelSIGINT, Target: TargetFTM, Apps: []*AppSpec{RoverApp(1)}}
+	cases := []struct {
+		name string
+		s    *Sweep
+		want string
+	}{
+		{"no axes", &Sweep{Name: "s", RunsPerCell: 1, Base: base}, "no axes"},
+		{"empty axis", (&Sweep{Name: "s", RunsPerCell: 1, Base: base}).Axis("a"), "has no points"},
+		{"empty label", (&Sweep{Name: "s", RunsPerCell: 1, Base: base}).
+			Axis("a", Point("", func(*Injection) {})), "empty label"},
+		{"duplicate label", (&Sweep{Name: "s", RunsPerCell: 1, Base: base}).
+			Axis("a", Point("x", func(*Injection) {}), Point("x", func(*Injection) {})), "duplicate label"},
+		{"nil apply", (&Sweep{Name: "s", RunsPerCell: 1, Base: base}).
+			Axis("a", SweepPoint{Label: "x"}), "nil Apply"},
+	}
+	for _, tc := range cases {
+		_, err := tc.s.Campaign()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestModelAndTargetPoints pins the convenience point constructors.
+func TestModelAndTargetPoints(t *testing.T) {
+	mp := ModelPoints(ModelSIGINT, ModelSIGSTOP)
+	if len(mp) != 2 || mp[0].Label != "SIGINT" || mp[1].Label != "SIGSTOP" {
+		t.Fatalf("ModelPoints labels: %v, %v", mp[0].Label, mp[1].Label)
+	}
+	var inj Injection
+	mp[1].Apply(&inj)
+	if inj.Model != ModelSIGSTOP {
+		t.Fatalf("ModelPoints apply set %v", inj.Model)
+	}
+	tp := TargetPoints(TargetApp, TargetFTM)
+	tp[1].Apply(&inj)
+	if inj.Target != TargetFTM {
+		t.Fatalf("TargetPoints apply set %v", inj.Target)
+	}
+	dp := DurationPoint(90*time.Second, func(i *Injection) { i.NetFaultFor = 90 * time.Second })
+	if dp.Label != "1m30s" {
+		t.Fatalf("DurationPoint label = %q", dp.Label)
+	}
+}

@@ -4,7 +4,7 @@
 // supported way to drive the system; everything underneath lives in
 // internal packages.
 //
-// The package has three pillars:
+// The package has four pillars:
 //
 //   - A functional-options cluster builder. NewCluster assembles a
 //     deterministic simulated REE cluster, installs the SIFT environment
@@ -28,6 +28,20 @@
 //     (Cell/Table) plus run counts, injection tallies, and wall-clock
 //     time, and marshal to JSON — so campaign products are
 //     machine-readable rather than pre-rendered text.
+//
+//   - A campaign authoring layer. Campaign runs named cells of
+//     Injection configurations times run counts; Sweep crosses
+//     parameter axes (error models, targets, cluster options, any
+//     Injection field) into those cells; Observer streams per-run
+//     progress in seed order. Per-run seeds derive from the campaign
+//     seed and the cell identity ("<campaign>/<cell>", run), so no two
+//     campaigns ever replay the same kernels, and every CampaignResult
+//     — per-cell results and exact tallies — is a pure function of the
+//     campaign and its seed at any worker count. The paper-reproduction
+//     scenarios in internal/experiments are written on these same
+//     primitives; the registered "recovery-sweep" scenario is the
+//     worked example (a NodeRestartAfter x heartbeat-period sweep
+//     against node-crash recovery time).
 //
 // Single fault-injection runs are available through the Injection type,
 // which accepts the same cluster options for the run's environment.

@@ -124,37 +124,53 @@ type Injection struct {
 	// CheckVerdict, if set, classifies the application output on the
 	// shared store after the run ("correct"/"incorrect"/"missing").
 	CheckVerdict func(fs *FS) string
+	// Census, if set, receives this run's tally — the attribution hook
+	// for one-off runs outside a Campaign (campaigns keep their own
+	// census and ignore this field). The process-wide census is always
+	// updated regardless.
+	Census *Census
 }
 
 // Run executes the injection run. Option validation errors surface here,
 // before any simulation work.
 func (i Injection) Run() (InjectionResult, error) {
+	cfg, err := i.config()
+	if err != nil {
+		return InjectionResult{}, err
+	}
+	return inject.Run(cfg), nil
+}
+
+// config validates the injection and resolves it into the internal run
+// configuration. It is shared by Run and by Campaign, which derives the
+// per-run seed and threads its census before executing.
+func (i Injection) config() (inject.Config, error) {
 	if !inject.Registered(i.Model) {
-		return InjectionResult{}, fmt.Errorf("reesift: Injection: unknown error model %d (see Models())", int(i.Model))
+		return inject.Config{}, fmt.Errorf("reesift: Injection: unknown error model %d (see Models())", int(i.Model))
 	}
 	switch i.Model {
 	case ModelHeapData:
 		if i.Target == TargetApp {
-			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s targets a SIFT ARMOR element, not the application (use %s for application heap errors)", ModelHeapData, ModelAppHeap)
+			return inject.Config{}, fmt.Errorf("reesift: Injection: %s targets a SIFT ARMOR element, not the application (use %s for application heap errors)", ModelHeapData, ModelAppHeap)
 		}
 		if i.Element == "" {
-			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s needs Element (the FTM element to corrupt)", ModelHeapData)
+			return inject.Config{}, fmt.Errorf("reesift: Injection: %s needs Element (the FTM element to corrupt)", ModelHeapData)
 		}
 	case ModelCheckpoint:
 		if i.Target == TargetApp {
-			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s targets an ARMOR's checkpoint store; applications are not microcheckpointed", ModelCheckpoint)
+			return inject.Config{}, fmt.Errorf("reesift: Injection: %s targets an ARMOR's checkpoint store; applications are not microcheckpointed", ModelCheckpoint)
 		}
 	case ModelAppHeap:
 		if i.Target != TargetApp {
-			return InjectionResult{}, fmt.Errorf("reesift: Injection: %s injects into the application heap; Target must be TargetApp", ModelAppHeap)
+			return inject.Config{}, fmt.Errorf("reesift: Injection: %s injects into the application heap; Target must be TargetApp", ModelAppHeap)
 		}
 	case ModelCompound:
 		if err := inject.ValidateCompound(i.Compound); err != nil {
-			return InjectionResult{}, fmt.Errorf("reesift: Injection: %w", err)
+			return inject.Config{}, fmt.Errorf("reesift: Injection: %w", err)
 		}
 	}
 	if i.NetFaultProb < 0 || i.NetFaultProb > 1 {
-		return InjectionResult{}, fmt.Errorf("reesift: Injection: NetFaultProb %v outside [0, 1]", i.NetFaultProb)
+		return inject.Config{}, fmt.Errorf("reesift: Injection: NetFaultProb %v outside [0, 1]", i.NetFaultProb)
 	}
 	cfg := inject.Config{
 		Seed:             i.Seed,
@@ -173,6 +189,9 @@ func (i Injection) Run() (InjectionResult, error) {
 		Compound:         i.Compound,
 		CheckVerdict:     i.CheckVerdict,
 	}
+	if i.Census != nil {
+		cfg.Census = []*inject.Census{i.Census}
+	}
 	// The run's node list: from the options when given, otherwise the
 	// model's defaults — the four-node testbed, or the six-node
 	// multi-application testbed when more than one app runs.
@@ -184,7 +203,7 @@ func (i Injection) Run() (InjectionResult, error) {
 	if len(i.Cluster) > 0 {
 		env, _, err := buildConfigNodes(i.Cluster, defaultCount)
 		if err != nil {
-			return InjectionResult{}, err
+			return inject.Config{}, err
 		}
 		cfg.Env = &env
 		nodes = env.Nodes
@@ -202,13 +221,13 @@ func (i Injection) Run() (InjectionResult, error) {
 	}
 	for _, app := range i.Apps {
 		if app == nil {
-			return InjectionResult{}, fmt.Errorf("reesift: Injection: nil AppSpec")
+			return inject.Config{}, fmt.Errorf("reesift: Injection: nil AppSpec")
 		}
 		for _, n := range app.Nodes {
 			if !inCluster(n) {
-				return InjectionResult{}, fmt.Errorf("reesift: Injection: app %d placed on node %q, which is not in the cluster %v", app.ID, n, nodes)
+				return inject.Config{}, fmt.Errorf("reesift: Injection: app %d placed on node %q, which is not in the cluster %v", app.ID, n, nodes)
 			}
 		}
 	}
-	return inject.Run(cfg), nil
+	return cfg, nil
 }

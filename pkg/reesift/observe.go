@@ -1,0 +1,134 @@
+package reesift
+
+import "sync"
+
+// RunRef identifies one run of a campaign: the cell it belongs to, its
+// run index within the cell, and the derived seed that makes the run
+// reproducible on its own (Injection{Seed: ref.Seed, ...}.Run()).
+type RunRef struct {
+	// Cell is the cell's name within the campaign.
+	Cell string
+	// Run is the run index within the cell (0-based).
+	Run int
+	// Seed is the campaign-derived seed of this run.
+	Seed int64
+}
+
+// Observer receives per-run callbacks from a running Campaign — the
+// hook for progress reporting and streaming consumers. Either field may
+// be nil.
+//
+// Callbacks are worker-safe and ordered: the campaign serializes them
+// (no two callbacks run concurrently), and within a cell each stream
+// arrives in seed order — OnStart for runs 0, 1, 2, ... and OnResult
+// for runs 0, 1, 2, ... regardless of the worker count or the order in
+// which workers actually finish. OnResult for run n is always preceded
+// by OnStart for run n. Cells are observed in campaign order.
+//
+// For failure-quota cells (CampaignCell.FailureQuota > 0), OnStart
+// fires for every computed trial — including the fixed-size wave's
+// deterministic overshoot past the stopping index — while OnResult
+// fires only for the accepted runs, exactly the ones a sequential loop
+// would have performed.
+//
+// Results stream as they become available: OnResult for run n fires as
+// soon as runs 0..n have all finished, not when the whole cell is done.
+// Callbacks run on campaign worker goroutines under the serialization
+// lock, so a slow callback stalls the whole worker pool — campaign
+// throughput, never correctness. Hand heavy work to another goroutine.
+type Observer struct {
+	// OnStart fires when a run is picked up by a worker.
+	OnStart func(RunRef)
+	// OnResult fires with a run's classified outcome.
+	OnResult func(RunRef, InjectionResult)
+}
+
+// observes reports whether the observer has any callback installed.
+func (o *Observer) observes() bool {
+	return o != nil && (o.OnStart != nil || o.OnResult != nil)
+}
+
+// delivery serializes one cell's observer callbacks into seed order.
+// Workers claim run indices in increasing order, so the start gate only
+// ever waits on runs that are already claimed by other workers — the
+// smallest unstarted index can always proceed, which keeps the gate
+// deadlock-free at any worker count.
+type delivery struct {
+	obs  *Observer
+	cell string
+
+	mu        sync.Mutex
+	startCond *sync.Cond
+	nextStart int
+	nextDone  int
+	pending   map[int]pendingResult
+}
+
+type pendingResult struct {
+	seed int64
+	res  InjectionResult
+}
+
+func newDelivery(obs *Observer, cell string) *delivery {
+	if !obs.observes() {
+		return nil
+	}
+	d := &delivery{obs: obs, cell: cell, pending: make(map[int]pendingResult)}
+	d.startCond = sync.NewCond(&d.mu)
+	return d
+}
+
+// started delivers OnStart(run) once every earlier run of the cell has
+// delivered its own start.
+func (d *delivery) started(run int, seed int64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	for d.nextStart != run {
+		d.startCond.Wait()
+	}
+	if d.obs.OnStart != nil {
+		d.obs.OnStart(RunRef{Cell: d.cell, Run: run, Seed: seed})
+	}
+	d.nextStart++
+	d.startCond.Broadcast()
+	d.mu.Unlock()
+}
+
+// finished buffers an out-of-order completion and flushes the contiguous
+// prefix in run order: OnResult(n) fires as soon as runs 0..n have all
+// finished, from whichever worker closed the gap.
+func (d *delivery) finished(run int, seed int64, res InjectionResult) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.pending[run] = pendingResult{seed: seed, res: res}
+	for {
+		p, ok := d.pending[d.nextDone]
+		if !ok {
+			break
+		}
+		delete(d.pending, d.nextDone)
+		if d.obs.OnResult != nil {
+			d.obs.OnResult(RunRef{Cell: d.cell, Run: d.nextDone, Seed: p.seed}, p.res)
+		}
+		d.nextDone++
+	}
+	d.mu.Unlock()
+}
+
+// deliver emits OnResult directly, in the caller's (already sequential)
+// order — the failure-quota path, where the engine's accept callback is
+// the in-order stream.
+func (d *delivery) deliver(run int, seed int64, res InjectionResult) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.obs.OnResult != nil {
+		d.obs.OnResult(RunRef{Cell: d.cell, Run: run, Seed: seed}, res)
+	}
+	d.mu.Unlock()
+}

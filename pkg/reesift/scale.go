@@ -27,6 +27,12 @@ type Scale struct {
 	// changes only wall-clock time — every table is byte-identical at
 	// any worker count.
 	Workers int
+	// Census, when non-nil, receives every injection run performed by
+	// campaigns under this scale. RunScenario threads a fresh census
+	// here to attribute per-scenario tallies exactly; scenario code
+	// passes it through to the campaigns it builds (Campaign.Census).
+	// It carries no entropy: results are identical with or without it.
+	Census *Census
 }
 
 // WithWorkers returns a copy of the scale with the campaign worker-pool

@@ -5,8 +5,6 @@ import (
 	"sort"
 	"sync"
 	"time"
-
-	"reesift/internal/inject"
 )
 
 // Scenario is one registered experiment workload. Workload packages
@@ -24,6 +22,13 @@ type Scenario struct {
 	// Run executes the scenario at the given scale and returns its
 	// structured result. Run may return a partial Result alongside an
 	// error.
+	//
+	// Tally attribution: RunScenario fills the Result's run/injection
+	// counts from the census it threads in via Scale.Census, so Run
+	// must pass sc.Census to the campaigns it builds (Campaign.Census,
+	// Sweep.Census) and to one-off runs (Injection.Census). Work that
+	// bypasses the census still executes but reports zero in the
+	// scenario's totals.
 	Run func(Scale) (*Result, error)
 }
 
@@ -114,26 +119,31 @@ func KnownIDs() []string {
 // failures). A partial Result returned alongside an error is completed
 // the same way.
 //
-// Tallies are attributed by snapshotting a process-wide census around
-// the run: scenarios executed concurrently see each other's work in
-// their deltas. Run scenarios sequentially when per-scenario totals
-// matter (as cmd/reesift does).
+// Tallies are attributed through a per-scenario census threaded down to
+// every campaign the scenario runs (Scale.Census), so concurrently
+// running scenarios never see each other's work in their totals. A
+// census the caller installed in sc beforehand still receives the
+// scenario's roll-up.
 func RunScenario(s Scenario, sc Scale) (*Result, error) {
-	before := inject.CurrentTally()
+	census := new(Census)
+	if outer := sc.Census; outer != nil {
+		defer func() { outer.AddTally(census.Tally()) }()
+	}
+	sc.Census = census
 	start := time.Now()
 	res, err := s.Run(sc)
 	if res == nil {
 		res = &Result{}
 	}
-	delta := inject.CurrentTally().Sub(before)
+	tally := census.Tally()
 	res.Scenario = s.ID
 	if res.Title == "" {
 		res.Title = s.Title
 	}
-	res.Runs = int(delta.Runs)
-	res.Injections = int(delta.Injections)
-	res.Failures = int(delta.Failures)
-	res.SystemFailures = int(delta.SystemFailures)
+	res.Runs = int(tally.Runs)
+	res.Injections = int(tally.Injections)
+	res.Failures = int(tally.Failures)
+	res.SystemFailures = int(tally.SystemFailures)
 	res.WallClockSeconds = time.Since(start).Seconds()
 	return res, err
 }

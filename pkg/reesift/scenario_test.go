@@ -83,12 +83,16 @@ func TestRunScenarioFillsTallies(t *testing.T) {
 	s := Scenario{
 		ID:    "test-tally",
 		Title: "tally scenario",
-		Run: func(Scale) (*Result, error) {
+		Run: func(sc Scale) (*Result, error) {
+			// Tallies are attributed through the census RunScenario
+			// threads in via sc.Census — one-off runs pass it directly,
+			// campaigns take it as Campaign.Census.
 			res, err := Injection{
 				Seed:   11,
 				Model:  ModelSIGINT,
 				Target: TargetFTM,
 				Apps:   []*AppSpec{RoverApp(1)},
+				Census: sc.Census,
 			}.Run()
 			if err != nil {
 				return nil, err

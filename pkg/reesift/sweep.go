@@ -1,0 +1,193 @@
+package reesift
+
+import (
+	"fmt"
+	"time"
+)
+
+// SweepPoint is one value on a sweep axis: a label (which becomes part
+// of the cell name and therefore of the seed identity) plus the
+// mutation it applies to the base injection.
+type SweepPoint struct {
+	Label string
+	Apply func(*Injection)
+}
+
+// Point builds a sweep point from a label and a mutation.
+func Point(label string, apply func(*Injection)) SweepPoint {
+	return SweepPoint{Label: label, Apply: apply}
+}
+
+// ClusterPoint builds a sweep point that appends cluster options to the
+// injection's environment — the axis form for anything NewCluster can
+// configure (heartbeat periods, placements, checkpoint storage, ...).
+func ClusterPoint(label string, opts ...Option) SweepPoint {
+	return SweepPoint{Label: label, Apply: func(i *Injection) {
+		i.Cluster = append(i.Cluster, opts...)
+	}}
+}
+
+// DurationPoint builds a sweep point labelled with the duration's
+// compact form ("5s", "1m30s").
+func DurationPoint(d time.Duration, apply func(*Injection)) SweepPoint {
+	return SweepPoint{Label: d.String(), Apply: apply}
+}
+
+// ModelPoints builds one sweep point per error model, labelled by the
+// model's registry name.
+func ModelPoints(models ...Model) []SweepPoint {
+	pts := make([]SweepPoint, len(models))
+	for i, m := range models {
+		m := m
+		pts[i] = SweepPoint{Label: m.String(), Apply: func(inj *Injection) { inj.Model = m }}
+	}
+	return pts
+}
+
+// TargetPoints builds one sweep point per injection target.
+func TargetPoints(targets ...Target) []SweepPoint {
+	pts := make([]SweepPoint, len(targets))
+	for i, t := range targets {
+		t := t
+		pts[i] = SweepPoint{Label: t.String(), Apply: func(inj *Injection) { inj.Target = t }}
+	}
+	return pts
+}
+
+// sweepAxis is one named parameter axis.
+type sweepAxis struct {
+	name   string
+	points []SweepPoint
+}
+
+// Sweep builds a Campaign by crossing one or more parameter axes over a
+// base injection — the ten-line form of the paper's methodology:
+// parameterized campaigns swept over error models, targets, and
+// environment configurations.
+//
+//	cres, err := (&reesift.Sweep{
+//		Name:        "my-sweep",
+//		Seed:        1,
+//		RunsPerCell: 20,
+//		Base:        reesift.Injection{Model: reesift.ModelSIGINT, Apps: apps},
+//	}).
+//		Axis("target", reesift.TargetPoints(reesift.TargetApp, reesift.TargetFTM)...).
+//		Axis("hb", reesift.ClusterPoint("5s", reesift.WithHeartbeatPeriod(5*time.Second)),
+//			reesift.ClusterPoint("30s", reesift.WithHeartbeatPeriod(30*time.Second))).
+//		Run()
+//
+// Each combination becomes one campaign cell named by joining
+// "axis=label" parts with "/" ("target=FTM/hb=5s"); an axis with an
+// empty name contributes its labels bare. The first axis varies
+// slowest. Cell seed streams follow from the names, so reordering axes
+// or renaming labels re-draws seeds — by design: the identity is the
+// experiment.
+type Sweep struct {
+	// Name names the campaign the sweep builds.
+	Name string
+	// Seed is the campaign base seed.
+	Seed int64
+	// Workers is the campaign worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// RunsPerCell is the number of trials in every cell.
+	RunsPerCell int
+	// FailureQuota, when positive, makes every cell a failure-quota
+	// search bounded by RunsPerCell (see CampaignCell.FailureQuota).
+	FailureQuota int
+	// Base is the injection template every cell starts from. Axis
+	// points mutate a copy; Base itself is never modified.
+	Base Injection
+	// Observer and Census are passed through to the campaign.
+	Observer *Observer
+	Census   *Census
+
+	axes []sweepAxis
+}
+
+// Axis appends a parameter axis with the given points. It returns the
+// sweep for chaining.
+func (s *Sweep) Axis(name string, points ...SweepPoint) *Sweep {
+	s.axes = append(s.axes, sweepAxis{name: name, points: points})
+	return s
+}
+
+// Campaign crosses the axes into a validated Campaign (row-major: the
+// first axis varies slowest). The error paths are the sweep-specific
+// ones — no axes, empty axes, duplicate or malformed labels; the
+// per-cell injection validation happens in Campaign.Run.
+func (s *Sweep) Campaign() (Campaign, error) {
+	if len(s.axes) == 0 {
+		return Campaign{}, fmt.Errorf("reesift: Sweep %q: no axes (use Axis to add at least one)", s.Name)
+	}
+	for _, ax := range s.axes {
+		if len(ax.points) == 0 {
+			return Campaign{}, fmt.Errorf("reesift: Sweep %q: axis %q has no points", s.Name, ax.name)
+		}
+		seen := make(map[string]bool, len(ax.points))
+		for _, p := range ax.points {
+			if p.Label == "" {
+				return Campaign{}, fmt.Errorf("reesift: Sweep %q: axis %q has a point with an empty label", s.Name, ax.name)
+			}
+			if seen[p.Label] {
+				return Campaign{}, fmt.Errorf("reesift: Sweep %q: axis %q has duplicate label %q", s.Name, ax.name, p.Label)
+			}
+			seen[p.Label] = true
+			if p.Apply == nil {
+				return Campaign{}, fmt.Errorf("reesift: Sweep %q: axis %q point %q has a nil Apply", s.Name, ax.name, p.Label)
+			}
+		}
+	}
+	c := Campaign{
+		Name:     s.Name,
+		Seed:     s.Seed,
+		Workers:  s.Workers,
+		Observer: s.Observer,
+		Census:   s.Census,
+	}
+	idx := make([]int, len(s.axes))
+	for {
+		name := ""
+		inj := s.Base
+		// Each cell gets its own option slice: axis Apply functions
+		// append to Cluster, and sharing the base's backing array
+		// across cells would let one cell's append clobber another's.
+		inj.Cluster = append([]Option(nil), s.Base.Cluster...)
+		for ai, ax := range s.axes {
+			p := ax.points[idx[ai]]
+			part := p.Label
+			if ax.name != "" {
+				part = ax.name + "=" + p.Label
+			}
+			name = cellIdentity(name, part)
+			p.Apply(&inj)
+		}
+		c.Cells = append(c.Cells, CampaignCell{
+			Name:         name,
+			Runs:         s.RunsPerCell,
+			FailureQuota: s.FailureQuota,
+			Injection:    inj,
+		})
+		// Odometer increment, last axis fastest.
+		ai := len(s.axes) - 1
+		for ; ai >= 0; ai-- {
+			idx[ai]++
+			if idx[ai] < len(s.axes[ai].points) {
+				break
+			}
+			idx[ai] = 0
+		}
+		if ai < 0 {
+			break
+		}
+	}
+	return c, nil
+}
+
+// Run builds the campaign and executes it.
+func (s *Sweep) Run() (*CampaignResult, error) {
+	c, err := s.Campaign()
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}
