@@ -10,8 +10,10 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"reesift/internal/experiments"
+	"reesift/pkg/reesift"
 )
 
 // scale is shared by all benchmarks. Workers is left at zero, so every
@@ -286,4 +288,35 @@ func BenchmarkSweepCampaign(b *testing.B) {
 		}
 		return res.Render(), nil
 	})
+}
+
+// BenchmarkChaosSimDay runs one 24-simulated-hour Poisson chaos trial
+// (SIGINT arrivals against the Execution ARMOR, one every ~4 minutes on
+// average) and reports wall-clock seconds per simulated day. This is
+// the chaos subsystem's headline cost: how much real time a day of
+// continuous background faulting takes, which bounds how long a horizon
+// paper-scale chaos campaigns can afford. Gated against the previous
+// run's BENCH.json by cmd/benchgate in CI.
+func BenchmarkChaosSimDay(b *testing.B) {
+	inj := reesift.Injection{
+		Model:  reesift.ModelSIGINT,
+		Target: reesift.TargetExecArmor,
+		Seed:   1,
+		Arrival: &reesift.Arrival{
+			Process:     reesift.ArrivalPoisson,
+			Horizon:     24 * time.Hour,
+			MeanBetween: 4 * time.Minute,
+		},
+	}
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := inj.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Chaos == nil || res.Chaos.Arrivals == 0 {
+			b.Fatal("chaos trial recorded no arrivals")
+		}
+	}
+	b.ReportMetric(time.Since(start).Seconds()/float64(b.N), "s/sim-day")
 }

@@ -1,0 +1,159 @@
+// Command benchgate compares two BENCH.json artifacts — the `go test
+// -json -bench` event streams CI uploads — and fails when a tracked
+// custom metric regressed beyond a tolerance. It is the CI gate that
+// keeps the recovery path (s/recovery) and the chaos subsystem's
+// simulation throughput (s/sim-day) from silently getting slower.
+//
+// Usage:
+//
+//	benchgate -old prev/BENCH.json -new BENCH.json \
+//	          [-metrics s/recovery,s/sim-day] [-max-regress 0.20]
+//
+// Both artifacts are parsed for benchmark result lines; for every
+// tracked metric present in both, the gate fails (exit 1) if
+// new > old * (1 + max-regress). Metrics are lower-is-better. A missing
+// or unreadable -old file is not an error — the first run of a fresh
+// branch has no predecessor — the gate reports it and passes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	oldPath := fs.String("old", "", "previous BENCH.json (missing file skips the gate)")
+	newPath := fs.String("new", "", "fresh BENCH.json to gate")
+	metrics := fs.String("metrics", "s/recovery,s/sim-day", "comma-separated units to track")
+	maxRegress := fs.Float64("max-regress", 0.20, "allowed fractional slowdown before failing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *newPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -new is required")
+		return 2
+	}
+	tracked := make(map[string]bool)
+	for _, m := range strings.Split(*metrics, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			tracked[m] = true
+		}
+	}
+
+	fresh, err := parseFile(*newPath, tracked)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	prev, err := parseFile(*oldPath, tracked)
+	if err != nil {
+		// No baseline yet: nothing to compare against, which is the
+		// normal state of a first run.
+		fmt.Fprintf(stdout, "benchgate: no usable baseline (%v); skipping gate\n", err)
+		return 0
+	}
+
+	failed := false
+	for key, oldVal := range prev {
+		newVal, ok := fresh[key]
+		if !ok {
+			fmt.Fprintf(stdout, "benchgate: %s: present in baseline only; skipping\n", key)
+			continue
+		}
+		limit := oldVal * (1 + *maxRegress)
+		verdict := "ok"
+		if newVal > limit {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "benchgate: %s: %.4g -> %.4g (limit %.4g): %s\n", key, oldVal, newVal, limit, verdict)
+	}
+	if failed {
+		fmt.Fprintf(stderr, "benchgate: regression beyond %.0f%% tolerance\n", *maxRegress*100)
+		return 1
+	}
+	return 0
+}
+
+// parseFile reads a `go test -json` stream and returns the tracked
+// metrics keyed "Benchmark/unit", benchmark names stripped of the
+// -GOMAXPROCS suffix so runs on different machines still compare.
+func parseFile(path string, tracked map[string]bool) (map[string]float64, error) {
+	if path == "" {
+		return nil, fmt.Errorf("no baseline path given")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scanner.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (plain `go test -bench` output)
+		}
+		line := ev.Output
+		if ev.Action != "output" && line == "" {
+			line = scanner.Text() // plain text file fallback
+		}
+		name, vals := parseBenchLine(line)
+		if name == "" {
+			continue
+		}
+		for unit, v := range vals {
+			if tracked[unit] {
+				out[name+"/"+unit] = v
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no tracked metrics found", path)
+	}
+	return out, nil
+}
+
+// parseBenchLine parses a benchmark result line
+// ("BenchmarkX-8  1  123 ns/op  0.45 s/recovery") into the benchmark
+// name (GOMAXPROCS suffix stripped) and its value-unit pairs.
+func parseBenchLine(line string) (string, map[string]float64) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	vals := make(map[string]float64)
+	// fields[1] is the iteration count; the rest alternate value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil
+		}
+		vals[fields[i+1]] = v
+	}
+	return name, vals
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stream builds a minimal `go test -json` event stream carrying one
+// benchmark result line per (name, value, unit) triple.
+func stream(lines ...string) string {
+	out := ""
+	for _, l := range lines {
+		out += `{"Action":"output","Package":"reesift","Output":"` + l + `\n"}` + "\n"
+	}
+	return out
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchLine(t *testing.T) {
+	name, vals := parseBenchLine("BenchmarkRecoveryTime-8 \t       1\t 52341 ns/op\t         0.4500 s/recovery")
+	if name != "BenchmarkRecoveryTime" {
+		t.Fatalf("name = %q", name)
+	}
+	if vals["s/recovery"] != 0.45 {
+		t.Fatalf("s/recovery = %v", vals["s/recovery"])
+	}
+	if name, _ := parseBenchLine("ok  \treesift\t12.3s"); name != "" {
+		t.Fatalf("non-benchmark line parsed as %q", name)
+	}
+	// Subbenchmark names keep their path, only the -P suffix drops.
+	name, _ = parseBenchLine("BenchmarkCampaignWorkers/workers=2-8 1 99 ns/op")
+	if name != "BenchmarkCampaignWorkers/workers=2" {
+		t.Fatalf("subbench name = %q", name)
+	}
+}
+
+func TestGatePassAndFail(t *testing.T) {
+	old := writeTemp(t, "old.json", stream(
+		"BenchmarkRecoveryTime-8 1 100 ns/op 0.50 s/recovery",
+		"BenchmarkChaosSimDay-8 1 100 ns/op 1.00 s/sim-day",
+	))
+	ok := writeTemp(t, "ok.json", stream(
+		"BenchmarkRecoveryTime-4 1 100 ns/op 0.55 s/recovery", // +10%: within tolerance
+		"BenchmarkChaosSimDay-4 1 100 ns/op 0.90 s/sim-day",   // improved
+	))
+	bad := writeTemp(t, "bad.json", stream(
+		"BenchmarkRecoveryTime-4 1 100 ns/op 0.50 s/recovery",
+		"BenchmarkChaosSimDay-4 1 100 ns/op 1.50 s/sim-day", // +50%: regression
+	))
+
+	if code := run([]string{"-old", old, "-new", ok}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("within-tolerance comparison exited %d", code)
+	}
+	if code := run([]string{"-old", old, "-new", bad}, os.Stdout, os.Stderr); code != 1 {
+		t.Fatalf("regressed comparison exited %d, want 1", code)
+	}
+}
+
+func TestGateSkipsWithoutBaseline(t *testing.T) {
+	fresh := writeTemp(t, "new.json", stream(
+		"BenchmarkRecoveryTime-4 1 100 ns/op 0.50 s/recovery",
+	))
+	if code := run([]string{"-old", filepath.Join(t.TempDir(), "absent.json"), "-new", fresh}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("missing baseline exited %d, want 0 (skip)", code)
+	}
+	if code := run([]string{"-new", fresh}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("no -old flag exited %d, want 0 (skip)", code)
+	}
+}
+
+func TestGateRequiresNew(t *testing.T) {
+	if code := run(nil, os.Stdout, os.Stderr); code != 2 {
+		t.Fatalf("missing -new exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives a short chaos campaign (one 2-hour trial) through
+// the public Arrival API and asserts a clean exit. Stdout is silenced so
+// the test log stays readable.
+func TestRunSmoke(t *testing.T) {
+	if code := silenced(t, func() int { return run(1, 2, 4*time.Minute, 1, false) }); code != 0 {
+		t.Fatalf("run() = %d, want 0", code)
+	}
+}
+
+func silenced(t *testing.T, f func() int) int {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	return f()
+}

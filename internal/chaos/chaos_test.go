@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"reesift/internal/campaign"
+	"reesift/internal/inject"
+	"reesift/internal/sift"
+)
+
+// trialConfig is a small Poisson trial against the Exec ARMOR of the
+// relay service.
+func trialConfig(seed int64) (inject.Config, Spec) {
+	cfg := inject.Config{
+		Seed:   seed,
+		Model:  inject.ModelSIGINT,
+		Target: inject.TargetExecArmor,
+		Apps:   []*sift.AppSpec{ServiceApp(1, "node-a1", DefaultServicePeriod)},
+	}
+	spec := Spec{
+		Process:     Poisson,
+		Horizon:     2 * time.Hour,
+		MeanBetween: 2 * time.Minute,
+	}
+	return cfg, spec
+}
+
+func TestTrialMeasuresAvailability(t *testing.T) {
+	cfg, spec := trialConfig(7)
+	res := Trial(cfg, spec)
+	st := res.Chaos
+	if st == nil {
+		t.Fatal("chaos trial returned no ChaosStats")
+	}
+	if st.Arrivals == 0 {
+		t.Fatal("no arrivals over a 2h horizon with a 2min mean")
+	}
+	if res.Injected == 0 {
+		t.Error("arrivals fired but nothing was injected")
+	}
+	if st.Downs == 0 {
+		t.Error("SIGINT arrivals against the Exec ARMOR produced no down intervals")
+	}
+	if st.Availability <= 0 || st.Availability >= 1 {
+		t.Errorf("availability = %v, want in (0,1)", st.Availability)
+	}
+	if st.MTTRp50 <= 0 || st.MTTRp95 < st.MTTRp50 || st.MTTRMax < st.MTTRp95 {
+		t.Errorf("MTTR percentiles disordered: p50=%v p95=%v max=%v", st.MTTRp50, st.MTTRp95, st.MTTRMax)
+	}
+	if st.Unrecoverable {
+		t.Errorf("low-rate SIGINT trial classified unrecoverable (t=%v)", st.TimeToUnrecoverable)
+	}
+	if res.SystemFailure {
+		t.Error("recoverable chaos trial reported SystemFailure")
+	}
+	if len(st.Events) == 0 || len(st.Events) > spec.withDefaults().MaxEvents {
+		t.Errorf("event record size %d out of bounds", len(st.Events))
+	}
+}
+
+func TestTrialDeterministic(t *testing.T) {
+	cfg, spec := trialConfig(11)
+	a := Trial(cfg, spec)
+	b := Trial(cfg, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two trials of seed %d differ:\n%+v\nvs\n%+v", cfg.Seed, a, b)
+	}
+	cfg.Seed = 12
+	c := Trial(cfg, spec)
+	if reflect.DeepEqual(a.Chaos.Events, c.Chaos.Events) {
+		t.Fatal("different seeds produced identical arrival logs")
+	}
+}
+
+func TestDoubleFaultConditionsOnRecovery(t *testing.T) {
+	cfg, spec := trialConfig(3)
+	spec.Process = DoubleFault
+	spec.Second = &inject.CompoundStage{Model: inject.ModelSIGSTOP, Target: inject.TargetHeartbeat}
+	res := Trial(cfg, spec)
+	st := res.Chaos
+	if st == nil || st.Arrivals == 0 {
+		t.Fatal("double-fault trial fired nothing")
+	}
+	var primaries, seconds int
+	for _, ev := range st.Events {
+		switch ev.Model {
+		case inject.ModelSIGINT:
+			primaries++
+		case inject.ModelSIGSTOP:
+			seconds++
+		}
+	}
+	if primaries == 0 {
+		t.Fatal("no primary arrivals recorded")
+	}
+	if seconds == 0 {
+		t.Error("no second stage ever fired in flight of a recovery")
+	}
+	if seconds > primaries {
+		t.Errorf("second stages (%d) outnumber primaries (%d): conditioning broken", seconds, primaries)
+	}
+}
+
+func TestRollingOutageCrashesNodes(t *testing.T) {
+	cfg, spec := trialConfig(5)
+	env := sift.DefaultEnvConfig()
+	env.SharedCheckpoints = true
+	cfg.Env = &env
+	spec.Process = RollingOutage
+	spec.Horizon = 1 * time.Hour
+	spec.MeanBetween = 10 * time.Minute
+	spec.WaveSpacing = 10 * time.Second
+	res := Trial(cfg, spec)
+	st := res.Chaos
+	if st == nil || st.Arrivals == 0 {
+		t.Fatal("rolling outage fired nothing")
+	}
+	nodes := make(map[string]bool)
+	for _, ev := range st.Events {
+		if ev.Model != inject.ModelNodeCrash {
+			t.Fatalf("outage wave recorded non-node-crash arrival %v", ev)
+		}
+		if ev.Node == "" {
+			t.Fatal("outage arrival without node name")
+		}
+		nodes[ev.Node] = true
+	}
+	if len(nodes) < 2 {
+		t.Errorf("waves touched %d distinct nodes, want the ring swept", len(nodes))
+	}
+}
+
+// TestPoissonMeanConverges checks the exponential inter-arrival draw:
+// the sample mean over many gaps converges to MeanBetween (1/λ).
+func TestPoissonMeanConverges(t *testing.T) {
+	mean := 30 * time.Second
+	d := &driver{
+		spec: Spec{MeanBetween: mean}.withDefaults(),
+		rng:  rand.New(rand.NewSource(campaign.DeriveSeed(1, "chaos/poisson", 0))),
+	}
+	const n = 200000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += d.gap()
+	}
+	got := float64(sum) / float64(n) / float64(mean)
+	if math.Abs(got-1) > 0.02 {
+		t.Errorf("sample mean / MeanBetween = %v, want 1 within 2%%", got)
+	}
+}
+
+// TestSeedStreamsDisjoint checks that the arrival seed streams of
+// different processes, cells, and runs are pairwise distinct: no two
+// (base seed, identity, run) triples may collide, or two cells of a
+// campaign would replay the same arrivals.
+func TestSeedStreamsDisjoint(t *testing.T) {
+	seen := make(map[int64]string)
+	for _, base := range []int64{1, 2, 42} {
+		for _, p := range []Process{Poisson, Bursts, RollingOutage, DoubleFault} {
+			for run := 0; run < 50; run++ {
+				// A campaign derives the run seed first, then the chaos
+				// driver derives the process stream from it.
+				runSeed := campaign.DeriveSeed(base, "chaos-campaign/cell-"+p.String(), run)
+				s := campaign.DeriveSeed(runSeed, "chaos/"+p.String(), 0)
+				id := p.String()
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed stream collision: %q and %q both derive %d", prev, id, s)
+				}
+				seen[s] = id
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := inject.CompoundStage{Model: inject.ModelSIGINT, Target: inject.TargetFTM}
+	good := Spec{Process: Poisson, Horizon: time.Hour, MeanBetween: time.Minute}
+	if err := Validate(good, ok); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		spec    Spec
+		primary inject.CompoundStage
+	}{
+		{"no horizon", Spec{Process: Poisson, MeanBetween: time.Minute}, ok},
+		{"no mean", Spec{Process: Poisson, Horizon: time.Hour}, ok},
+		{"mean past horizon", Spec{Process: Poisson, Horizon: time.Minute, MeanBetween: time.Hour}, ok},
+		{"unknown process", Spec{Horizon: time.Hour, MeanBetween: time.Minute}, ok},
+		{"non-firing model", good, inject.CompoundStage{Model: inject.ModelRegister, Target: inject.TargetFTM}},
+		{"no target", good, inject.CompoundStage{Model: inject.ModelSIGINT}},
+		{"net-interval stage", good, inject.CompoundStage{Model: inject.ModelMsgDrop, Target: inject.TargetFTM}},
+		{"double without second", Spec{Process: DoubleFault, Horizon: time.Hour, MeanBetween: time.Minute}, ok},
+		{"second outside double", Spec{Process: Poisson, Horizon: time.Hour, MeanBetween: time.Minute,
+			Second: &inject.CompoundStage{Model: inject.ModelSIGINT, Target: inject.TargetFTM}}, ok},
+	}
+	for _, tc := range cases {
+		if err := Validate(tc.spec, tc.primary); err == nil {
+			t.Errorf("%s: invalid spec accepted", tc.name)
+		}
+	}
+}

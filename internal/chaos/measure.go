@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"reesift/internal/inject"
+	"reesift/internal/stats"
+)
+
+// measure folds the trial's beat record into the chaos statistics. It
+// runs after the kernel has stopped, on the host side.
+//
+// The service is up while beats arrive on schedule; any inter-beat gap
+// in excess of the beat period (plus DownGrace slack) is one down
+// interval — whether the excess was blocked time (the SIFT interface
+// retransmitting into a dead Execution ARMOR) or a failure/repair cycle
+// (service dead until the environment restarted it). The measurement
+// window runs from the first beat (steady state reached) to the
+// horizon, so cluster and application startup are excluded.
+func (d *driver) measure() inject.ChaosStats {
+	st := inject.ChaosStats{
+		Horizon:  d.spec.Horizon,
+		Arrivals: d.arrivals,
+		Events:   d.events,
+	}
+	beats := d.beatTimes()
+	period := d.spec.ServicePeriod
+	grace := d.spec.DownGrace
+	if len(beats) == 0 {
+		// The service never produced a single beat: down for the whole
+		// trial, unrecoverable from the submit time.
+		start := d.r.RunConfig().SubmitAt
+		down := d.spec.Horizon - start
+		st.Downs = 1
+		st.Down = []time.Duration{down}
+		st.Downtime = down
+		st.Availability = 0
+		st.MTTRp50, st.MTTRp95, st.MTTRMax = down, down, down
+		st.Unrecoverable = true
+		st.TimeToUnrecoverable = start
+		return st
+	}
+	var down []time.Duration
+	var downtime time.Duration
+	prev := beats[0]
+	for _, b := range beats[1:] {
+		if excess := b - prev - period; excess > grace {
+			down = append(down, excess)
+			downtime += excess
+		}
+		prev = b
+	}
+	// The tail: silence from the last beat to the horizon. Long enough,
+	// and the trial ends in an unrecoverable state.
+	if tail := d.spec.Horizon - prev - period; tail > grace {
+		down = append(down, tail)
+		downtime += tail
+		if tail >= d.spec.UnrecoverableAfter {
+			st.Unrecoverable = true
+			st.TimeToUnrecoverable = prev + period
+		}
+	}
+	st.Down = down
+	st.Downs = len(down)
+	st.Downtime = downtime
+	if window := d.spec.Horizon - beats[0]; window > 0 {
+		st.Availability = 1 - float64(downtime)/float64(window)
+	}
+	if len(down) > 0 {
+		var s stats.Sample
+		for _, dd := range down {
+			s.AddDuration(dd)
+		}
+		st.MTTRp50 = secs(s.Percentile(50))
+		st.MTTRp95 = secs(s.Percentile(95))
+		st.MTTRMax = secs(s.Max())
+	}
+	return st
+}
+
+// beatTimes extracts the observed application's beat instants from the
+// environment log.
+func (d *driver) beatTimes() []time.Duration {
+	cfg := d.r.RunConfig()
+	if len(cfg.Apps) == 0 {
+		return nil
+	}
+	tag := fmt.Sprintf("app=%d ", cfg.Apps[0].ID)
+	var beats []time.Duration
+	for _, e := range d.r.Env().Log.Entries {
+		if e.Kind == BeatKind && strings.HasPrefix(e.Detail, tag) {
+			beats = append(beats, e.At)
+		}
+	}
+	return beats
+}
+
+// secs converts a stats sample value (seconds) back to a duration.
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second))
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChaosScenarioShape runs the chaos scenario at tinyScale and checks
+// the structural acceptance criteria directly: both tables are present,
+// every cell row reports arrivals and injections, and the SAN
+// cross-check (embedded in Chaos itself) passed — a returned error
+// includes a tolerance-band violation.
+func TestChaosScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenario simulates multiple days; skipped in -short")
+	}
+	res, err := Chaos(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("want 2 tables (availability + cross-check), got %d", len(res.Tables))
+	}
+	main, cross := res.Tables[0], res.Tables[1]
+	if len(main.Rows) != 7 {
+		t.Fatalf("want 7 campaign cells, got %d rows", len(main.Rows))
+	}
+	for _, row := range main.Rows {
+		cell := row[0].Text
+		if row[3].Text == "0" {
+			t.Errorf("cell %s recorded zero arrivals", cell)
+		}
+		if row[4].Text == "0" {
+			t.Errorf("cell %s recorded zero injections", cell)
+		}
+	}
+	if len(cross.Rows) != 2 {
+		t.Fatalf("want 2 cross-check rows, got %d", len(cross.Rows))
+	}
+}

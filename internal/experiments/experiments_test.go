@@ -19,6 +19,8 @@ func tinyScale() Scale {
 		TargetedHeapRuns: 6,
 		AppHeapRuns:      20,
 		MultiAppRuns:     2,
+		ChaosTrials:      2,
+		ChaosHorizon:     24 * time.Hour,
 		// Seed 2: at this tiny scale, seed 1 happens to produce a
 		// text/application cell whose few failures are all hangs, which
 		// trips the segfault-dominance shape check. Any healthy seed

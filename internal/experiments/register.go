@@ -179,4 +179,10 @@ func init() {
 		Aliases: []string{"recovery-tuning"},
 		Run:     RecoverySweep,
 	})
+	reesift.Register(reesift.Scenario{
+		ID:      "chaos",
+		Title:   "Continuous chaos: long-horizon fault arrival processes, availability, and MTTR",
+		Aliases: []string{"chaos-campaign"},
+		Run:     Chaos,
+	})
 }

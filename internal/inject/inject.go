@@ -95,6 +95,13 @@ type Config struct {
 	// updates). A campaign threads its own census here so its tally is
 	// exact even while other campaigns run concurrently in the process.
 	Census []*Census
+	// Arm, when non-nil, replaces the registered injector's Schedule
+	// call: deploy invokes it with the Runner after the environment is
+	// built, and the hook arms whatever insertion process it wants (the
+	// chaos subsystem's continuous arrival processes plug in here). The
+	// Model/Target fields still describe the primary fault the hook
+	// fires, so classification and reporting stay meaningful.
+	Arm func(*Runner)
 }
 
 // CompoundStage is one arm of a compound injection: an error model and
@@ -219,6 +226,65 @@ type Result struct {
 	// the recovery subsystem's fault classes.
 	DaemonReinstalls int
 	FTMMigrations    int
+
+	// Chaos carries the long-horizon availability measurements of a
+	// continuous-arrival (chaos) trial; nil for one-shot runs.
+	Chaos *ChaosStats `json:",omitempty"`
+}
+
+// ArrivalEvent is one fault arrival fired by a continuous chaos process:
+// what was inserted, where, and when on the simulation clock. The chaos
+// driver records them in kernel order, so the slice is deterministic for
+// a seed at any worker count.
+type ArrivalEvent struct {
+	// At is the arrival's virtual time.
+	At time.Duration
+	// Model is the error model fired at this arrival.
+	Model Model
+	// Target is the stage target the model fired against.
+	Target TargetKind
+	// Node names the crashed node for outage-wave arrivals ("" for
+	// process-targeted models).
+	Node string `json:",omitempty"`
+}
+
+// ChaosStats is the measurement product of one long-horizon chaos trial:
+// service availability, the empirical MTTR distribution, and the
+// time-to-first-unrecoverable-state — the sustained-operation view the
+// paper's availability model (internal/san) predicts analytically.
+type ChaosStats struct {
+	// Horizon is the trial's simulated length.
+	Horizon time.Duration
+	// Arrivals counts fault arrivals the process fired (each may insert
+	// one or more errors; see Result.Injected for insertions).
+	Arrivals int
+	// Downs counts distinct down intervals of the observed service.
+	Downs int
+	// Downtime is the total down time across the measurement window.
+	Downtime time.Duration
+	// Availability is 1 - Downtime/window, where the window runs from
+	// the service's first observed beat to the horizon.
+	Availability float64
+	// MTTRp50/MTTRp95/MTTRMax are percentiles of the down-interval
+	// (repair time) empirical distribution; zero when Downs is zero.
+	MTTRp50 time.Duration
+	MTTRp95 time.Duration
+	MTTRMax time.Duration
+	// Unrecoverable reports that the service never came back: its final
+	// down interval exceeded the spec's UnrecoverableAfter threshold and
+	// ran to the horizon.
+	Unrecoverable bool
+	// TimeToUnrecoverable is the virtual time the terminal outage began
+	// (zero when the trial stayed recoverable).
+	TimeToUnrecoverable time.Duration
+	// Events lists the recorded arrivals (capped by the spec's MaxEvents
+	// to bound result size).
+	Events []ArrivalEvent `json:",omitempty"`
+	// Down holds the raw down-interval samples backing the MTTR
+	// percentiles. It is excluded from JSON — long trials accumulate
+	// thousands of samples — but kept in-process so campaign cells can
+	// pool distributions across trials.
+	Down []time.Duration `json:"-"`
 }
 
 // AppMeasure is one application's outcome within a run.
@@ -229,11 +295,10 @@ type AppMeasure struct {
 	Actual    time.Duration
 }
 
-// Run executes one injection run and classifies it: the Runner builds the
-// cluster and SIFT environment from the seed, the Model's registered
-// injector inserts the errors, and the Runner extracts the paper's
-// classification from the environment log.
-func Run(cfg Config) Result {
+// withDefaults fills the unset Config fields with the framework
+// defaults. NewRunner applies it, so a Config means the same thing on
+// every entry path (Run, or an external driver such as internal/chaos).
+func (cfg Config) withDefaults() Config {
 	if cfg.SubmitAt <= 0 {
 		cfg.SubmitAt = 5 * time.Second
 	}
@@ -262,11 +327,19 @@ func Run(cfg Config) Result {
 		def := CompoundDefault()
 		cfg.Compound = &def
 	}
-	r := newRunner(cfg)
+	return cfg
+}
+
+// Run executes one injection run and classifies it: the Runner builds the
+// cluster and SIFT environment from the seed, the Model's registered
+// injector inserts the errors, and the Runner extracts the paper's
+// classification from the environment log.
+func Run(cfg Config) Result {
+	r := NewRunner(cfg)
 	defer r.k.Shutdown()
 	handles := r.deploy()
-	r.k.Run(cfg.Timeout)
+	r.k.Run(r.cfg.Timeout)
 	r.finish(handles)
-	record(&cfg, r.res)
+	record(&r.cfg, r.res)
 	return *r.res
 }

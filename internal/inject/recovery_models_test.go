@@ -73,7 +73,7 @@ func TestPartitionDrivesNodeDeclaredFailed(t *testing.T) {
 			Timeout:     400 * time.Second,
 			NetFaultFor: 30 * time.Second,
 		}
-		r := newRunner(cfg)
+		r := NewRunner(cfg)
 		handles := r.deploy()
 		r.k.Run(cfg.Timeout)
 		r.finish(handles)

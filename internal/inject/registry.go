@@ -97,6 +97,15 @@ func Registered(m Model) bool {
 	return ok
 }
 
+// CanFire reports whether m's registered injector supports fixed-time
+// insertion (implements Firer) — the contract both the compound
+// coordinator and the chaos arrival processes compose on. Validators use
+// it to reject non-composable stage models eagerly.
+func CanFire(m Model) bool {
+	_, ok := newInjector(m).(Firer)
+	return ok
+}
+
 // Models returns every registered model in ascending order (ModelNone
 // first). Façade consumers use it to enumerate the available error
 // models without hard-coding the set.

@@ -34,6 +34,18 @@ type Runner struct {
 	// coordinator arms one of its stages; nil means the Config's target
 	// governs.
 	override *targetRef
+
+	// stages caches one injector instance per distinct stage fired
+	// through FireStage, in first-use order, so interval models keep
+	// their state across repeated arrivals and their Finishers run
+	// exactly once.
+	stages []*firedStage
+}
+
+// firedStage is one cached FireStage injector.
+type firedStage struct {
+	stage CompoundStage
+	inj   Firer
 }
 
 // targetRef is a resolved injection subject: the stable binding a
@@ -62,9 +74,14 @@ func (r *Runner) withTarget(t targetRef, fn func()) {
 	r.override = old
 }
 
-// newRunner builds the kernel, environment configuration, and injector
-// for one run.
-func newRunner(cfg Config) *Runner {
+// NewRunner builds the kernel, environment configuration, and injector
+// for one run, with the framework defaults applied. Run drives the whole
+// lifecycle itself; external drivers (internal/chaos) use the exported
+// lifecycle — NewRunner, Deploy, Kernel().Run, Finish, Record — to
+// interleave their own measurement between the phases. The caller owns
+// the kernel shutdown (defer r.Kernel().Shutdown()).
+func NewRunner(cfg Config) *Runner {
+	cfg = cfg.withDefaults()
 	res := &Result{Seed: cfg.Seed, Model: cfg.Model, Target: cfg.Target}
 	k := sim.NewKernel(sim.DefaultConfig(cfg.Seed))
 	var envCfg sift.EnvConfig
@@ -106,10 +123,84 @@ func (r *Runner) deploy() []*sift.AppHandle {
 			r.k.Stop()
 		}
 	}
-	if r.inj != nil && r.cfg.Target != TargetNone {
+	switch {
+	case r.cfg.Arm != nil:
+		r.cfg.Arm(r)
+	case r.inj != nil && r.cfg.Target != TargetNone:
 		r.inj.Schedule(r)
 	}
 	return handles
+}
+
+// Deploy installs the SIFT environment, submits the applications, and
+// arms the injector (or the Config's Arm hook). External drivers call it
+// once, before Kernel().Run.
+func (r *Runner) Deploy() []*sift.AppHandle { return r.deploy() }
+
+// Finish extracts the run classification from the environment log.
+// External drivers call it once, after Kernel().Run returns, and may
+// adjust the Result before Record.
+func (r *Runner) Finish(handles []*sift.AppHandle) { r.finish(handles) }
+
+// Record folds the run's Result into the process-wide census and every
+// campaign census listed in the Config. Run does this implicitly;
+// external drivers call it last, after any Result adjustments, so the
+// tallies see the final classification.
+func (r *Runner) Record() { record(&r.cfg, r.res) }
+
+// Kernel exposes the run's simulation kernel (external drivers schedule
+// arrivals on it and own its shutdown).
+func (r *Runner) Kernel() *sim.Kernel { return r.k }
+
+// Env exposes the run's SIFT environment (external drivers read its
+// event log for measurement).
+func (r *Runner) Env() *sift.Environment { return r.env }
+
+// Result exposes the run's mutable result for external drivers; it is
+// fully populated only after Finish.
+func (r *Runner) Result() *Result { return r.res }
+
+// RunConfig returns the run's effective configuration (defaults
+// applied).
+func (r *Runner) RunConfig() Config { return r.cfg }
+
+// NoteInjections records n error insertions at virtual time at on
+// behalf of an external driver whose faults bypass the injector registry
+// (the chaos outage waves crash nodes directly).
+func (r *Runner) NoteInjections(at time.Duration, n int) {
+	r.recordInjections(at, n)
+	if n > 0 {
+		r.res.Activated = true
+	}
+}
+
+// FireStage fires one registered error model against a stage target at
+// virtual time at — the continuous-arrival analogue of the compound
+// coordinator's arming. It must be called in kernel context. Injector
+// instances are cached per distinct stage, so stateful (interval) models
+// accumulate across arrivals and their Finishers run once, during
+// Finish. It reports false when the stage model is not composable (does
+// not implement Firer).
+func (r *Runner) FireStage(stage CompoundStage, at time.Duration) bool {
+	var cached *firedStage
+	for _, s := range r.stages {
+		if s.stage == stage {
+			cached = s
+			break
+		}
+	}
+	if cached == nil {
+		f, ok := newInjector(stage.Model).(Firer)
+		if !ok {
+			return false
+		}
+		cached = &firedStage{stage: stage, inj: f}
+		r.stages = append(r.stages, cached)
+	}
+	r.withTarget(targetRef{kind: stage.Target, rank: stage.Rank}, func() {
+		cached.inj.Fire(r, at)
+	})
+	return true
 }
 
 // drawAt draws the injection time uniformly from [start, start+window)
@@ -236,6 +327,11 @@ func (r *Runner) recordInjections(at time.Duration, n int) {
 func (r *Runner) finish(handles []*sift.AppHandle) {
 	if fin, ok := r.inj.(Finisher); ok {
 		fin.Finish(r)
+	}
+	for _, s := range r.stages { // FireStage-armed models, first-use order
+		if fin, ok := s.inj.(Finisher); ok {
+			fin.Finish(r)
+		}
 	}
 	res := r.res
 	env := r.env

@@ -1,0 +1,72 @@
+package san
+
+import "time"
+
+// Prediction is the machine-readable product of a Figure 9 study: the
+// parameters the network was solved under and the predicted points. It
+// is the single source both cmd/sanmodel's -format json output and the
+// chaos scenario's analytic cross-check read, so neither duplicates the
+// model's constants.
+type Prediction struct {
+	// Params echoes the solved network's parameters, in seconds.
+	Params PredictionParams `json:"params"`
+	// HorizonSeconds is the simulated time per point.
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	// Seed is the base seed (point i solves with Seed+i).
+	Seed int64 `json:"seed"`
+	// Points are the predicted rows, one per requested SIFT MTTF.
+	Points []PredictedPoint `json:"points"`
+}
+
+// PredictionParams is Figure9Params with the swept SIFTMTTF removed and
+// durations flattened to seconds for serialization.
+type PredictionParams struct {
+	SIFTRecoverySeconds     float64 `json:"sift_recovery_seconds"`
+	InterfacePeriodSeconds  float64 `json:"interface_period_seconds"`
+	InterfaceServiceSeconds float64 `json:"interface_service_seconds"`
+	AppTimeoutSeconds       float64 `json:"app_timeout_seconds"`
+	AppRecoverySeconds      float64 `json:"app_recovery_seconds"`
+}
+
+// PredictedPoint is one predicted row of the study.
+type PredictedPoint struct {
+	SIFTMTTFSeconds          float64 `json:"sift_mttf_seconds"`
+	CorrelatedPerSIFTFailure float64 `json:"correlated_per_sift_failure"`
+	AppUnavailability        float64 `json:"app_unavailability"`
+}
+
+// DefaultMTTFs is the Figure 9 sweep of cmd/sanmodel: a day down to ten
+// seconds of SIFT MTTF.
+func DefaultMTTFs() []time.Duration {
+	return []time.Duration{
+		24 * time.Hour, 4 * time.Hour, time.Hour,
+		10 * time.Minute, time.Minute, 10 * time.Second,
+	}
+}
+
+// Predict runs the Figure 9 study and wraps it into a Prediction.
+func Predict(base Figure9Params, mttfs []time.Duration, horizon float64, seed int64) (*Prediction, error) {
+	pts, err := Figure9Study(base, mttfs, horizon, seed)
+	if err != nil {
+		return nil, err
+	}
+	pred := &Prediction{
+		Params: PredictionParams{
+			SIFTRecoverySeconds:     base.SIFTRecovery.Seconds(),
+			InterfacePeriodSeconds:  base.InterfacePeriod.Seconds(),
+			InterfaceServiceSeconds: base.InterfaceService.Seconds(),
+			AppTimeoutSeconds:       base.AppTimeout.Seconds(),
+			AppRecoverySeconds:      base.AppRecovery.Seconds(),
+		},
+		HorizonSeconds: horizon,
+		Seed:           seed,
+	}
+	for _, pt := range pts {
+		pred.Points = append(pred.Points, PredictedPoint{
+			SIFTMTTFSeconds:          pt.SIFTMTTF.Seconds(),
+			CorrelatedPerSIFTFailure: pt.CorrelatedPerSIFTFailure,
+			AppUnavailability:        pt.AppUnavailability,
+		})
+	}
+	return pred, nil
+}

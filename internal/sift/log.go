@@ -104,6 +104,15 @@ func (l *EventLog) AppRecoveryDone(at time.Duration, app AppID) {
 	l.AppRecoveries = append(l.AppRecoveries, AppRecovery{App: app, DetectedAt: d.At, RestartedAt: at})
 }
 
+// RecoveryInFlight reports whether any failure detection — ARMOR or
+// application — has an open (not yet completed) recovery window. The
+// chaos double-fault process conditions its second stage on this: the
+// paper's crash-during-recovery scenario only exists while a recovery is
+// actually in flight.
+func (l *EventLog) RecoveryInFlight() bool {
+	return len(l.pending) > 0 || len(l.pendingApp) > 0
+}
+
 // RecoveryDone closes a pending recovery window for an ARMOR.
 func (l *EventLog) RecoveryDone(at time.Duration, id core.AID) {
 	d, open := l.pending[id]

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTracefCallSitesGuarded walks the whole module and requires every
+// Tracef call site to sit behind a Tracing() guard. Tracef's arguments
+// are evaluated before the nil-trace check inside it, so an unguarded
+// call pays formatting cost (and any fmt.Sprintf allocations in the
+// arguments) on every event even when tracing is off — in long-horizon
+// chaos campaigns that is millions of calls. The guard must appear on
+// the call's own line or within the few lines above it:
+//
+//	if k.Tracing() {
+//		k.Tracef(...)
+//	}
+func TestTracefCallSitesGuarded(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unguarded []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// window holds the current line plus the three above it — wide
+		// enough for the guard idiom, narrow enough that a guard from an
+		// unrelated block cannot vouch for a distant call.
+		var window [4]string
+		lineNo := 0
+		scanner := bufio.NewScanner(f)
+		for scanner.Scan() {
+			lineNo++
+			copy(window[:], window[1:])
+			window[len(window)-1] = scanner.Text()
+			line := window[len(window)-1]
+			if !strings.Contains(line, ".Tracef(") || strings.Contains(line, "func (") {
+				continue
+			}
+			guarded := false
+			for _, w := range window {
+				if strings.Contains(w, "Tracing()") {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				rel, _ := filepath.Rel(root, path)
+				unguarded = append(unguarded, fmt.Sprintf("%s:%d", rel, lineNo))
+			}
+		}
+		return scanner.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unguarded) > 0 {
+		t.Errorf("Tracef call sites without a Tracing() guard:\n  %s", strings.Join(unguarded, "\n  "))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	engine "reesift/internal/campaign"
+	"reesift/internal/chaos"
 	"reesift/internal/inject"
 )
 
@@ -225,7 +226,12 @@ func (c Campaign) runCell(cell CampaignCell, identity string, base inject.Config
 		// backfill), which must never race across runs.
 		cfg.Apps = cloneApps(cfg.Apps)
 		d.started(run, seed)
-		r := inject.Run(cfg)
+		var r InjectionResult
+		if cell.Injection.Arrival != nil {
+			r = chaos.Trial(cfg, *cell.Injection.Arrival)
+		} else {
+			r = inject.Run(cfg)
+		}
 		if finish != nil {
 			finish(run, seed, r)
 		}

@@ -1,0 +1,67 @@
+package reesift
+
+import (
+	"time"
+
+	"reesift/internal/chaos"
+	"reesift/internal/inject"
+)
+
+// Arrival describes a continuous fault arrival process for long-horizon
+// (simulated hours to days) chaos trials. Setting Injection.Arrival
+// turns the one-shot injection into a background process: the
+// Injection's Model/Target/Rank become the primary stage the process
+// keeps firing until the Horizon, and the run's result carries
+// ChaosStats — availability, the empirical MTTR distribution
+// (p50/p95/max), and the time to the first unrecoverable state.
+//
+// Process, Horizon, and MeanBetween are required; everything else
+// defaults sensibly (see the chaos package constants). Validation is
+// eager: a bad arrival spec fails Injection.Run and Campaign.Run before
+// any simulation work.
+type Arrival = chaos.Spec
+
+// ArrivalProcess selects the arrival shape of a chaos trial.
+type ArrivalProcess = chaos.Process
+
+// Arrival processes: memoryless Poisson arrivals, closely spaced burst
+// trains, rolling multi-node outage waves faster than the restart
+// window, and crash-during-recovery double faults whose second stage
+// fires only while a recovery is in flight.
+const (
+	ArrivalPoisson       = chaos.Poisson
+	ArrivalBursts        = chaos.Bursts
+	ArrivalRollingOutage = chaos.RollingOutage
+	ArrivalDoubleFault   = chaos.DoubleFault
+)
+
+// ArrivalEvent is one recorded fault arrival of a chaos trial; the
+// ChaosStats.Events slice and Observer.OnArrival stream them.
+type ArrivalEvent = inject.ArrivalEvent
+
+// ChaosStats is the sustained-operation measurement of one chaos trial,
+// carried on InjectionResult.Chaos.
+type ChaosStats = inject.ChaosStats
+
+// ChaosServiceApp builds the chaos relay service: a single-rank
+// application that never completes, beating once per period through the
+// SIFT progress-indicator interface. Chaos trials install it
+// automatically when Injection.Apps is empty; build one explicitly to
+// control its id, placement, or period. A zero period selects the
+// default (5 s).
+func ChaosServiceApp(id AppID, node string, period time.Duration) *AppSpec {
+	return chaos.ServiceApp(id, node, period)
+}
+
+// serviceNode picks the relay service's default placement: the first
+// cluster node hosting neither the FTM nor the Heartbeat ARMOR, so
+// process-targeted arrivals against those ARMORs never collocate with
+// the service by accident. A tiny cluster falls back to the last node.
+func serviceNode(nodes []string, ftm, hb string) string {
+	for _, n := range nodes {
+		if n != ftm && n != hb {
+			return n
+		}
+	}
+	return nodes[len(nodes)-1]
+}

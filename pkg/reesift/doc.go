@@ -4,7 +4,7 @@
 // supported way to drive the system; everything underneath lives in
 // internal packages.
 //
-// The package has four pillars:
+// The package has five pillars:
 //
 //   - A functional-options cluster builder. NewCluster assembles a
 //     deterministic simulated REE cluster, installs the SIFT environment
@@ -42,6 +42,20 @@
 //     primitives; the registered "recovery-sweep" scenario is the
 //     worked example (a NodeRestartAfter x heartbeat-period sweep
 //     against node-crash recovery time).
+//
+//   - A continuous-chaos layer. Setting Arrival on an Injection (or a
+//     campaign cell) replaces the one-fault-per-run shape with a
+//     long-horizon trial: a relay service beats through the
+//     progress-indicator interface while a fault arrival process —
+//     ArrivalPoisson, ArrivalBursts, ArrivalRollingOutage, or
+//     ArrivalDoubleFault — fires the cell's error model on its own
+//     deterministic, seed-stream-derived clock, over simulated hours or
+//     days. The trial's beat record reduces to Result.Chaos:
+//     availability, the empirical MTTR distribution (p50/p95/max), and
+//     the time to the first unrecoverable state. Observer.OnArrival
+//     replays each trial's arrival events in order, and the registered
+//     "chaos" scenario cross-checks measured low-rate unavailability
+//     against the Figure 9 SAN model's prediction.
 //
 // Single fault-injection runs are available through the Injection type,
 // which accepts the same cluster options for the run's environment.

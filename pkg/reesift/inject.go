@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"reesift/internal/chaos"
 	"reesift/internal/inject"
 	"reesift/internal/sim"
 )
@@ -129,6 +130,12 @@ type Injection struct {
 	// census and ignore this field). The process-wide census is always
 	// updated regardless.
 	Census *Census
+	// Arrival, when non-nil, turns the run into a long-horizon chaos
+	// trial: the Model/Target/Rank become the primary stage of a
+	// continuous arrival process, the run lasts Arrival.Horizon (Timeout
+	// is ignored), and the result carries ChaosStats. With no Apps, the
+	// chaos relay service is installed automatically.
+	Arrival *Arrival
 }
 
 // Run executes the injection run. Option validation errors surface here,
@@ -137,6 +144,9 @@ func (i Injection) Run() (InjectionResult, error) {
 	cfg, err := i.config()
 	if err != nil {
 		return InjectionResult{}, err
+	}
+	if i.Arrival != nil {
+		return chaos.Trial(cfg, *i.Arrival), nil
 	}
 	return inject.Run(cfg), nil
 }
@@ -208,6 +218,23 @@ func (i Injection) config() (inject.Config, error) {
 		cfg.Env = &env
 		nodes = env.Nodes
 	}
+	// Chaos trials: install the relay service when no application is
+	// given, and validate the arrival spec against the primary stage —
+	// eagerly, because the arrival processes run inside kernel callbacks
+	// with no error path.
+	if i.Arrival != nil {
+		if len(cfg.Apps) == 0 {
+			ftm, hb := nodes[0], nodes[1%len(nodes)]
+			if cfg.Env != nil {
+				ftm, hb = cfg.Env.FTMNode, cfg.Env.HeartbeatNode
+			}
+			cfg.Apps = []*AppSpec{chaos.ServiceApp(1, serviceNode(nodes, ftm, hb), i.Arrival.ServicePeriod)}
+		}
+		primary := inject.CompoundStage{Model: i.Model, Target: i.Target, Rank: i.Rank}
+		if err := chaos.Validate(*i.Arrival, primary); err != nil {
+			return inject.Config{}, fmt.Errorf("reesift: Injection: %w", err)
+		}
+	}
 	// Eager validation: every application must be placed on cluster
 	// nodes, or its ranks silently never launch and the run is
 	// misclassified as a system failure.
@@ -219,7 +246,7 @@ func (i Injection) config() (inject.Config, error) {
 		}
 		return false
 	}
-	for _, app := range i.Apps {
+	for _, app := range cfg.Apps {
 		if app == nil {
 			return inject.Config{}, fmt.Errorf("reesift: Injection: nil AppSpec")
 		}

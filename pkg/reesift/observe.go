@@ -41,11 +41,17 @@ type Observer struct {
 	OnStart func(RunRef)
 	// OnResult fires with a run's classified outcome.
 	OnResult func(RunRef, InjectionResult)
+	// OnArrival fires once per recorded fault arrival of a chaos trial
+	// (a run whose Injection set Arrival), in arrival order, after the
+	// trial finished and immediately before its OnResult — a replay of
+	// the trial's arrival log, not a live stream, so ordering guarantees
+	// survive any worker count. One-shot runs never fire it.
+	OnArrival func(RunRef, ArrivalEvent)
 }
 
 // observes reports whether the observer has any callback installed.
 func (o *Observer) observes() bool {
-	return o != nil && (o.OnStart != nil || o.OnResult != nil)
+	return o != nil && (o.OnStart != nil || o.OnResult != nil || o.OnArrival != nil)
 }
 
 // delivery serializes one cell's observer callbacks into seed order.
@@ -111,12 +117,23 @@ func (d *delivery) finished(run int, seed int64, res InjectionResult) {
 			break
 		}
 		delete(d.pending, d.nextDone)
-		if d.obs.OnResult != nil {
-			d.obs.OnResult(RunRef{Cell: d.cell, Run: d.nextDone, Seed: p.seed}, p.res)
-		}
+		d.emit(RunRef{Cell: d.cell, Run: d.nextDone, Seed: p.seed}, p.res)
 		d.nextDone++
 	}
 	d.mu.Unlock()
+}
+
+// emit replays a finished run's arrival log (chaos trials) and then its
+// result. Callers hold d.mu.
+func (d *delivery) emit(ref RunRef, res InjectionResult) {
+	if d.obs.OnArrival != nil && res.Chaos != nil {
+		for _, ev := range res.Chaos.Events {
+			d.obs.OnArrival(ref, ev)
+		}
+	}
+	if d.obs.OnResult != nil {
+		d.obs.OnResult(ref, res)
+	}
 }
 
 // deliver emits OnResult directly, in the caller's (already sequential)
@@ -127,8 +144,6 @@ func (d *delivery) deliver(run int, seed int64, res InjectionResult) {
 		return
 	}
 	d.mu.Lock()
-	if d.obs.OnResult != nil {
-		d.obs.OnResult(RunRef{Cell: d.cell, Run: run, Seed: seed}, res)
-	}
+	d.emit(RunRef{Cell: d.cell, Run: run, Seed: seed}, res)
 	d.mu.Unlock()
 }

@@ -1,5 +1,7 @@
 package reesift
 
+import "time"
+
 // Scale sets campaign sizes for scenario runs. The paper's counts are in
 // PaperScale; SmallScale keeps tests and benchmarks fast while
 // exercising identical code.
@@ -19,6 +21,12 @@ type Scale struct {
 	AppHeapRuns int
 	// MultiAppRuns is per target/model cell in Tables 11-12.
 	MultiAppRuns int
+	// ChaosTrials is the number of long-horizon trials per chaos cell.
+	ChaosTrials int
+	// ChaosHorizon is the simulated length of each Poisson chaos trial
+	// (the other arrival processes run a third of it); at least one
+	// simulated day keeps the availability estimates meaningful.
+	ChaosHorizon time.Duration
 	// Seed offsets all campaigns.
 	Seed int64
 	// Workers sets the campaign engine's worker-pool size; zero or
@@ -53,6 +61,8 @@ func SmallScale() Scale {
 		TargetedHeapRuns: 10,
 		AppHeapRuns:      60,
 		MultiAppRuns:     4,
+		ChaosTrials:      2,
+		ChaosHorizon:     24 * time.Hour,
 		Seed:             1,
 	}
 }
@@ -68,6 +78,8 @@ func PaperScale() Scale {
 		TargetedHeapRuns: 100,
 		AppHeapRuns:      1000,
 		MultiAppRuns:     25,
+		ChaosTrials:      8,
+		ChaosHorizon:     48 * time.Hour,
 		Seed:             1,
 	}
 }
