@@ -320,3 +320,22 @@ func BenchmarkChaosSimDay(b *testing.B) {
 	}
 	b.ReportMetric(time.Since(start).Seconds()/float64(b.N), "s/sim-day")
 }
+
+// BenchmarkSplitBrain runs the split-brain reconciliation campaign —
+// partition-then-heal against the Heartbeat ARMOR's node under
+// incarnation epochs, plus the no-epochs ablation — and reports
+// wall-clock seconds per campaign. The ablation cells run to their
+// system-failure deadline, so this metric bounds what partition-heavy
+// campaigns cost; gated against the previous run's BENCH.json by
+// cmd/benchgate in CI.
+func BenchmarkSplitBrain(b *testing.B) {
+	start := time.Now()
+	report(b, "split-brain", func() (string, error) {
+		t, _, err := experiments.TableSplitBrain(scale())
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+	b.ReportMetric(time.Since(start).Seconds()/float64(b.N), "s/split-brain")
+}

@@ -1,13 +1,14 @@
 // Command benchgate compares two BENCH.json artifacts — the `go test
 // -json -bench` event streams CI uploads — and fails when a tracked
 // custom metric regressed beyond a tolerance. It is the CI gate that
-// keeps the recovery path (s/recovery) and the chaos subsystem's
-// simulation throughput (s/sim-day) from silently getting slower.
+// keeps the recovery path (s/recovery), the chaos subsystem's simulation
+// throughput (s/sim-day), and the split-brain reconciliation campaign
+// (s/split-brain) from silently getting slower.
 //
 // Usage:
 //
 //	benchgate -old prev/BENCH.json -new BENCH.json \
-//	          [-metrics s/recovery,s/sim-day] [-max-regress 0.20]
+//	          [-metrics s/recovery,s/sim-day,s/split-brain] [-max-regress 0.20]
 //
 // Both artifacts are parsed for benchmark result lines; for every
 // tracked metric present in both, the gate fails (exit 1) if
@@ -35,7 +36,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	oldPath := fs.String("old", "", "previous BENCH.json (missing file skips the gate)")
 	newPath := fs.String("new", "", "fresh BENCH.json to gate")
-	metrics := fs.String("metrics", "s/recovery,s/sim-day", "comma-separated units to track")
+	metrics := fs.String("metrics", "s/recovery,s/sim-day,s/split-brain", "comma-separated units to track")
 	maxRegress := fs.Float64("max-regress", 0.20, "allowed fractional slowdown before failing")
 	if err := fs.Parse(args); err != nil {
 		return 2

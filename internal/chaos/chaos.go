@@ -229,9 +229,15 @@ func validStage(stage inject.CompoundStage, role string) error {
 	return nil
 }
 
-// netInterval mirrors inject's single-fault-slot constraint.
+// netInterval mirrors inject's single-fault-slot constraint for the
+// probabilistic message-fault models, whose repeated arrivals would
+// overlap in the kernel's single fault slot and double-count their
+// insertions. The partition models are deliberately NOT rejected: their
+// heal is generation-guarded, so a repeated partition/heal cycle simply
+// replaces any still-active interval — exactly the fault process a
+// flapping switch port produces.
 func netInterval(m inject.Model) bool {
-	return m == inject.ModelMsgDrop || m == inject.ModelMsgCorrupt || m == inject.ModelPartition
+	return m == inject.ModelMsgDrop || m == inject.ModelMsgCorrupt
 }
 
 // driver runs one trial's arrival process and measurement. It lives on

@@ -204,3 +204,47 @@ func TestValidate(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionArrivalsFlap: the partition models are valid arrival
+// stages (their heal is generation-guarded, so repeated partition/heal
+// cycles replace any still-active interval — a flapping switch port).
+// A Poisson train of one-sided partitions against the Heartbeat ARMOR's
+// isolated node must keep firing and keep being survived: every split
+// brain the flapping produces is reconciled by the epoch machinery.
+func TestPartitionArrivalsFlap(t *testing.T) {
+	env := sift.DefaultEnvConfig()
+	env.HeartbeatNode = "node-b2"
+	env.FTMHeartbeatPeriod = 5 * time.Second
+	env.HeartbeatArmorPeriod = 20 * time.Second
+	env.SharedCheckpoints = true
+	cfg := inject.Config{
+		Seed:        5,
+		Model:       inject.ModelPartition,
+		Target:      inject.TargetHeartbeat,
+		Apps:        []*sift.AppSpec{ServiceApp(1, "node-a1", DefaultServicePeriod)},
+		NetFaultFor: 15 * time.Second,
+		Env:         &env,
+	}
+	spec := Spec{
+		Process:     Poisson,
+		Horizon:     4 * time.Hour,
+		MeanBetween: 20 * time.Minute,
+	}
+	primary := inject.CompoundStage{Model: cfg.Model, Target: cfg.Target}
+	if err := Validate(spec, primary); err != nil {
+		t.Fatalf("partition arrival stage rejected: %v", err)
+	}
+	res := Trial(cfg, spec)
+	if res.Chaos == nil || res.Chaos.Arrivals < 2 {
+		t.Fatalf("partition process barely fired: %+v", res.Chaos)
+	}
+	if res.Injected == 0 {
+		t.Error("partitions armed but no message was ever dropped")
+	}
+	if res.Chaos.Unrecoverable || res.SystemFailure {
+		t.Errorf("flapping partitions became unrecoverable (epochs should reconcile each heal): %+v", res.Chaos)
+	}
+	if res.StandDowns == 0 {
+		t.Error("repeated partition/heal cycles never stood a stale recoverer down")
+	}
+}

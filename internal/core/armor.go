@@ -71,6 +71,19 @@ type Config struct {
 	// RetryInterval is the reliable-channel retransmission period
 	// (default 2 s).
 	RetryInterval time.Duration
+	// Epoch is this ARMOR's incarnation epoch, stamped on every outgoing
+	// envelope. The FTM bumps the epoch each time it declares the ARMOR
+	// failed and reinstalls it, so two live incarnations of one AID —
+	// the split-brain aftermath of a healed one-sided partition — are
+	// distinguishable, and the lower one can be told to stand down.
+	// Zero disables stamping (legacy senders, epoch ablations).
+	Epoch uint64
+	// OnStaleSender, if non-nil, observes envelopes rejected because the
+	// sender's epoch is lower than the highest this runtime has seen for
+	// that AID. The envelope has already been dropped; the hook lets the
+	// daemon and FTM trigger reconciliation (location re-broadcast) so
+	// the stale incarnation learns it was superseded.
+	OnStaleSender func(ctx *Ctx, env Envelope)
 	// DisableChecks turns off all element assertions (ablation only).
 	DisableChecks bool
 	// SelfCheckCoverage is the probability that the runtime's
@@ -98,6 +111,12 @@ type Armor struct {
 
 	unacked map[ackKey]Envelope
 	retries map[ackKey]int
+
+	// peerEpoch records the highest incarnation epoch seen per sender.
+	// Deliberately soft state (not checkpointed): after a restore the
+	// runtime re-learns epochs from traffic, and the protocol layers
+	// (FTM armor records, daemon install filters) hold the durable copy.
+	peerEpoch map[AID]uint64
 
 	// Restored reports whether the last startup loaded checkpoint state.
 	Restored bool
@@ -127,11 +146,12 @@ func New(cfg Config) *Armor {
 		cfg.RetryInterval = 2 * time.Second
 	}
 	a := &Armor{
-		cfg:     cfg,
-		comm:    newCommState(),
-		subs:    make(map[EventKind][]Element),
-		unacked: make(map[ackKey]Envelope),
-		retries: make(map[ackKey]int),
+		cfg:       cfg,
+		comm:      newCommState(),
+		subs:      make(map[EventKind][]Element),
+		unacked:   make(map[ackKey]Envelope),
+		retries:   make(map[ackKey]int),
+		peerEpoch: make(map[AID]uint64),
 	}
 	for _, el := range cfg.Elements {
 		for _, kind := range el.Subscriptions() {
@@ -164,6 +184,23 @@ func (a *Armor) Element(name string) Element {
 // Mem returns the simulated memory image attached for register/text
 // injection (nil when this ARMOR is not a target).
 func (a *Armor) Mem() *memsim.Memory { return a.cfg.Mem }
+
+// Epoch returns this ARMOR's incarnation epoch.
+func (a *Armor) Epoch() uint64 { return a.cfg.Epoch }
+
+// NotePeerEpoch records an epoch learned out of band (an install spec or a
+// location broadcast) so the stale-sender gate applies before the peer's
+// first direct envelope arrives. Lower values than already known are
+// ignored.
+func (a *Armor) NotePeerEpoch(id AID, epoch uint64) {
+	if epoch > a.peerEpoch[id] {
+		a.peerEpoch[id] = epoch
+	}
+}
+
+// PeerEpoch returns the highest incarnation epoch seen for a peer (zero if
+// unknown).
+func (a *Armor) PeerEpoch(id AID) uint64 { return a.peerEpoch[id] }
 
 // Deaf reports whether a receive-omission error has silenced the inbound
 // path.
@@ -404,6 +441,18 @@ func (a *Armor) handleEnvelope(p *sim.Proc, env Envelope) {
 		}
 		return
 	}
+	if env.SrcEpoch > 0 {
+		if env.SrcEpoch < a.peerEpoch[env.Src] {
+			// A superseded incarnation is still talking — the healed
+			// half of a split brain. Drop the envelope and let the
+			// hook trigger reconciliation.
+			if a.cfg.OnStaleSender != nil {
+				a.cfg.OnStaleSender(&Ctx{Armor: a, Proc: p, From: env.Src}, env)
+			}
+			return
+		}
+		a.peerEpoch[env.Src] = env.SrcEpoch
+	}
 	if env.Ack {
 		key := ackKey{dst: env.Src, seq: env.AckSeq}
 		delete(a.unacked, key)
@@ -545,8 +594,13 @@ func (a *Armor) transmitCommitted(p *sim.Proc, env Envelope) {
 }
 
 // transmit hands the envelope to the lower layer without touching
-// checkpoints (unreliable sends and retransmissions).
+// checkpoints (unreliable sends and retransmissions). Every envelope this
+// incarnation originates is stamped with its epoch here — the single
+// funnel below sendReliable, sendAck, and the liveness replies.
 func (a *Armor) transmit(p *sim.Proc, env Envelope) {
+	if env.SrcEpoch == 0 && env.Src == a.cfg.ID {
+		env.SrcEpoch = a.cfg.Epoch
+	}
 	if a.corruptNext && !env.Ack {
 		env.Corrupt = true
 		a.corruptNext = false

@@ -57,6 +57,14 @@ type Event struct {
 type Envelope struct {
 	Src AID
 	Dst AID
+	// SrcEpoch is the sender's incarnation epoch. Each time the FTM
+	// declares an ARMOR failed and reinstalls it, the new incarnation
+	// carries a higher epoch; receivers reject envelopes from a lower
+	// epoch than the highest they have seen for that AID, which is what
+	// lets a healed partition's stale ARMORs be told to stand down
+	// instead of fighting their replacements. Zero means the sender
+	// predates epoching (or epochs are disabled) and is always accepted.
+	SrcEpoch uint64
 	// Seq orders envelopes per (Src, Dst) pair for the reliable channel.
 	Seq uint64
 	// Ack marks an acknowledgment for AckSeq; Events is empty.

@@ -78,6 +78,12 @@ type agg struct {
 	daemonReinstalls int
 	ftmMigrations    int
 	completed        int
+	// Epoch-reconciliation observables: evicted superseded incarnations,
+	// stale-epoch rejections, and runs whose stood-down incarnation was
+	// a recoverer (FTM / Heartbeat ARMOR) — a reconciled split brain.
+	standDowns       int
+	supersededEpochs int
+	staleRecoverers  int
 }
 
 func (a *agg) add(r inject.Result) {
@@ -124,6 +130,11 @@ func (a *agg) add(r inject.Result) {
 	}
 	a.daemonReinstalls += r.DaemonReinstalls
 	a.ftmMigrations += r.FTMMigrations
+	a.standDowns += r.StandDowns
+	a.supersededEpochs += r.SupersededEpochs
+	if r.StaleRecovererStoodDown {
+		a.staleRecoverers++
+	}
 }
 
 // runCampaign executes a public reesift.Campaign wired to the scale —

@@ -44,8 +44,8 @@ var extCells = []extCell{
 	{model: inject.ModelNodeCrash, target: inject.TargetFTM, shared: true},
 	{model: inject.ModelNodeCrash, target: inject.TargetHeartbeat, shared: true},
 	{model: inject.ModelSharedDisk, target: inject.TargetApp, verdict: true},
-	{model: inject.ModelPartition, target: inject.TargetApp, rank: 1, shared: true},
-	{model: inject.ModelPartition, target: inject.TargetHeartbeat, shared: true},
+	{model: inject.ModelPartition, target: inject.TargetApp, rank: 1, shared: true, verdict: true},
+	{model: inject.ModelPartition, target: inject.TargetHeartbeat, shared: true, verdict: true},
 }
 
 // TableExtensionData carries the per-cell aggregates.
@@ -115,8 +115,9 @@ func TableExtension(sc Scale) (*Table, *TableExtensionData, error) {
 		"msg-drop omissions are largely masked by the reliable channels' retransmission; msg-corrupt fail-silence violations propagate to whoever parses the message (Section 6's crash-loop mechanism)",
 		"node-crash cells target the default placement — application-hosting nodes: the boot agent reinstalls the daemon on restart, the SCC re-registers placed ARMORs, and the FTM migrates off its fixed node when its host dies (see the recovery scenario)",
 		"node-crash and partition cells run with centralized checkpoint storage (Section 3.4)",
-		"shared-disk corruptions classify the application output: C/I/M = correct / incorrect / missing verdicts",
-		"one-sided partitions are a real hazard the paper's symmetric crash model misses: the FTM declares the unreachable (but alive) node failed and migrates its ARMORs, so the heal leaves duplicate recoverers — the stale Heartbeat ARMOR then falsely re-recovers the FTM in a loop, generally a system failure",
+		"shared-disk and partition cells classify the application output: C/I/M = correct / incorrect / missing verdicts",
+		"partition cells: the FTM declares the unreachable (but alive) node failed and migrates its ARMORs under the next incarnation epoch, so the heal's duplicate recoverers reconcile — the stale Heartbeat ARMOR's replayed recovery traffic is rejected cluster-wide and it stands down instead of re-recovering the FTM in a loop (the split-brain scenario isolates this and shows zero system failures)",
+		"the partition cells' residual system failures are the false declaration's other cost at this default placement: Execution ARMORs migrated off a node whose application rank is still alive leave the application in a restart loop",
 	)
 	return t, data, nil
 }

@@ -180,6 +180,15 @@ func init() {
 		Run:     RecoverySweep,
 	})
 	reesift.Register(reesift.Scenario{
+		ID:      "split-brain",
+		Title:   "Split-brain reconciliation: partition-then-heal duplicate recoverers under incarnation epochs",
+		Aliases: []string{"splitbrain", "epochs"},
+		Run: single(func(sc Scale) (*Table, error) {
+			t, _, err := TableSplitBrain(sc)
+			return t, err
+		}),
+	})
+	reesift.Register(reesift.Scenario{
 		ID:      "chaos",
 		Title:   "Continuous chaos: long-horizon fault arrival processes, availability, and MTTR",
 		Aliases: []string{"chaos-campaign"},

@@ -138,7 +138,7 @@ func CompoundDefault() CompoundSpec {
 // netInterval reports whether a model installs the kernel's (single)
 // transient message fault slot.
 func netInterval(m Model) bool {
-	return m == ModelMsgDrop || m == ModelMsgCorrupt || m == ModelPartition
+	return m == ModelMsgDrop || m == ModelMsgCorrupt || m == ModelPartition || m == ModelPartitionSym
 }
 
 // ValidateCompound checks a compound spec for the constraints the
@@ -226,6 +226,23 @@ type Result struct {
 	// the recovery subsystem's fault classes.
 	DaemonReinstalls int
 	FTMMigrations    int
+
+	// StandDowns counts superseded local ARMOR incarnations that
+	// daemons evicted on higher-epoch evidence — the split-brain
+	// stand-down. SupersededEpochs counts stale-epoch rejections
+	// (installs refused and envelopes dropped because the sending
+	// incarnation was superseded). Both stay zero unless an epoch
+	// conflict actually arose, so pre-epoch runs are unaffected.
+	StandDowns       int
+	SupersededEpochs int
+	// StaleRecovererStoodDown reports that a superseded *recoverer*
+	// (FTM or Heartbeat ARMOR) was among the stand-downs: the healed
+	// half of a split brain reconciled instead of re-recovering in a
+	// loop. It is the classification that separates "partition healed,
+	// duplicate recoverer retired, run went on" from a system failure —
+	// before epoched identities these runs generally WERE system
+	// failures.
+	StaleRecovererStoodDown bool
 
 	// Chaos carries the long-horizon availability measurements of a
 	// continuous-arrival (chaos) trial; nil for one-shot runs.

@@ -8,26 +8,41 @@ import (
 
 func init() {
 	RegisterModel(ModelPartition, "partition", func() Injector { return &partitionInjector{} })
+	RegisterModel(ModelPartitionSym, "partition-sym", func() Injector { return &partitionInjector{symmetric: true} })
 }
 
-// partitionInjector implements a one-sided network partition: for a
-// transient interval of NetFaultFor starting at the drawn time, every
-// message from the rest of the cluster INTO the target's node is
-// dropped, while the node's own outbound traffic still flows. The
-// asymmetry is the point — it is the reachability pattern a failing
-// switch port or a deaf NIC produces, and it drives the FTM's
-// node-declared-failed path against a node that is in fact alive: the
-// daemon never receives the FTM's are-you-alive inquiries, the FTM
-// declares the node failed and migrates its ARMORs, and when the
-// scheduled heal arrives the cluster must reconcile with the stale
-// survivors on the partitioned node.
+// partitionInjector implements a transient network partition of the
+// target's node, healed after NetFaultFor.
+//
+// The default variant is one-sided: every message from the rest of the
+// cluster INTO the target's node is dropped, while the node's own
+// outbound traffic still flows. The asymmetry is the point — it is the
+// reachability pattern a failing switch port or a deaf NIC produces,
+// and it drives the FTM's node-declared-failed path against a node that
+// is in fact alive: the daemon never receives the FTM's are-you-alive
+// inquiries, the FTM declares the node failed and migrates its ARMORs,
+// and when the scheduled heal arrives the cluster must reconcile with
+// the stale survivors on the partitioned node (the epoch stand-down
+// path).
+//
+// The symmetric variant (ModelPartitionSym) drops both directions — the
+// classic split brain: neither side hears the other, BOTH sides may
+// declare the other failed and start recovery, and the heal confronts
+// two live recoverer sets whose epochs decide the winner.
 //
 // Like the message fault models, the partition installs at the kernel's
 // send/latency boundary with a derived RNG, so untouched messages keep
 // their nominal schedule and the run stays a pure function of the seed.
 type partitionInjector struct {
-	at    time.Duration
-	armed bool
+	symmetric bool
+	at        time.Duration
+	armed     bool
+	// gen guards the scheduled heal: chaos arrival processes fire the
+	// same cached injector repeatedly, and a heal scheduled by arrival N
+	// must not clear the fault a later arrival N+1 installed (the
+	// kernel holds a single message fault slot, so the later install
+	// replaced the earlier fault — its heal is stale).
+	gen int
 }
 
 // Schedule draws the partition start uniformly over the application
@@ -37,7 +52,9 @@ func (pi *partitionInjector) Schedule(r *Runner) {
 }
 
 // Fire partitions the target's node and schedules the heal. It
-// implements Firer, so the compound coordinator can arm it as a stage.
+// implements Firer, so the compound coordinator and the chaos arrival
+// processes can arm it as a stage; repeated fires re-partition (the
+// newest interval replaces any still-active one).
 func (pi *partitionInjector) Fire(r *Runner, at time.Duration) {
 	pid := r.pid()
 	if pid == sim.NoPID || !r.k.Alive(pid) || r.appAlreadyDone() {
@@ -48,16 +65,28 @@ func (pi *partitionInjector) Fire(r *Runner, at time.Duration) {
 		return
 	}
 	name := node.Name()
-	pi.at = at
+	if !pi.armed || at < pi.at {
+		pi.at = at
+	}
 	pi.armed = true
-	r.k.InstallNetFault(r.cfg.Seed^0x9a27, &sim.NetFault{
-		Drop: 1,
-		Match: func(src, dst sim.PID, payload interface{}) bool {
-			sn, dn := r.k.ProcNode(src), r.k.ProcNode(dst)
-			return sn != nil && dn != nil && sn.Name() != name && dn.Name() == name
-		},
+	pi.gen++
+	gen := pi.gen
+	match := func(src, dst sim.PID, payload interface{}) bool {
+		sn, dn := r.k.ProcNode(src), r.k.ProcNode(dst)
+		if sn == nil || dn == nil {
+			return false
+		}
+		if pi.symmetric {
+			return (sn.Name() == name) != (dn.Name() == name)
+		}
+		return sn.Name() != name && dn.Name() == name
+	}
+	r.k.InstallNetFault(r.cfg.Seed^0x9a27, &sim.NetFault{Drop: 1, Match: match})
+	r.k.Schedule(r.cfg.NetFaultFor, func() {
+		if pi.gen == gen {
+			r.k.ClearNetFault()
+		}
 	})
-	r.k.Schedule(r.cfg.NetFaultFor, func() { r.k.ClearNetFault() })
 }
 
 // Finish counts the partition's dropped messages as the run's error

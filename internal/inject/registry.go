@@ -29,6 +29,10 @@ const (
 	ModelSharedDisk
 	ModelPartition
 	ModelCompound
+	// ModelPartitionSym is the symmetric (two-sided) partition variant;
+	// it sits after ModelCompound so the paper-era model numbering in
+	// recorded results stays stable.
+	ModelPartitionSym
 )
 
 // Injector is one error model's insertion strategy. The Runner owns the

@@ -393,6 +393,15 @@ func (r *Runner) finish(handles []*sift.AppHandle) {
 	// FTM migrations off its configured node.
 	res.DaemonReinstalls = env.Log.Count("daemon-reinstalled")
 	res.FTMMigrations = env.Log.Count("ftm-migrated")
+	// Epoch-reconciliation observables: superseded incarnations evicted
+	// (stand-downs) and stale-epoch rejections. A stood-down recoverer
+	// (FTM or Heartbeat ARMOR) marks a reconciled split brain.
+	res.StandDowns = env.Log.Count("armor-stood-down")
+	res.SupersededEpochs = env.Log.Count("install-refused-stale") +
+		env.Log.Count("stale-sender-dropped")
+	res.StaleRecovererStoodDown =
+		env.Log.CountDetail("armor-stood-down", sift.AIDFTM.String()+" ") > 0 ||
+			env.Log.CountDetail("armor-stood-down", sift.AIDHeartbeat.String()+" ") > 0
 
 	// Application measurements.
 	if len(handles) > 0 {

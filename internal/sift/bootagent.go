@@ -12,6 +12,10 @@ import (
 type BootReport struct {
 	Node      string
 	DaemonAID core.AID
+	// Epoch is the reinstalled daemon's incarnation epoch (bumped past
+	// the dead incarnation's), forwarded by the SCC when it re-registers
+	// the daemon with the FTM.
+	Epoch uint64
 }
 
 // BootAgent is the per-node recovery process of the SIFT environment: the
@@ -69,7 +73,7 @@ func (b *BootAgent) Run(p *sim.Proc) {
 		p.Send(peer, boot)
 	}
 	e.Log.Add(p.Now(), "daemon-reinstalled", b.node)
-	p.Send(e.sccPID, BootReport{Node: b.node, DaemonAID: aid})
+	p.Send(e.sccPID, BootReport{Node: b.node, DaemonAID: aid, Epoch: d.Epoch()})
 
 	// Remain resident as the node's init process.
 	for {

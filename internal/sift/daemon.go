@@ -62,6 +62,15 @@ type Daemon struct {
 	// kills (reinstall, uninstall).
 	expectedDeath map[sim.PID]bool
 
+	// armorEpoch is the highest incarnation epoch this daemon has seen
+	// per AID (install specs and location broadcasts); install specs
+	// older than it are refused as stale recoveries.
+	armorEpoch map[core.AID]uint64
+	// localEpoch is the epoch of the locally installed incarnation; a
+	// location broadcast binding the AID elsewhere with a higher epoch
+	// evicts the local one (split-brain stand-down).
+	localEpoch map[core.AID]uint64
+
 	// ayaOutstanding tracks which local ARMORs have not answered the
 	// current are-you-alive round.
 	ayaOutstanding map[core.AID]bool
@@ -90,22 +99,29 @@ func NewDaemon(env *Environment, node *sim.Node, aid core.AID) *Daemon {
 		children:       make(map[sim.PID]core.AID),
 		expectedDeath:  make(map[sim.PID]bool),
 		ayaOutstanding: make(map[core.AID]bool),
+		armorEpoch:     make(map[core.AID]uint64),
+		localEpoch:     make(map[core.AID]uint64),
 		installDelay:   env.cfg.InstallDelay,
 		ayaPeriod:      env.cfg.DaemonAYAPeriod,
 	}
 	el := &daemonElem{d: d}
 	d.armor = core.New(core.Config{
-		ID:        aid,
-		Name:      "daemon-" + node.Name(),
-		Elements:  []core.Element{el},
-		SendLower: d.route,
-		OnForward: d.forward,
+		ID:            aid,
+		Name:          "daemon-" + node.Name(),
+		Elements:      []core.Element{el},
+		SendLower:     d.route,
+		OnForward:     d.forward,
+		Epoch:         env.nextDaemonEpoch(node.Name()),
+		OnStaleSender: d.staleSender,
 	})
 	return d
 }
 
 // AID returns the daemon's ARMOR ID.
 func (d *Daemon) AID() core.AID { return d.aid }
+
+// Epoch returns the daemon's incarnation epoch.
+func (d *Daemon) Epoch() uint64 { return d.armor.Epoch() }
 
 // Bootstrap snapshots the daemon's bootstrap-fed tables (peer daemon
 // addresses, location cache, SCC address). The recovery tests use it to
@@ -222,7 +238,7 @@ func (e *daemonElem) Handle(ctx *core.Ctx, ev core.Event) {
 		if !ok {
 			return
 		}
-		e.d.nodeOf[loc.ID] = loc.Node
+		e.d.location(ctx, loc)
 	case core.EventChildExit:
 		ce, ok := ev.Data.(sim.ChildExit)
 		if !ok {
@@ -250,6 +266,54 @@ func (e *daemonElem) Check() error { return nil }
 
 var _ core.Starter = (*daemonElem)(nil)
 
+// location updates the routing cache from an FTM placement broadcast and
+// applies the epoch consequences: a higher-epoch binding elsewhere evicts
+// a superseded local incarnation (the split-brain stand-down), and a
+// lower-epoch binding than already known is stale information and ignored.
+func (d *Daemon) location(ctx *core.Ctx, loc Location) {
+	if loc.Epoch > 0 && loc.Epoch < d.armorEpoch[loc.ID] {
+		return
+	}
+	d.nodeOf[loc.ID] = loc.Node
+	if loc.Epoch == 0 {
+		return
+	}
+	d.armorEpoch[loc.ID] = loc.Epoch
+	d.armor.NotePeerEpoch(loc.ID, loc.Epoch)
+	if pid, ok := d.localPID[loc.ID]; ok && loc.Node != d.node.Name() && d.localEpoch[loc.ID] < loc.Epoch {
+		d.env.Log.Add(ctx.Now(), "armor-stood-down",
+			fmt.Sprintf("%s epoch=%d superseded-by=%d at %s (now on %s)",
+				loc.ID, d.localEpoch[loc.ID], loc.Epoch, d.node.Name(), loc.Node))
+		d.expectedDeath[pid] = true
+		ctx.Proc.Kernel().Kill(pid, "superseded epoch")
+		delete(d.localPID, loc.ID)
+		delete(d.children, pid)
+		delete(d.ayaOutstanding, loc.ID)
+		delete(d.localEpoch, loc.ID)
+	}
+}
+
+// staleSender is the daemon's core-runtime hook for envelopes dropped
+// because the sending incarnation was superseded — a stale recoverer from
+// a healed partition replaying installs or polls through this node. The
+// daemon reports it to the FTM, whose location re-broadcast reaches the
+// stale incarnation's own node and makes it stand down.
+func (d *Daemon) staleSender(ctx *core.Ctx, env core.Envelope) {
+	known := d.armor.PeerEpoch(env.Src)
+	for _, ev := range env.Events {
+		if ev.Kind == EvInstallArmor {
+			if ins, ok := ev.Data.(InstallArmor); ok {
+				d.env.Log.Add(ctx.Now(), "install-refused-stale",
+					fmt.Sprintf("%s from stale %s epoch=%d<%d", ins.Spec.ID, env.Src, env.SrcEpoch, known))
+			}
+		}
+	}
+	d.env.Log.Add(ctx.Now(), "stale-sender-dropped",
+		fmt.Sprintf("%s epoch=%d<%d at %s", env.Src, env.SrcEpoch, known, d.node.Name()))
+	ctx.SendUnreliable(AIDFTM, EvStaleSender,
+		StaleSender{ID: env.Src, SeenEpoch: env.SrcEpoch, KnownEpoch: known, Node: d.node.Name()})
+}
+
 // install spawns an ARMOR process on this node. Installing over a live
 // ARMOR with the same AID kills the old process first (the reinstall
 // semantics the Heartbeat ARMOR's false-positive FTM recovery relies on).
@@ -257,6 +321,16 @@ var _ core.Starter = (*daemonElem)(nil)
 // copies its own process image — the fork-based trick of Section 3.4 —
 // modelled here as a fixed install delay.
 func (d *Daemon) install(ctx *core.Ctx, spec ArmorSpec) {
+	if spec.Epoch > 0 && spec.Epoch < d.armorEpoch[spec.ID] {
+		// A superseded recoverer replaying an old install (or a healed
+		// node's placement replay behind the FTM's epoch). Refuse, and
+		// report so the FTM re-broadcasts authoritative locations.
+		d.env.Log.Add(ctx.Now(), "install-refused-stale",
+			fmt.Sprintf("%s epoch=%d<%d node=%s", spec.ID, spec.Epoch, d.armorEpoch[spec.ID], d.node.Name()))
+		ctx.SendUnreliable(AIDFTM, EvStaleSender,
+			StaleSender{ID: spec.ID, SeenEpoch: spec.Epoch, KnownEpoch: d.armorEpoch[spec.ID], Node: d.node.Name()})
+		return
+	}
 	if old, ok := d.localPID[spec.ID]; ok && ctx.Proc.Kernel().Alive(old) {
 		d.expectedDeath[old] = true
 		ctx.Proc.Kernel().Kill(old, "reinstall")
@@ -267,6 +341,13 @@ func (d *Daemon) install(ctx *core.Ctx, spec ArmorSpec) {
 	pid := ctx.Proc.SpawnChild(d.node, spec.Name, armor.Run)
 	d.localPID[spec.ID] = pid
 	d.children[pid] = spec.ID
+	if spec.Epoch > 0 {
+		if spec.Epoch > d.armorEpoch[spec.ID] {
+			d.armorEpoch[spec.ID] = spec.Epoch
+		}
+		d.localEpoch[spec.ID] = spec.Epoch
+		d.armor.NotePeerEpoch(spec.ID, spec.Epoch)
+	}
 	d.env.registerArmorProc(spec, armor, pid, d.node.Name())
 	d.env.Log.Add(ctx.Now(), "armor-installed", fmt.Sprintf("%s kind=%s node=%s", spec.ID, spec.Kind, d.node.Name()))
 }
@@ -281,6 +362,7 @@ func (d *Daemon) uninstall(ctx *core.Ctx, id core.AID) {
 	d.expectedDeath[pid] = true
 	ctx.Proc.Kernel().Kill(pid, "uninstall")
 	delete(d.localPID, id)
+	delete(d.localEpoch, id)
 	d.node.RAMDisk().Remove(fmt.Sprintf("ckpt/%d", uint64(id)))
 	d.env.Log.Add(ctx.Now(), "armor-uninstalled", id.String())
 }

@@ -58,6 +58,13 @@ type EnvConfig struct {
 	// nodes are then unsurvivable). The default — boot agent enabled —
 	// has the SCC start a boot agent on every restarted node.
 	DisableBootAgent bool
+	// DisableEpochs turns off incarnation epochs on ARMOR identities
+	// (all installs stamped epoch zero, no stale-sender rejection, no
+	// stand-down of superseded incarnations). Ablation only: it
+	// reproduces the pre-epoch split-brain hazard where a healed
+	// one-sided partition leaves duplicate recoverers re-recovering the
+	// FTM in a loop.
+	DisableEpochs bool
 	// MemTargets attaches simulated memory images (register/text
 	// injection) to specific ARMORs by AID.
 	MemTargets map[core.AID]memsim.Profile
@@ -95,6 +102,10 @@ type Environment struct {
 	nodes     []*sim.Node
 	daemons   map[string]*Daemon
 	daemonPID map[string]sim.PID
+	// daemonEpoch counts daemon incarnations per node: the Setup-time
+	// daemon is epoch 1, each boot-agent reinstall bumps it. Zero when
+	// epoching is disabled.
+	daemonEpoch map[string]uint64
 
 	scc    *sccProc
 	sccPID sim.PID
@@ -165,20 +176,41 @@ func New(k *sim.Kernel, cfg EnvConfig) *Environment {
 		cfg.AppStartDelay = 400 * time.Millisecond
 	}
 	return &Environment{
-		K:         k,
-		Log:       NewEventLog(),
-		cfg:       cfg,
-		daemons:   make(map[string]*Daemon),
-		daemonPID: make(map[string]sim.PID),
-		armors:    make(map[core.AID]*core.Armor),
-		procOfAID: make(map[core.AID]sim.PID),
-		placement: make(map[core.AID]placeRec),
-		appSpecs:  make(map[AppID]*AppSpec),
-		appMem:    make(map[appKey]*memsim.Memory),
-		appPID:    make(map[appKey]sim.PID),
-		appCtx:    make(map[appKey]*AppContext),
-		handles:   make(map[AppID]*AppHandle),
+		K:           k,
+		Log:         NewEventLog(),
+		cfg:         cfg,
+		daemons:     make(map[string]*Daemon),
+		daemonPID:   make(map[string]sim.PID),
+		daemonEpoch: make(map[string]uint64),
+		armors:      make(map[core.AID]*core.Armor),
+		procOfAID:   make(map[core.AID]sim.PID),
+		placement:   make(map[core.AID]placeRec),
+		appSpecs:    make(map[AppID]*AppSpec),
+		appMem:      make(map[appKey]*memsim.Memory),
+		appPID:      make(map[appKey]sim.PID),
+		appCtx:      make(map[appKey]*AppContext),
+		handles:     make(map[AppID]*AppHandle),
 	}
+}
+
+// initialEpoch returns the epoch stamped on first-incarnation installs:
+// 1 normally, 0 when the epoch ablation is on.
+func (e *Environment) initialEpoch() uint64 {
+	if e.cfg.DisableEpochs {
+		return 0
+	}
+	return 1
+}
+
+// nextDaemonEpoch advances and returns the daemon incarnation epoch for
+// a node. The Setup-time daemon draws 1; each boot-agent reinstall draws
+// the next value, so the FTM can tell a reborn daemon from a stale one.
+func (e *Environment) nextDaemonEpoch(node string) uint64 {
+	if e.cfg.DisableEpochs {
+		return 0
+	}
+	e.daemonEpoch[node]++
+	return e.daemonEpoch[node]
 }
 
 // Setup performs Table 1 step 1: create the nodes, install a daemon on
@@ -323,6 +355,7 @@ func (e *Environment) buildArmor(spec ArmorSpec, node string) *core.Armor {
 		AutoRestore:     spec.AutoRestore,
 		AwaitRestore:    spec.AwaitRestore,
 		NotifyInstalled: spec.NotifyInstalled,
+		Epoch:           spec.Epoch,
 		DisableChecks:   e.cfg.DisableSelfChecks,
 	}
 	if e.cfg.SharedCheckpoints {
@@ -340,6 +373,7 @@ func (e *Environment) buildArmor(spec ArmorSpec, node string) *core.Armor {
 			SCC:                 AIDSCC,
 		})
 		cfg.Elements = append(f.Elements(), &submitElem{ftm: f})
+		cfg.OnStaleSender = f.StaleSender
 	case KindHeartbeat:
 		cfg.Elements = []core.Element{&HeartbeatElem{
 			env:       e,
@@ -347,6 +381,10 @@ func (e *Environment) buildArmor(spec ArmorSpec, node string) *core.Armor {
 			FTMDaemon: e.DaemonAID(e.cfg.FTMNode),
 			Period:    e.cfg.HeartbeatArmorPeriod,
 			Sites:     e.ftmSites(node),
+			// Start from the epoch of the last FTM incarnation actually
+			// installed (an AutoRestore reinstall overrides this from
+			// checkpoint).
+			FTMEpoch: e.ftmEpochNow(),
 		}}
 	case KindExecution:
 		cfg.Elements = []core.Element{&ExecElem{
@@ -359,6 +397,16 @@ func (e *Environment) buildArmor(spec ArmorSpec, node string) *core.Armor {
 		cfg.Elements = nil
 	}
 	return core.New(cfg)
+}
+
+// ftmEpochNow returns the incarnation epoch of the most recently
+// installed FTM (the placement table tracks every install spec), falling
+// back to the first-incarnation epoch before any FTM exists.
+func (e *Environment) ftmEpochNow() uint64 {
+	if rec, ok := e.placement[AIDFTM]; ok && rec.Spec.Epoch > 0 {
+		return rec.Spec.Epoch
+	}
+	return e.initialEpoch()
 }
 
 // registerArmorProc records a fresh ARMOR process in the oracles and the
@@ -518,6 +566,7 @@ func (s *sccProc) Run(p *sim.Proc) {
 		Kind:            KindFTM,
 		Name:            "ftm",
 		NotifyInstalled: AIDSCC,
+		Epoch:           s.env.initialEpoch(),
 	}
 	s.sendReliable(s.env.DaemonAID(s.env.cfg.FTMNode), EvInstallArmor, InstallArmor{Spec: ftmSpec})
 	// Wait for the FTM's install acknowledgment.
@@ -527,7 +576,11 @@ func (s *sccProc) Run(p *sim.Proc) {
 	// the uplink command delay, giving the run a real setup phase.
 	for i, name := range s.env.cfg.Nodes {
 		s.proc.Sleep(s.env.cfg.SCCCommandDelay)
-		s.sendReliable(AIDFTM, EvRegisterDaemon, RegisterDaemon{Hostname: name, DaemonAID: AIDDaemon(i)})
+		s.sendReliable(AIDFTM, EvRegisterDaemon, RegisterDaemon{
+			Hostname:  name,
+			DaemonAID: AIDDaemon(i),
+			Epoch:     s.env.daemonEpoch[name],
+		})
 	}
 	s.env.Log.Add(p.Now(), "sift-initialized", "")
 	for {
@@ -597,13 +650,26 @@ func (s *sccProc) recoverNode(rep BootReport) {
 		spec.AutoRestore = true
 		spec.AwaitRestore = false
 		spec.NotifyInstalled = AIDSCC
+		if aid == AIDFTM && spec.Epoch > 0 {
+			// The last-resort FTM reinstall is a failure declaration:
+			// the replacement incarnation supersedes the dead one, so
+			// any of its stale traffic still queued in the network is
+			// rejected at the epoch gate.
+			spec.Epoch++
+		}
 		s.env.Log.Add(s.proc.Now(), "armor-reregistered", fmt.Sprintf("%s node=%s", aid, rep.Node))
 		s.sendReliable(rep.DaemonAID, EvInstallArmor, InstallArmor{Spec: spec})
 	}
 	// Re-registration resumes the FTM's heartbeat rounds for the node
 	// and restores hostname translation for future installs. It blocks
 	// (retransmitting) until the FTM — possibly mid-migration — acks.
-	s.sendReliable(AIDFTM, EvRegisterDaemon, RegisterDaemon{Hostname: rep.Node, DaemonAID: rep.DaemonAID})
+	// The bumped daemon epoch tells the FTM this is a reborn daemon,
+	// not a stale one resurfacing.
+	s.sendReliable(AIDFTM, EvRegisterDaemon, RegisterDaemon{
+		Hostname:  rep.Node,
+		DaemonAID: rep.DaemonAID,
+		Epoch:     rep.Epoch,
+	})
 	s.env.Log.Add(s.proc.Now(), "daemon-reregistered", rep.Node)
 }
 

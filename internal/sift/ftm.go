@@ -72,6 +72,11 @@ type FTM struct {
 	ExecInfo  *ExecArmorInfoElem
 	AppParam  *AppParamElem
 	AppDetect *MgrAppDetectElem
+
+	// reconciledAt throttles stale-sender location re-broadcasts.
+	// Deliberately soft (not element state): losing it across a restore
+	// costs at most one extra re-broadcast round.
+	reconciledAt time.Duration
 }
 
 // NewFTM builds the element set for a Fault Tolerance Manager.
@@ -107,6 +112,9 @@ type nodeRec struct {
 	// AwaitingReply is true while a heartbeat reply is outstanding.
 	AwaitingReply bool
 	Missed        int64
+	// Epoch is the daemon incarnation epoch carried by the registration:
+	// 1 at first boot, higher after boot-agent reinstalls.
+	Epoch uint64
 }
 
 // NodeMgmtElem stores information about the nodes, including the resident
@@ -177,25 +185,31 @@ func (e *NodeMgmtElem) register(ctx *core.Ctx, reg RegisterDaemon) {
 		n.Alive = true
 		n.AwaitingReply = false
 		n.Missed = 0
+		if reg.Epoch > n.Epoch {
+			n.Epoch = reg.Epoch
+		}
 		e.ftm.ArmorInfo.recordArmor(reg.DaemonAID, KindDaemon, reg.Hostname, statusUp)
 		ctx.Touch(e.ftm.ArmorInfo)
 		e.ftm.env.Log.Add(ctx.Now(), "daemon-rebound", reg.Hostname)
 		return
 	}
-	e.Nodes = append(e.Nodes, nodeRec{Hostname: reg.Hostname, DaemonAID: reg.DaemonAID, Alive: true})
+	e.Nodes = append(e.Nodes, nodeRec{Hostname: reg.Hostname, DaemonAID: reg.DaemonAID, Alive: true, Epoch: reg.Epoch})
 	e.ftm.ArmorInfo.recordArmor(reg.DaemonAID, KindDaemon, reg.Hostname, statusUp)
 	ctx.Touch(e.ftm.ArmorInfo)
 	e.ftm.env.Log.Add(ctx.Now(), "daemon-registered", reg.Hostname)
 	if reg.Hostname == e.ftm.cfg.HeartbeatNode {
 		// Table 1, step 1c: install the Heartbeat ARMOR through this
 		// node's daemon.
+		epoch := e.ftm.initialEpoch()
 		spec := ArmorSpec{
 			ID:              AIDHeartbeat,
 			Kind:            KindHeartbeat,
 			Name:            "heartbeat",
 			NotifyInstalled: AIDFTM,
+			Epoch:           epoch,
 		}
 		e.ftm.ArmorInfo.recordArmor(AIDHeartbeat, KindHeartbeat, reg.Hostname, statusInstalling)
+		e.ftm.ArmorInfo.setEpoch(AIDHeartbeat, epoch)
 		ctx.Touch(e.ftm.ArmorInfo)
 		ctx.Send(reg.DaemonAID, EvInstallArmor, InstallArmor{Spec: spec})
 	}
@@ -257,6 +271,7 @@ func (e *NodeMgmtElem) Snapshot() []byte {
 		enc.PutBool(n.Alive)
 		enc.PutBool(n.AwaitingReply)
 		enc.PutI64(n.Missed)
+		enc.PutU64(n.Epoch)
 	}
 	return enc.Bytes()
 }
@@ -276,6 +291,7 @@ func (e *NodeMgmtElem) Restore(data []byte) error {
 			Alive:         d.Bool(),
 			AwaitingReply: d.Bool(),
 			Missed:        d.I64(),
+			Epoch:         d.U64(),
 		})
 	}
 	if err := d.Done(); err != nil {
@@ -362,6 +378,13 @@ type armorRec struct {
 	Kind   int64
 	Node   string
 	Status int64
+	// Epoch is the incarnation epoch of the ARMOR the FTM believes is
+	// (or is becoming) live: set at first install, bumped on every
+	// failure declaration before the replacement is installed. Zero when
+	// epoching is disabled. Checkpoint-encoded: an FTM that restores
+	// after its own failure must not re-stamp old epochs, or daemons
+	// would refuse its subsequent legitimate installs as stale.
+	Epoch uint64
 }
 
 // MgrArmorInfoElem stores information about subordinate ARMORs such as
@@ -376,7 +399,7 @@ func (e *MgrArmorInfoElem) Name() string { return "mgr_armor_info" }
 
 // Subscriptions implements core.Element.
 func (e *MgrArmorInfoElem) Subscriptions() []core.EventKind {
-	return []core.EventKind{core.EventInstalled, EvArmorFailed}
+	return []core.EventKind{core.EventInstalled, EvArmorFailed, EvStaleSender}
 }
 
 // Handle implements core.Element.
@@ -394,6 +417,14 @@ func (e *MgrArmorInfoElem) Handle(ctx *core.Ctx, ev core.Event) {
 			return
 		}
 		e.recover(ctx, fail)
+	case EvStaleSender:
+		rep, ok := ev.Data.(StaleSender)
+		if !ok {
+			return
+		}
+		e.ftm.env.Log.Add(ctx.Now(), "stale-sender-reported",
+			fmt.Sprintf("%s epoch=%d<%d via %s", rep.ID, rep.SeenEpoch, rep.KnownEpoch, rep.Node))
+		e.ftm.reconcile(ctx)
 	}
 }
 
@@ -414,6 +445,32 @@ func (e *MgrArmorInfoElem) recordArmor(id core.AID, kind ArmorKind, node string,
 		return
 	}
 	e.Recs = append(e.Recs, armorRec{ID: id, Kind: int64(kind), Node: node, Status: status})
+}
+
+// setEpoch records an ARMOR's incarnation epoch in the FTM's table.
+// Deliberately NOT taught to the FTM's own stale-sender gate: receivers
+// learn peer epochs only from authoritative receipts (envelope stamps,
+// install specs, location broadcasts), so in-flight traffic from a
+// just-killed incarnation drains normally instead of being rejected. A
+// genuinely live duplicate (split brain) keeps sending long after the
+// receipts land, and is caught then.
+func (e *MgrArmorInfoElem) setEpoch(id core.AID, epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	if r := e.find(id); r != nil {
+		r.Epoch = epoch
+	}
+}
+
+// bumpEpoch advances an ARMOR's incarnation epoch on a failure
+// declaration: the incarnation about to be installed supersedes every
+// earlier one. No-op when epoching is disabled (rec epoch zero).
+func (e *MgrArmorInfoElem) bumpEpoch(r *armorRec) {
+	if r.Epoch == 0 {
+		return
+	}
+	r.Epoch++
 }
 
 func (e *MgrArmorInfoElem) markUp(ctx *core.Ctx, id core.AID) {
@@ -444,6 +501,7 @@ func (e *MgrArmorInfoElem) recover(ctx *core.Ctx, fail ArmorFailed) {
 		return
 	}
 	r.Status = statusRecovering
+	e.bumpEpoch(r)
 	spec := e.ftm.rebuildSpec(r)
 	if spec == nil {
 		return
@@ -465,6 +523,7 @@ func (e *MgrArmorInfoElem) Snapshot() []byte {
 		enc.PutI64(r.Kind)
 		enc.PutString(r.Node)
 		enc.PutI64(r.Status)
+		enc.PutU64(r.Epoch)
 	}
 	return enc.Bytes()
 }
@@ -483,6 +542,7 @@ func (e *MgrArmorInfoElem) Restore(data []byte) error {
 			Kind:   d.I64(),
 			Node:   d.String(),
 			Status: d.I64(),
+			Epoch:  d.U64(),
 		})
 	}
 	if err := d.Done(); err != nil {
@@ -1125,6 +1185,16 @@ func (f *FTM) submit(ctx *core.Ctx, app *AppSpec) {
 	for rank := 0; rank < app.Ranks; rank++ {
 		node := app.Nodes[rank%len(app.Nodes)]
 		aid := AIDExec(app.ID, rank)
+		// Execution ARMORs are deliberately NOT epoched (epoch zero =
+		// always accepted). Epochs exist to break the duplicate-RECOVERER
+		// loop, so they cover the singleton infrastructure identities —
+		// FTM, Heartbeat, daemons. An Execution ARMOR is app-bound and
+		// already arbitrated by the FTM's per-application state machine;
+		// its known duplicate-install race (SCC placement replay vs. FTM
+		// node-failure migration after a rolling outage) is benign under
+		// last-install-wins, whereas epoching it lets the migrated
+		// incarnation evict the app-co-located one and orphan the
+		// application.
 		spec := ArmorSpec{
 			ID:              aid,
 			Kind:            KindExecution,
@@ -1143,11 +1213,12 @@ func (f *FTM) submit(ctx *core.Ctx, app *AppSpec) {
 		ctx.Touch(f.ArmorInfo)
 		daemon := f.NodeMgmt.Translate(node)
 		ctx.Send(daemon, EvInstallArmor, InstallArmor{Spec: spec})
-		f.broadcastLocation(ctx, aid, node)
+		f.broadcastLocation(ctx, aid, node, 0)
 		// The application process itself attaches under a pseudo-AID on
 		// the same node; daemons need it in their location caches to
-		// route acknowledgments back to it.
-		f.broadcastLocation(ctx, AIDApp(app.ID, rank), node)
+		// route acknowledgments back to it. Application processes are
+		// not epoched (they predate the ARMOR runtime), so epoch zero.
+		f.broadcastLocation(ctx, AIDApp(app.ID, rank), node, 0)
 	}
 }
 
@@ -1196,7 +1267,8 @@ func (f *FTM) finishApp(ctx *core.Ctx, app AppID) {
 	f.env.Log.Add(ctx.Now(), "app-finished", fmt.Sprintf("app=%d restarts=%d", app, restarts))
 }
 
-// rebuildSpec reconstructs the install spec for a failed subordinate.
+// rebuildSpec reconstructs the install spec for a failed subordinate,
+// stamped with the record's current (already bumped) incarnation epoch.
 func (f *FTM) rebuildSpec(r *armorRec) *ArmorSpec {
 	switch ArmorKind(r.Kind) {
 	case KindHeartbeat:
@@ -1206,6 +1278,7 @@ func (f *FTM) rebuildSpec(r *armorRec) *ArmorSpec {
 			Name:            "heartbeat",
 			AutoRestore:     true,
 			NotifyInstalled: AIDFTM,
+			Epoch:           r.Epoch,
 		}
 	case KindExecution:
 		for _, ex := range f.ExecInfo.Recs {
@@ -1220,6 +1293,7 @@ func (f *FTM) rebuildSpec(r *armorRec) *ArmorSpec {
 					Name:            fmt.Sprintf("exec-%d-%d", ex.App, ex.Rank),
 					AutoRestore:     true,
 					NotifyInstalled: AIDFTM,
+					Epoch:           r.Epoch,
 					App:             app,
 					Rank:            int(ex.Rank),
 				}
@@ -1246,6 +1320,7 @@ func (f *FTM) recoverNode(ctx *core.Ctx, failed string) {
 		if dst == "" {
 			return
 		}
+		f.ArmorInfo.bumpEpoch(r)
 		spec := f.rebuildSpec(r)
 		if spec == nil {
 			continue
@@ -1261,17 +1336,65 @@ func (f *FTM) recoverNode(ctx *core.Ctx, failed string) {
 		ctx.Touch(f.ExecInfo)
 		daemon := f.NodeMgmt.Translate(dst)
 		ctx.Send(daemon, EvInstallArmor, InstallArmor{Spec: *spec})
-		f.broadcastLocation(ctx, r.ID, dst)
+		f.broadcastLocation(ctx, r.ID, dst, r.Epoch)
 		f.env.Log.Add(ctx.Now(), "armor-migrated", fmt.Sprintf("%s -> %s", r.ID, dst))
 	}
 }
 
 // broadcastLocation updates every daemon's location cache.
-func (f *FTM) broadcastLocation(ctx *core.Ctx, id core.AID, node string) {
+func (f *FTM) broadcastLocation(ctx *core.Ctx, id core.AID, node string, epoch uint64) {
 	for _, n := range f.NodeMgmt.Nodes {
 		if !n.Alive {
 			continue
 		}
-		ctx.SendUnreliable(n.DaemonAID, EvLocation, Location{ID: id, Node: node})
+		ctx.SendUnreliable(n.DaemonAID, EvLocation, Location{ID: id, Node: node, Epoch: epoch})
+	}
+}
+
+// initialEpoch is the incarnation epoch stamped on first installs: 1, or 0
+// when the environment runs the epoch ablation.
+func (f *FTM) initialEpoch() uint64 {
+	if f.env.cfg.DisableEpochs {
+		return 0
+	}
+	return 1
+}
+
+// StaleSender is the FTM's core-runtime hook for envelopes dropped because
+// the sender was superseded — typically a partitioned-away Heartbeat ARMOR
+// still polling after the heal. The drop already protects the FTM; the
+// re-broadcast tells the stale incarnation's node who the authoritative
+// incarnations are so it evicts its stale locals.
+func (f *FTM) StaleSender(ctx *core.Ctx, env core.Envelope) {
+	f.env.Log.Add(ctx.Now(), "stale-sender-dropped",
+		fmt.Sprintf("%s epoch=%d at ftm", env.Src, env.SrcEpoch))
+	f.reconcile(ctx)
+}
+
+// reconcile re-broadcasts the authoritative location and epoch of every
+// epoched subordinate — plus the FTM's own — to every registered daemon,
+// including ones the FTM believes dead: after a one-sided partition heals,
+// the "dead" node is exactly the one hosting stale incarnations that must
+// stand down. Fired only on evidence of a stale sender, so runs that never
+// split see zero extra messages; throttled to one round per heartbeat
+// period so a chatty stale incarnation cannot amplify traffic.
+func (f *FTM) reconcile(ctx *core.Ctx) {
+	if f.reconciledAt != 0 && ctx.Now()-f.reconciledAt < f.cfg.HeartbeatPeriod {
+		return
+	}
+	f.reconciledAt = ctx.Now()
+	f.env.Log.Add(ctx.Now(), "epoch-reconcile", "location re-broadcast")
+	send := func(id core.AID, node string, epoch uint64) {
+		for _, n := range f.NodeMgmt.Nodes {
+			ctx.SendUnreliable(n.DaemonAID, EvLocation, Location{ID: id, Node: node, Epoch: epoch})
+		}
+	}
+	send(AIDFTM, ctx.Proc.Node().Name(), ctx.Armor.Epoch())
+	for i := range f.ArmorInfo.Recs {
+		r := &f.ArmorInfo.Recs[i]
+		if r.Epoch == 0 || ArmorKind(r.Kind) == KindDaemon || ArmorKind(r.Kind) == KindFTM {
+			continue
+		}
+		send(r.ID, r.Node, r.Epoch)
 	}
 }

@@ -50,6 +50,17 @@ type HeartbeatElem struct {
 	// node last). Empty Sites degrade to the fixed-node behaviour.
 	Sites []FTMSite
 
+	// FTMEpoch is the incarnation epoch of the FTM this element believes
+	// is live. Each FTM failure declaration bumps it, and every
+	// reinstall spec carries it, so daemons can tell a legitimate FTM
+	// recovery from a superseded Heartbeat incarnation replaying stale
+	// installs after a partition heals. Checkpoint-encoded: a recovered
+	// Heartbeat ARMOR must keep counting from the FTM's true epoch.
+	// Zero when epoching is disabled. (Distinct from RetryEpoch below,
+	// which only invalidates stale local retry timers within one
+	// incarnation's recovery walk.)
+	FTMEpoch uint64
+
 	// AwaitingReply marks an outstanding liveness inquiry.
 	AwaitingReply bool
 	// Recovering is true from false/true detection until the restore
@@ -128,7 +139,7 @@ func (e *HeartbeatElem) installAcked(ctx *core.Ctx, ack core.InstallAck) {
 	if site.Node != "" {
 		e.FTMNode, e.FTMDaemon = site.Node, site.Daemon
 		for _, s := range e.Sites {
-			ctx.SendUnreliable(s.Daemon, EvLocation, Location{ID: AIDFTM, Node: site.Node})
+			ctx.SendUnreliable(s.Daemon, EvLocation, Location{ID: AIDFTM, Node: site.Node, Epoch: e.FTMEpoch})
 		}
 	}
 	// Step two: restore the FTM's state from checkpoint.
@@ -159,6 +170,7 @@ func (e *HeartbeatElem) sendInstall(ctx *core.Ctx) {
 		Name:            "ftm",
 		AwaitRestore:    true,
 		NotifyInstalled: AIDHeartbeat,
+		Epoch:           e.FTMEpoch,
 	}
 	if e.env != nil {
 		e.env.Log.Add(ctx.Now(), "ftm-reinstall-attempt", site.Node)
@@ -186,10 +198,14 @@ func (e *HeartbeatElem) poll(ctx *core.Ctx) {
 	}
 	if e.AwaitingReply {
 		// The FTM did not answer within a full period: declare it
-		// failed and start the two-step recovery.
+		// failed and start the two-step recovery. The replacement
+		// incarnation supersedes the one just declared dead.
 		e.Recovering = true
 		e.Recoveries++
 		e.AwaitingReply = false
+		if e.FTMEpoch > 0 {
+			e.FTMEpoch++
+		}
 		if e.env != nil {
 			e.env.Log.Add(ctx.Now(), "ftm-failure-detected", "")
 			// Classify by what actually happened to the FTM process:
@@ -234,6 +250,7 @@ func (e *HeartbeatElem) Snapshot() []byte {
 	enc.PutBool(e.AwaitingReply)
 	enc.PutBool(e.Recovering)
 	enc.PutI64(e.Recoveries)
+	enc.PutU64(e.FTMEpoch)
 	return enc.Bytes()
 }
 
@@ -246,6 +263,7 @@ func (e *HeartbeatElem) Restore(data []byte) error {
 	awaiting := d.Bool()
 	recovering := d.Bool()
 	recoveries := d.I64()
+	ftmEpoch := d.U64()
 	if err := d.Done(); err != nil {
 		return err
 	}
@@ -257,6 +275,7 @@ func (e *HeartbeatElem) Restore(data []byte) error {
 	_ = awaiting
 	_ = recovering
 	e.Recoveries = recoveries
+	e.FTMEpoch = ftmEpoch
 	return nil
 }
 

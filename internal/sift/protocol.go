@@ -87,12 +87,32 @@ const (
 	// EvLocation broadcasts AID-to-node placements from the FTM to the
 	// daemons' location caches. Data: Location.
 	EvLocation core.EventKind = "sift.location"
+	// EvStaleSender reports to the FTM that a daemon rejected traffic
+	// from a superseded ARMOR incarnation (a healed split brain). The
+	// FTM answers with a full location re-broadcast so the stale
+	// incarnation's node learns the authoritative placements and evicts
+	// it. Data: StaleSender.
+	EvStaleSender core.EventKind = "sift.stale-sender"
 )
 
 // RegisterDaemon registers a node's daemon with the FTM.
 type RegisterDaemon struct {
 	Hostname  string
 	DaemonAID core.AID
+	// Epoch is the daemon incarnation epoch: 1 at first boot, bumped by
+	// the boot agent on every reinstall after a node restart.
+	Epoch uint64
+}
+
+// StaleSender reports a rejected envelope from a superseded incarnation.
+type StaleSender struct {
+	// ID is the stale sender's AID, SeenEpoch its (lower) epoch, and
+	// KnownEpoch the highest epoch the reporter knows for that AID.
+	ID         core.AID
+	SeenEpoch  uint64
+	KnownEpoch uint64
+	// Node is the reporting daemon's hostname.
+	Node string
 }
 
 // ArmorKind distinguishes the ARMOR configurations a daemon can install.
@@ -153,6 +173,12 @@ type ArmorSpec struct {
 	AwaitRestore bool
 	// NotifyInstalled receives the install acknowledgment.
 	NotifyInstalled core.AID
+	// Epoch is the incarnation epoch of the installed ARMOR. The FTM
+	// stamps it: 1 at first install, +1 on every failure declaration.
+	// Daemons refuse specs older than the highest epoch they know for
+	// the AID (a stale recoverer replaying a superseded install). Zero
+	// means epoching is disabled.
+	Epoch uint64
 	// App carries the application binding for Execution ARMORs.
 	App  *AppSpec
 	Rank int
@@ -249,8 +275,12 @@ type ChannelOpen struct {
 	Rank  int
 }
 
-// Location binds an AID to a node for daemon routing caches.
+// Location binds an AID to a node for daemon routing caches. Epoch (when
+// nonzero) is the bound incarnation's epoch: a daemon that hosts a local
+// incarnation with a lower epoch placed on another node evicts it (the
+// stand-down path of split-brain reconciliation).
 type Location struct {
-	ID   core.AID
-	Node string
+	ID    core.AID
+	Node  string
+	Epoch uint64
 }

@@ -60,6 +60,17 @@
 // Single fault-injection runs are available through the Injection type,
 // which accepts the same cluster options for the run's environment.
 //
+// ARMOR identities are epoched: every recoverer (FTM, Heartbeat ARMOR,
+// daemons) carries a monotonic incarnation epoch, bumped on each
+// failure declaration, so a healed network partition's duplicate
+// recoverers reconcile — the superseded incarnation's traffic is
+// rejected and it stands down instead of falsely re-recovering live
+// processes. The per-run observables are Result.StandDowns,
+// Result.SupersededEpochs, and Result.StaleRecovererStoodDown;
+// WithoutEpochs disables the mechanism for ablation, and the registered
+// "split-brain" scenario pins the partition-then-heal behaviour both
+// ways.
+//
 // Scenario campaigns fan their injection trials across a worker pool
 // (Scale.Workers; zero means GOMAXPROCS) and reduce results in run-seed
 // order, so every Result is a pure function of Scale and Seed: the

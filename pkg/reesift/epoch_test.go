@@ -1,0 +1,83 @@
+package reesift
+
+import (
+	"testing"
+	"time"
+)
+
+// splitBrainInjection is the façade-level partition-then-heal run: the
+// Heartbeat ARMOR's node (isolated from the application) receives
+// nothing for 15 s while the FTM's fast heartbeat declares it failed and
+// installs a replacement recoverer under the next incarnation epoch.
+func splitBrainInjection(seed int64, extra ...Option) Injection {
+	return Injection{
+		Seed:   seed,
+		Model:  ModelPartition,
+		Target: TargetHeartbeat,
+		Apps:   []*AppSpec{RoverApp(1)},
+		Cluster: append([]Option{
+			WithSharedCheckpoints(),
+			WithHeartbeatNode("node-b2"),
+			WithFTMHeartbeatPeriod(5 * time.Second),
+			WithHeartbeatArmorPeriod(20 * time.Second),
+		}, extra...),
+		NetFaultFor: 15 * time.Second,
+	}
+}
+
+// TestResultEpochCounters: the Result's epoch-reconciliation counters
+// must be populated by a reconciled split brain — a stood-down stale
+// recoverer, rejected stale traffic, and the recoverer classification —
+// and must stay zero under the WithoutEpochs ablation.
+func TestResultEpochCounters(t *testing.T) {
+	var res InjectionResult
+	found := false
+	var seed int64
+	for seed = 1; seed <= 12; seed++ {
+		r, err := splitBrainInjection(seed).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.StandDowns > 0 {
+			res, found = r, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 1..12 produced a stand-down; the partition never created a split brain")
+	}
+	if res.SupersededEpochs == 0 {
+		t.Error("SupersededEpochs = 0: the stale incarnation's traffic was never rejected")
+	}
+	if !res.StaleRecovererStoodDown {
+		t.Error("StaleRecovererStoodDown = false for a stood-down Heartbeat ARMOR")
+	}
+	if res.SystemFailure {
+		t.Errorf("reconciled split brain classified as system failure (%s)", res.SysMode)
+	}
+
+	// The ablation run at the same seed must show none of it: the
+	// counters are epoch observables, not partition observables.
+	ab, err := splitBrainInjection(seed, WithoutEpochs()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.StandDowns != 0 || ab.SupersededEpochs != 0 || ab.StaleRecovererStoodDown {
+		t.Errorf("epoch counters populated with epochs disabled: %+v", ab)
+	}
+}
+
+// TestSymmetricPartitionModelRegistered: the symmetric variant is a
+// first-class registered model, selectable through the façade.
+func TestSymmetricPartitionModelRegistered(t *testing.T) {
+	names := map[Model]bool{}
+	for _, m := range Models() {
+		names[m] = true
+	}
+	if !names[ModelPartitionSym] {
+		t.Fatal("ModelPartitionSym not in Models()")
+	}
+	if ModelPartitionSym.String() != "partition-sym" {
+		t.Fatalf("ModelPartitionSym.String() = %q", ModelPartitionSym.String())
+	}
+}

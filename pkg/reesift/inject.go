@@ -33,6 +33,10 @@ const (
 	ModelSharedDisk = inject.ModelSharedDisk
 	ModelPartition  = inject.ModelPartition
 	ModelCompound   = inject.ModelCompound
+	// ModelPartitionSym is the symmetric (two-sided) partition variant:
+	// both directions of the target node's traffic are dropped until the
+	// scheduled heal — the classic split brain.
+	ModelPartitionSym = inject.ModelPartitionSym
 )
 
 // CompoundSpec and CompoundStage describe a ModelCompound run: two

@@ -31,6 +31,7 @@ type settings struct {
 	shared        bool
 	noChecks      bool
 	noBootAgent   bool
+	noEpochs      bool
 }
 
 // defaultNodeNames returns the paper's 4-node testbed names for n == 4
@@ -232,6 +233,18 @@ func WithoutBootAgent() Option {
 	}
 }
 
+// WithoutEpochs disables incarnation epochs on ARMOR identity — the
+// ablation of the split-brain reconciliation. Without epochs a healed
+// one-sided partition leaves duplicate recoverers, and the stale
+// Heartbeat ARMOR falsely re-recovers the FTM in a loop (generally a
+// system failure); the split-brain scenario pins both behaviours.
+func WithoutEpochs() Option {
+	return func(s *settings) error {
+		s.noEpochs = true
+		return nil
+	}
+}
+
 // WithRegistrationRace reintroduces the Figure 10 registration race
 // (install the Execution ARMOR before registering it in the FTM's
 // table). The paper's final configuration — and this package's default —
@@ -330,5 +343,6 @@ func buildConfigNodes(opts []Option, defaultNodes int) (sift.EnvConfig, int64, e
 	cfg.SharedCheckpoints = s.shared
 	cfg.DisableSelfChecks = s.noChecks
 	cfg.DisableBootAgent = s.noBootAgent
+	cfg.DisableEpochs = s.noEpochs
 	return cfg, s.seed, nil
 }
