@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"reesift/internal/experiments"
+	"reesift/internal/sim"
 	"reesift/pkg/reesift"
 )
 
@@ -319,6 +320,120 @@ func BenchmarkChaosSimDay(b *testing.B) {
 		}
 	}
 	b.ReportMetric(time.Since(start).Seconds()/float64(b.N), "s/sim-day")
+}
+
+// Kernel hot-path benchmarks. These are the alloc-gated pair: run with
+// -benchmem, the steady-state loops must report 0 allocs/op (event
+// records are pooled on the kernel free list, the ready queue and
+// per-process inboxes are ring buffers, payloads are boxed once). CI
+// records allocs/op and B/op in BENCH.json and cmd/benchgate fails the
+// build if either comes back.
+
+// BenchmarkKernelEvents measures the bare event loop: a periodic timer
+// firing every simulated millisecond, re-arming itself, and pushing a
+// pending watchdog-style event out with Reschedule on every tick —
+// the Schedule/fire/Reschedule cycle every heartbeat and watchdog in
+// the environment rides on. Each iteration advances the clock one
+// simulated second (1000 fired events).
+func BenchmarkKernelEvents(b *testing.B) {
+	const period = time.Millisecond
+	const window = time.Second
+	k := sim.NewKernel(sim.Config{Seed: 1})
+	// tick and the watchdog handle are bound once; the steady state
+	// reuses pooled event records and the same func value.
+	var tick func()
+	wd := k.Schedule(time.Minute, func() {})
+	tick = func() {
+		wd.Reschedule(time.Minute)
+		k.Schedule(period, tick)
+	}
+	k.Schedule(period, tick)
+	limit := window
+	k.Run(limit) // warm the event pool and heap backing array
+	start := k.EventsFired()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		limit += window
+		k.Run(limit)
+	}
+	b.StopTimer()
+	fired := k.EventsFired() - start
+	if fired == 0 {
+		b.Fatal("kernel fired no events")
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSendRecv measures the message path: two processes on one
+// node ping-ponging a pre-boxed payload through Send/Recv park/wake.
+// Each iteration advances the clock 100 simulated milliseconds (500
+// round trips at the 100 µs local latency).
+func BenchmarkSendRecv(b *testing.B) {
+	const window = 100 * time.Millisecond
+	k := sim.NewKernel(sim.Config{Seed: 1})
+	defer k.Shutdown()
+	n := k.AddNode("bench")
+	type ping struct{ beat int }
+	payload := interface{}(ping{beat: 1}) // boxed once, outside the loop
+	echo := k.Spawn(n, "echo", sim.NoPID, func(p *sim.Proc) {
+		for {
+			m := p.Recv()
+			p.Send(m.From, m.Payload)
+		}
+	})
+	k.Spawn(n, "driver", sim.NoPID, func(p *sim.Proc) {
+		for {
+			p.Send(echo, payload)
+			p.Recv()
+		}
+	})
+	limit := window
+	k.Run(limit) // warm inbox rings and the event pool
+	start := k.EventsFired()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		limit += window
+		k.Run(limit)
+	}
+	b.StopTimer()
+	fired := k.EventsFired() - start
+	if fired == 0 {
+		b.Fatal("kernel fired no events")
+	}
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkScale1000 times the scale scenario's headline trial: a
+// 1000-node cluster, 39 applications × 52 ranks (2028 Execution
+// ARMORs), a node crash mid-run, and over an hour of simulated time.
+// It reports the scale scenario's throughput metrics — events/sec and
+// wall seconds per simulated day — as the gated baseline for "as fast
+// as the hardware allows" at production scale.
+func BenchmarkScale1000(b *testing.B) {
+	inj := experiments.ScaleBenchInjection()
+	var events uint64
+	var simTime time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := inj.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SystemFailure {
+			b.Fatal("1000-node trial ended in a system failure")
+		}
+		if res.SimTime < time.Hour {
+			b.Fatalf("trial simulated only %v; the scale claim needs ≥ 1h", res.SimTime)
+		}
+		events += res.EventsFired
+		simTime += res.SimTime
+	}
+	wall := b.Elapsed().Seconds()
+	if wall > 0 {
+		b.ReportMetric(float64(events)/wall, "events/sec")
+		b.ReportMetric(wall/(simTime.Hours()/24), "s/sim-day")
+	}
 }
 
 // BenchmarkSplitBrain runs the split-brain reconciliation campaign —

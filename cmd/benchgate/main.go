@@ -1,14 +1,19 @@
 // Command benchgate compares two BENCH.json artifacts — the `go test
 // -json -bench` event streams CI uploads — and fails when a tracked
-// custom metric regressed beyond a tolerance. It is the CI gate that
-// keeps the recovery path (s/recovery), the chaos subsystem's simulation
-// throughput (s/sim-day), and the split-brain reconciliation campaign
-// (s/split-brain) from silently getting slower.
+// lower-is-better metric regressed beyond a tolerance. It is the CI
+// gate that keeps the recovery path (s/recovery), the chaos subsystem's
+// simulation throughput (s/sim-day), the split-brain reconciliation
+// campaign (s/split-brain), and the kernel hot path's allocation
+// behaviour (allocs/op, B/op from -benchmem) from silently getting
+// worse. The alloc gate is strict at zero by construction: a 0 allocs/op
+// baseline allows only 0, so a single allocation creeping back into the
+// steady-state event loop fails the build regardless of tolerance.
 //
 // Usage:
 //
 //	benchgate -old prev/BENCH.json -new BENCH.json \
-//	          [-metrics s/recovery,s/sim-day,s/split-brain] [-max-regress 0.20]
+//	          [-metrics s/recovery,s/sim-day,s/split-brain,allocs/op,B/op] \
+//	          [-max-regress 0.20]
 //
 // Both artifacts are parsed for benchmark result lines; for every
 // tracked metric present in both, the gate fails (exit 1) if
@@ -22,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,12 +37,12 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	oldPath := fs.String("old", "", "previous BENCH.json (missing file skips the gate)")
 	newPath := fs.String("new", "", "fresh BENCH.json to gate")
-	metrics := fs.String("metrics", "s/recovery,s/sim-day,s/split-brain", "comma-separated units to track")
+	metrics := fs.String("metrics", "s/recovery,s/sim-day,s/split-brain,allocs/op,B/op", "comma-separated units to track")
 	maxRegress := fs.Float64("max-regress", 0.20, "allowed fractional slowdown before failing")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,12 +113,12 @@ func parseFile(path string, tracked map[string]bool) (map[string]float64, error)
 			Action string `json:"Action"`
 			Output string `json:"Output"`
 		}
-		if err := json.Unmarshal(scanner.Bytes(), &ev); err != nil {
-			continue // tolerate non-JSON lines (plain `go test -bench` output)
-		}
-		line := ev.Output
-		if ev.Action != "output" && line == "" {
-			line = scanner.Text() // plain text file fallback
+		// A `go test -json` event carries the result line in Output;
+		// anything that is not such an event (plain `go test -bench`
+		// output) is treated as the result line itself.
+		line := scanner.Text()
+		if err := json.Unmarshal(scanner.Bytes(), &ev); err == nil {
+			line = ev.Output
 		}
 		name, vals := parseBenchLine(line)
 		if name == "" {

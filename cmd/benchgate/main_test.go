@@ -65,6 +65,58 @@ func TestGatePassAndFail(t *testing.T) {
 	}
 }
 
+func TestParseBenchLineBenchmem(t *testing.T) {
+	name, vals := parseBenchLine("BenchmarkKernelEvents-8 \t   68308\t     35210 ns/op\t  28401140 events/sec\t       0 B/op\t       0 allocs/op")
+	if name != "BenchmarkKernelEvents" {
+		t.Fatalf("name = %q", name)
+	}
+	want := map[string]float64{
+		"ns/op":      35210,
+		"events/sec": 28401140,
+		"B/op":       0,
+		"allocs/op":  0,
+	}
+	for unit, v := range want {
+		if vals[unit] != v {
+			t.Errorf("vals[%q] = %v, want %v", unit, vals[unit], v)
+		}
+	}
+}
+
+func TestGateZeroAllocBaselineIsStrict(t *testing.T) {
+	// A 0 allocs/op baseline must admit only 0: the tolerance is
+	// multiplicative, so a single allocation creeping back into the
+	// steady-state loop fails regardless of -max-regress.
+	old := writeTemp(t, "old.json", stream(
+		"BenchmarkSendRecv-8 3778 624177 ns/op 0 B/op 0 allocs/op",
+	))
+	same := writeTemp(t, "same.json", stream(
+		"BenchmarkSendRecv-4 3778 624177 ns/op 0 B/op 0 allocs/op",
+	))
+	leaky := writeTemp(t, "leaky.json", stream(
+		"BenchmarkSendRecv-4 3778 624177 ns/op 16 B/op 1 allocs/op",
+	))
+	if code := run([]string{"-old", old, "-new", same}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("0 -> 0 allocs/op exited %d, want 0", code)
+	}
+	if code := run([]string{"-old", old, "-new", leaky}, os.Stdout, os.Stderr); code != 1 {
+		t.Fatalf("0 -> 1 allocs/op exited %d, want 1", code)
+	}
+}
+
+func TestGateReadsPlainTextArtifacts(t *testing.T) {
+	// Artifacts saved from plain `go test -bench` output (no -json)
+	// must parse too.
+	old := writeTemp(t, "old.txt",
+		"BenchmarkSplitBrain-8 1 100 ns/op 4.00 s/split-brain\nok \treesift\t1.0s\n")
+	fresh := writeTemp(t, "new.json", stream(
+		"BenchmarkSplitBrain-4 1 100 ns/op 6.00 s/split-brain", // +50%: regression
+	))
+	if code := run([]string{"-old", old, "-new", fresh}, os.Stdout, os.Stderr); code != 1 {
+		t.Fatalf("plain-text baseline comparison exited %d, want 1 (baseline unread?)", code)
+	}
+}
+
 func TestGateSkipsWithoutBaseline(t *testing.T) {
 	fresh := writeTemp(t, "new.json", stream(
 		"BenchmarkRecoveryTime-4 1 100 ns/op 0.50 s/recovery",

@@ -4,12 +4,20 @@
 // Usage:
 //
 //	reesift [-scale small|paper] [-seed N] [-workers N] [-exp all|table3,table4,...] [-format text|json] [-list]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // Experiments are discovered from the reesift scenario registry, where
 // every reproduced table and figure self-registers; -list prints the
 // available ids. The paper scale reproduces the full campaign sizes
 // (~28,000 injections across all experiments); small scale is a fast
 // smoke run of the same code.
+//
+// -cpuprofile and -memprofile mirror `go test`'s flags: they write
+// pprof profiles covering the selected campaigns, so hot-path profiling
+// (e.g. `reesift -exp scale -cpuprofile cpu.out` followed by `go tool
+// pprof cpu.out`) does not require writing a throwaway benchmark. The
+// memory profile is a heap snapshot taken after the campaigns finish,
+// preceded by a GC so it shows retained allocations like go test's.
 package main
 
 import (
@@ -18,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	expFlag := fs.String("exp", "all", "comma-separated experiment ids (see -list) or 'all'")
 	formatFlag := fs.String("format", "text", "output format: text or json")
 	listFlag := fs.Bool("list", false, "list registered experiment ids and exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaigns to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the campaigns, post-GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +95,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The CPU profile brackets the campaign loop only, so the profile is
+	// the hot path — kernel events, message delivery, checkpoint codec —
+	// not flag parsing or result marshalling. Double-stopping is safe:
+	// the deferred stop covers early error returns.
+	stopCPU := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopCPU()
+	}
+
 	start := time.Now()
 	failed := 0
 	var results []*reesift.Result
@@ -107,6 +142,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				s.ID, res.Runs, res.Injections, res.WallClockSeconds)
 		}
 	}
+	stopCPU()
+	if *memProfile != "" {
+		if err := writeHeapProfile(*memProfile); err != nil {
+			fmt.Fprintf(stderr, "memprofile: %v\n", err)
+			return 1
+		}
+	}
 	if *formatFlag == "json" {
 		out, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
@@ -121,6 +163,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeHeapProfile snapshots the heap to path, forcing a GC first so
+// the profile shows retained memory rather than garbage awaiting
+// collection (the same order go test uses for -memprofile).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectScenarios resolves the -exp flag against the registry. Unknown

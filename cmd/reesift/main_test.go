@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -101,6 +102,38 @@ func TestSeedFlagChangesCampaigns(t *testing.T) {
 	}
 	if render("1") == render("424242") {
 		t.Fatal("-seed 1 and -seed 424242 produced identical tables; the seed flag is not reaching the campaigns")
+	}
+}
+
+// TestProfileFlags smoke-tests -cpuprofile/-memprofile: one cheap
+// scenario run must leave non-empty pprof files behind, and an
+// uncreatable profile path must fail loudly before any campaign runs.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.out"
+	mem := dir + "/mem.out"
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "fig6", "-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(profiled fig6) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	bad := dir + "/no-such-dir/cpu.out"
+	if code := run([]string{"-exp", "fig6", "-cpuprofile", bad}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(bad -cpuprofile) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "cpuprofile") {
+		t.Errorf("stderr does not name the failing flag: %s", stderr.String())
 	}
 }
 

@@ -219,9 +219,7 @@ func (a *Armor) CorruptNextSend() { a.corruptNext = true }
 // numbers its messages from one and must not be mistaken for duplicates of
 // its predecessor.
 func (a *Armor) ResetPeer(peer AID) {
-	delete(a.comm.nextSeq, peer)
-	delete(a.comm.lastSeen, peer)
-	delete(a.comm.extraSeen, peer)
+	a.comm.forgetPeer(peer)
 	if a.ckpt != nil {
 		a.ckpt.Update(commName, a.comm.snapshot())
 	}
@@ -255,7 +253,7 @@ func (c *Ctx) SendUnreliable(dst AID, kind EventKind, data interface{}) {
 
 // After arranges for the named element to receive an EventTimer carrying
 // tag after d.
-func (c *Ctx) After(element string, d time.Duration, tag interface{}) *sim.Event {
+func (c *Ctx) After(element string, d time.Duration, tag interface{}) sim.Event {
 	return c.Proc.After(d, elementTimer{element: element, tag: tag})
 }
 

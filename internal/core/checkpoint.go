@@ -19,6 +19,12 @@ import (
 type Checkpoint struct {
 	path    string
 	regions map[string][]byte
+	// names mirrors the region map keys in sorted order, maintained
+	// incrementally so the per-transmission commit encodes without
+	// sorting; scratch is the reusable encode buffer. Together they make
+	// the steady-state Update/Commit cycle allocation-free.
+	names   []string
+	scratch []byte
 	store   *sim.FS
 	commits int
 	updates int
@@ -34,12 +40,33 @@ func NewCheckpoint(store *sim.FS, path string) *Checkpoint {
 	}
 }
 
-// Update copies an element snapshot into its region of the buffer.
+// Update copies an element snapshot into its region of the buffer,
+// reusing the region's existing backing array when it is large enough.
 func (c *Checkpoint) Update(element string, state []byte) {
-	buf := make([]byte, len(state))
+	buf, existed := c.regions[element]
+	if cap(buf) >= len(state) {
+		buf = buf[:len(state)]
+	} else {
+		buf = make([]byte, len(state))
+	}
 	copy(buf, state)
 	c.regions[element] = buf
+	if !existed {
+		c.names = insertName(c.names, element)
+	}
 	c.updates++
+}
+
+// insertName adds s to a sorted name slice if absent.
+func insertName(names []string, s string) []string {
+	i := sort.SearchStrings(names, s)
+	if i < len(names) && names[i] == s {
+		return names
+	}
+	names = append(names, "")
+	copy(names[i+1:], names[i:])
+	names[i] = s
+	return names
 }
 
 // Region returns the current buffered snapshot for an element (nil if
@@ -47,14 +74,12 @@ func (c *Checkpoint) Update(element string, state []byte) {
 // to corrupt checkpoint contents in place.
 func (c *Checkpoint) Region(element string) []byte { return c.regions[element] }
 
-// Elements lists element names with buffered regions, sorted.
+// Elements lists element names with buffered regions, sorted. The caller
+// may keep the returned slice; it is a copy of the maintained index.
 func (c *Checkpoint) Elements() []string {
-	names := make([]string, 0, len(c.regions))
-	for n := range c.regions {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
 }
 
 // Commit serializes the buffer to stable storage. Called by the ARMOR
@@ -83,6 +108,11 @@ func (c *Checkpoint) Load() (bool, error) {
 		return true, err
 	}
 	c.regions = regions
+	c.names = c.names[:0]
+	for n := range regions {
+		c.names = append(c.names, n)
+	}
+	sort.Strings(c.names)
 	return true, nil
 }
 
@@ -115,18 +145,20 @@ func (c *Checkpoint) CorruptStable(rng *rand.Rand, flips int) bool {
 	return true
 }
 
-// encode flattens regions deterministically (sorted by element name).
+// encode flattens regions deterministically (sorted by element name) into
+// the checkpoint's reusable scratch buffer; the result is valid until the
+// next encode and is copied by FS.Write.
 func (c *Checkpoint) encode() []byte {
-	names := c.Elements()
-	var out []byte
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(names)))
-	for _, n := range names {
+	out := c.scratch[:0]
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(c.names)))
+	for _, n := range c.names {
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(n)))
 		out = append(out, n...)
 		region := c.regions[n]
 		out = binary.LittleEndian.AppendUint32(out, uint32(len(region)))
 		out = append(out, region...)
 	}
+	c.scratch = out
 	return out
 }
 

@@ -55,6 +55,12 @@ type Encoder struct {
 // Bytes returns the accumulated encoding.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset empties the encoder while keeping its backing buffer, so a
+// long-lived encoder (per-ARMOR scratch) stops allocating once it has
+// grown to the working-set size. The slice returned by a previous Bytes
+// call is invalidated.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // PutU64 appends an unsigned 64-bit field.
 func (e *Encoder) PutU64(v uint64) {
 	e.buf = append(e.buf, byte(tagU64))

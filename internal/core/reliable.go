@@ -17,12 +17,28 @@ const commName = "core.comm"
 // commState implements sequencing for reliable point-to-point ARMOR
 // messaging: per-peer send sequence numbers and duplicate suppression on
 // the receive side.
+//
+// The peer-key slices mirror the map keys in sorted order, maintained
+// incrementally (binary insert on first use of a peer), so the
+// per-transmission snapshot is a straight O(peers) encode with no sorting
+// and — together with the persistent scratch encoder — no allocation.
 type commState struct {
 	nextSeq  map[AID]uint64
 	lastSeen map[AID]uint64
 	// extraSeen holds out-of-order seen sequence numbers above
 	// lastSeen, pruned as the window closes.
 	extraSeen map[AID]map[uint64]bool
+
+	seqKeys  []AID // sorted keys of nextSeq
+	seenKeys []AID // sorted keys of lastSeen
+
+	enc         Encoder    // reused by snapshot
+	pairScratch []commPair // reused by snapshot for extraSeen flattening
+}
+
+type commPair struct {
+	src AID
+	seq uint64
 }
 
 func newCommState() *commState {
@@ -33,8 +49,33 @@ func newCommState() *commState {
 	}
 }
 
+// insertAID adds k to a sorted key slice if absent.
+func insertAID(keys []AID, k AID) []AID {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i < len(keys) && keys[i] == k {
+		return keys
+	}
+	keys = append(keys, 0)
+	copy(keys[i+1:], keys[i:])
+	keys[i] = k
+	return keys
+}
+
+// removeAID deletes k from a sorted key slice if present.
+func removeAID(keys []AID, k AID) []AID {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i >= len(keys) || keys[i] != k {
+		return keys
+	}
+	copy(keys[i:], keys[i+1:])
+	return keys[:len(keys)-1]
+}
+
 // assign returns the next sequence number for messages to dst.
 func (c *commState) assign(dst AID) uint64 {
+	if _, ok := c.nextSeq[dst]; !ok {
+		c.seqKeys = insertAID(c.seqKeys, dst)
+	}
 	c.nextSeq[dst]++
 	return c.nextSeq[dst]
 }
@@ -53,6 +94,9 @@ func (c *commState) markSeen(src AID, seq uint64) {
 		return
 	}
 	if seq == c.lastSeen[src]+1 {
+		if _, ok := c.lastSeen[src]; !ok {
+			c.seenKeys = insertAID(c.seenKeys, src)
+		}
 		c.lastSeen[src] = seq
 		extra := c.extraSeen[src]
 		for extra[c.lastSeen[src]+1] {
@@ -70,34 +114,45 @@ func (c *commState) markSeen(src AID, seq uint64) {
 	c.extraSeen[src][seq] = true
 }
 
-// snapshot serializes the channel state deterministically.
+// forgetPeer drops all sequencing state for one peer (a fresh incarnation
+// restarts numbering from one).
+func (c *commState) forgetPeer(peer AID) {
+	if _, ok := c.nextSeq[peer]; ok {
+		delete(c.nextSeq, peer)
+		c.seqKeys = removeAID(c.seqKeys, peer)
+	}
+	if _, ok := c.lastSeen[peer]; ok {
+		delete(c.lastSeen, peer)
+		c.seenKeys = removeAID(c.seenKeys, peer)
+	}
+	delete(c.extraSeen, peer)
+}
+
+// snapshot serializes the channel state deterministically. The returned
+// slice is the commState's scratch buffer, valid until the next snapshot
+// call; Checkpoint.Update copies it immediately.
 func (c *commState) snapshot() []byte {
-	var e Encoder
-	putMap := func(m map[AID]uint64) {
-		keys := make([]AID, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e := &c.enc
+	e.Reset()
+	putMap := func(m map[AID]uint64, keys []AID) {
 		e.PutU64(uint64(len(keys)))
 		for _, k := range keys {
 			e.PutU64(uint64(k))
 			e.PutU64(m[k])
 		}
 	}
-	putMap(c.nextSeq)
-	putMap(c.lastSeen)
-	// extraSeen: flattened (src, seq) pairs.
-	type pair struct {
-		src AID
-		seq uint64
-	}
-	var pairs []pair
+	putMap(c.nextSeq, c.seqKeys)
+	putMap(c.lastSeen, c.seenKeys)
+	// extraSeen: flattened (src, seq) pairs. Almost always empty (only
+	// out-of-order arrivals populate it), so the sort here is off the
+	// steady-state path.
+	pairs := c.pairScratch[:0]
 	for src, seqs := range c.extraSeen {
 		for seq := range seqs {
-			pairs = append(pairs, pair{src, seq})
+			pairs = append(pairs, commPair{src, seq})
 		}
 	}
+	c.pairScratch = pairs
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i].src != pairs[j].src {
 			return pairs[i].src < pairs[j].src
@@ -149,5 +204,16 @@ func (c *commState) restore(data []byte) error {
 	c.nextSeq = nextSeq
 	c.lastSeen = lastSeen
 	c.extraSeen = extra
+	c.seqKeys = sortedAIDs(nextSeq, c.seqKeys[:0])
+	c.seenKeys = sortedAIDs(lastSeen, c.seenKeys[:0])
 	return nil
+}
+
+// sortedAIDs rebuilds a sorted key slice from a map, reusing dst.
+func sortedAIDs(m map[AID]uint64, dst []AID) []AID {
+	for k := range m {
+		dst = append(dst, k)
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
 }

@@ -189,6 +189,15 @@ func init() {
 		}),
 	})
 	reesift.Register(reesift.Scenario{
+		ID:      "scale",
+		Title:   "Scale: node-crash load on 100-1000-node clusters with spread placement",
+		Aliases: []string{"scale-1000"},
+		Run: single(func(sc Scale) (*Table, error) {
+			t, _, err := TableScale(sc)
+			return t, err
+		}),
+	})
+	reesift.Register(reesift.Scenario{
 		ID:      "chaos",
 		Title:   "Continuous chaos: long-horizon fault arrival processes, availability, and MTTR",
 		Aliases: []string{"chaos-campaign"},

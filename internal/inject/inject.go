@@ -247,6 +247,14 @@ type Result struct {
 	// Chaos carries the long-horizon availability measurements of a
 	// continuous-arrival (chaos) trial; nil for one-shot runs.
 	Chaos *ChaosStats `json:",omitempty"`
+
+	// EventsFired is the total number of kernel events this run fired;
+	// SimTime is the virtual clock at shutdown. Both are deterministic
+	// for a seed, and together with wall time they yield the scale
+	// scenario's throughput metrics (events/sec, sim-time per wall-
+	// second) without putting wall-derived numbers in pinned output.
+	EventsFired uint64
+	SimTime     time.Duration
 }
 
 // ArrivalEvent is one fault arrival fired by a continuous chaos process:

@@ -335,6 +335,8 @@ func (r *Runner) finish(handles []*sift.AppHandle) {
 	}
 	res := r.res
 	env := r.env
+	res.EventsFired = r.k.EventsFired()
+	res.SimTime = r.k.Now()
 	if mem := r.mem(); mem != nil {
 		res.Activated = res.Activated || mem.Activated > 0
 	}

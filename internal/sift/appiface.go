@@ -64,6 +64,7 @@ type AppContext struct {
 	// ExecAID is the local Execution ARMOR.
 	ExecAID core.AID
 
+	node      string
 	daemonPID sim.PID
 	seq       uint64
 	stash     []sim.Msg
@@ -123,7 +124,25 @@ func (ac *AppContext) Attach() {
 	if ac.App.Standalone {
 		return
 	}
-	ac.Proc.Send(ac.daemonPID, LocalAttach{ID: ac.AID, PID: ac.Proc.Self()})
+	ac.Proc.Send(ac.daemon(), LocalAttach{ID: ac.AID, PID: ac.Proc.Self()})
+}
+
+// daemon resolves the local daemon's current process address. With
+// EnvConfig.DaemonRebind, a process that outlived its daemon (boot-agent
+// reinstall after a node restart) — or started before the reinstall
+// landed, binding the dead incarnation's address at spawn — re-attaches
+// to the fresh daemon so acknowledgments route back; without the rebind
+// every send from such a process disappears into the dead daemon and
+// the rank wedges forever.
+func (ac *AppContext) daemon() sim.PID {
+	if !ac.Env.cfg.DaemonRebind {
+		return ac.daemonPID
+	}
+	if cur, ok := ac.Env.daemonPID[ac.node]; ok && cur != ac.daemonPID {
+		ac.daemonPID = cur
+		ac.Proc.Send(cur, LocalAttach{ID: ac.AID, PID: ac.Proc.Self()})
+	}
+	return ac.daemonPID
 }
 
 // Step models one unit of application work for the fault injectors: it
@@ -162,7 +181,7 @@ func (ac *AppContext) sendReliableBlocking(dst core.AID, kind core.EventKind, da
 		Events: []core.Event{{Kind: kind, Data: data}},
 	}
 	for {
-		ac.Proc.Send(ac.daemonPID, env)
+		ac.Proc.Send(ac.daemon(), env)
 		if ac.waitAck(dst, env.Seq, 2*time.Second) {
 			return
 		}

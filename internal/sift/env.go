@@ -58,6 +58,37 @@ type EnvConfig struct {
 	// nodes are then unsurvivable). The default — boot agent enabled —
 	// has the SCC start a boot agent on every restarted node.
 	DisableBootAgent bool
+	// SpreadPlacement places application ranks (and so their Execution
+	// ARMORs) least-loaded-first across the cluster instead of cycling
+	// the spec's node list, and keeps application ranks off the FTM's
+	// node so an application-node crash never takes the manager down
+	// with it. The per-rank assignment is computed once at submission
+	// and is a pure function of the configuration and the submission
+	// order, so runs stay deterministic at any worker count. Large
+	// clusters (the scale scenario's hundreds of nodes) need this: the
+	// spec's own node list would otherwise pile every rank onto a
+	// handful of hosts.
+	SpreadPlacement bool
+	// ScopedLocationBroadcast narrows the FTM's submit-time location
+	// announcements (Execution ARMOR and application pseudo-AID
+	// records) from every daemon in the cluster to the daemons that can
+	// actually route traffic for them: the application's own nodes plus
+	// the FTM's node. On a 1000-node cluster a full broadcast per
+	// submitted rank is quadratic message fan-out that no daemon ever
+	// reads; recovery-time re-broadcasts (migrations, reconciliation)
+	// stay cluster-wide, because after a failure any node may hold stale
+	// cache entries.
+	ScopedLocationBroadcast bool
+	// DaemonRebind lets application processes re-resolve their local
+	// daemon's address on every SIFT-interface send and re-attach when it
+	// changed. It closes a race the boot-agent recovery path opens on
+	// large clusters: a rank relaunched between node-up and the daemon
+	// reinstall binds the dead incarnation's address at spawn, after
+	// which every send (attach, PI create, progress) disappears into the
+	// dead daemon and the rank wedges undetected. Off by default — the
+	// paper's 4-6-node testbed never hit the race, and the pinned
+	// long-horizon scenarios measure the environment without it.
+	DaemonRebind bool
 	// DisableEpochs turns off incarnation epochs on ARMOR identities
 	// (all installs stamped epoch zero, no stale-sender rejection, no
 	// stand-down of superseded incarnations). Ablation only: it
@@ -122,6 +153,15 @@ type Environment struct {
 	appPID    map[appKey]sim.PID
 	appCtx    map[appKey]*AppContext
 	handles   map[AppID]*AppHandle
+
+	// placeOf holds the spread-placement rank assignments (node name per
+	// rank, computed at submission); rankLoad counts ranks assigned per
+	// node across submissions. Both stay empty unless
+	// EnvConfig.SpreadPlacement is on — the shared AppSpec is never
+	// mutated, because campaign trials share spec pointers across
+	// workers.
+	placeOf  map[AppID][]string
+	rankLoad map[string]int
 
 	// AppDoneHook fires (in kernel context) when the SCC learns an
 	// application completed; harnesses use it to stop the run early.
@@ -190,6 +230,8 @@ func New(k *sim.Kernel, cfg EnvConfig) *Environment {
 		appPID:      make(map[appKey]sim.PID),
 		appCtx:      make(map[appKey]*AppContext),
 		handles:     make(map[AppID]*AppHandle),
+		placeOf:     make(map[AppID][]string),
+		rankLoad:    make(map[string]int),
 	}
 }
 
@@ -263,6 +305,9 @@ func (e *Environment) Submit(app *AppSpec, at time.Duration) *AppHandle {
 	h := &AppHandle{App: app}
 	e.handles[app.ID] = h
 	e.appSpecs[app.ID] = app
+	if e.cfg.SpreadPlacement {
+		e.spreadPlace(app)
+	}
 	delay := at - e.K.Now()
 	e.K.Schedule(delay, func() {
 		e.K.SendExternal(e.sccPID, sccSubmit{App: app})
@@ -447,12 +492,58 @@ func (e *Environment) bootstrapSnapshot() DaemonBootstrap {
 	return DaemonBootstrap{DaemonPIDs: pids, NodeOf: nodeOf, SCCPID: e.sccPID}
 }
 
+// spreadPlace computes the load-aware rank assignment for a submission:
+// each rank in order takes the least-loaded candidate node, ties broken
+// by cluster order. The FTM's node is excluded whenever the cluster has
+// any other node, so an application-node crash never also decapitates
+// the manager. The assignment depends only on the configuration and the
+// submission order — no randomness, no kernel state — so campaign trials
+// replay it identically at any worker count.
+func (e *Environment) spreadPlace(app *AppSpec) {
+	if _, done := e.placeOf[app.ID]; done {
+		return // duplicate submission keeps the first assignment
+	}
+	candidates := make([]string, 0, len(e.cfg.Nodes))
+	for _, n := range e.cfg.Nodes {
+		if n != e.cfg.FTMNode {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = e.cfg.Nodes
+	}
+	assign := make([]string, app.Ranks)
+	for rank := range assign {
+		best := candidates[0]
+		for _, n := range candidates[1:] {
+			if e.rankLoad[n] < e.rankLoad[best] {
+				best = n
+			}
+		}
+		e.rankLoad[best]++
+		assign[rank] = best
+	}
+	e.placeOf[app.ID] = assign
+}
+
+// rankNode resolves the node hosting an application rank (and its
+// Execution ARMOR): the spread-placement assignment when one exists,
+// otherwise the spec's cycled node list. launchApp and the FTM's submit
+// path both go through here, so the application process and its monitor
+// always land on the same node.
+func (e *Environment) rankNode(app *AppSpec, rank int) string {
+	if assign := e.placeOf[app.ID]; rank < len(assign) {
+		return assign[rank]
+	}
+	return app.Nodes[rank%len(app.Nodes)]
+}
+
 // launchApp starts one application rank. When spawner is non-nil the
 // process becomes the spawner's child (the rank-0 / Execution ARMOR
 // relationship); otherwise it is a free-standing process watched through
 // the process table.
 func (e *Environment) launchApp(spawner *sim.Proc, app *AppSpec, rank, restart int) sim.PID {
-	nodeName := app.Nodes[rank%len(app.Nodes)]
+	nodeName := e.rankNode(app, rank)
 	node := e.K.Node(nodeName)
 	name := fmt.Sprintf("%s-r%d", app.Name, rank)
 	var mem *memsim.Memory
@@ -468,6 +559,7 @@ func (e *Environment) launchApp(spawner *sim.Proc, app *AppSpec, rank, restart i
 			Restart:   restart,
 			AID:       AIDApp(app.ID, rank),
 			ExecAID:   AIDExec(app.ID, rank),
+			node:      nodeName,
 			daemonPID: e.daemonPID[nodeName],
 			Mem:       mem,
 		}

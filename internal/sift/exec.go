@@ -56,7 +56,12 @@ type ExecElem struct {
 	// slack) after the last update, bounding detection latency to ~one
 	// period instead of up to two.
 	InterruptDriven bool
-	watchdog        *sim.Event
+	watchdog        sim.Event
+	// watchdogEpoch is the piEpoch baked into the pending watchdog's
+	// timer payload; a re-arm within the same epoch can Reschedule the
+	// timer in place, while an epoch bump must schedule a fresh one so
+	// the payload's epoch stamp stays current.
+	watchdogEpoch int64
 
 	pollPeriod time.Duration
 }
@@ -263,10 +268,13 @@ func (e *ExecElem) procPoll(ctx *core.Ctx) {
 // armWatchdog (re)starts the interrupt-driven watchdog: it expires one
 // period plus slack after the most recent progress indicator.
 func (e *ExecElem) armWatchdog(ctx *core.Ctx) {
-	if e.watchdog != nil {
-		e.watchdog.Cancel()
+	d := e.PIPeriod + watchdogSlack(e.PIPeriod)
+	if e.watchdogEpoch == e.piEpoch && e.watchdog.Reschedule(d) {
+		return // same-epoch re-arm: sift the pending timer in place
 	}
-	e.watchdog = ctx.After(e.Name(), e.PIPeriod+watchdogSlack(e.PIPeriod), watchdogTag{epoch: e.piEpoch})
+	e.watchdog.Cancel()
+	e.watchdog = ctx.After(e.Name(), d, watchdogTag{epoch: e.piEpoch})
+	e.watchdogEpoch = e.piEpoch
 }
 
 // watchdogFired is the interrupt-driven hang verdict: no progress

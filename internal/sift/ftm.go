@@ -12,10 +12,16 @@ import (
 const (
 	AIDFTM       core.AID = 1
 	AIDHeartbeat core.AID = 2
-	AIDSCC       core.AID = 900
+	// AIDSCC sits far above every derived range (daemons from 10,
+	// Execution ARMORs from 1000, application pseudo-AIDs from 5000) so
+	// even a 1000-node cluster cannot collide a daemon AID with it.
+	AIDSCC core.AID = 1 << 20
 )
 
-// AIDDaemon returns the AID of the daemon on the i-th node.
+// AIDDaemon returns the AID of the daemon on the i-th node. The range
+// starts at 10 and must stay below AIDExec's floor of 1000+100*app for
+// the smallest submitted AppID, which caps clusters at about a thousand
+// nodes — comfortably past the scale scenario's largest tier.
 func AIDDaemon(i int) core.AID { return core.AID(10 + i) }
 
 // AIDExec returns the Execution ARMOR AID for an application rank.
@@ -1183,7 +1189,7 @@ func (f *FTM) submit(ctx *core.Ctx, app *AppSpec) {
 	ctx.Touch(f.AppDetect)
 	f.env.Log.Add(ctx.Now(), "app-submitted", fmt.Sprintf("app=%d name=%s", app.ID, app.Name))
 	for rank := 0; rank < app.Ranks; rank++ {
-		node := app.Nodes[rank%len(app.Nodes)]
+		node := f.env.rankNode(app, rank)
 		aid := AIDExec(app.ID, rank)
 		// Execution ARMORs are deliberately NOT epoched (epoch zero =
 		// always accepted). Epochs exist to break the duplicate-RECOVERER
@@ -1213,12 +1219,41 @@ func (f *FTM) submit(ctx *core.Ctx, app *AppSpec) {
 		ctx.Touch(f.ArmorInfo)
 		daemon := f.NodeMgmt.Translate(node)
 		ctx.Send(daemon, EvInstallArmor, InstallArmor{Spec: spec})
-		f.broadcastLocation(ctx, aid, node, 0)
+		f.announceSubmitLocation(ctx, app, aid, node)
 		// The application process itself attaches under a pseudo-AID on
 		// the same node; daemons need it in their location caches to
 		// route acknowledgments back to it. Application processes are
 		// not epoched (they predate the ARMOR runtime), so epoch zero.
-		f.broadcastLocation(ctx, AIDApp(app.ID, rank), node, 0)
+		f.announceSubmitLocation(ctx, app, AIDApp(app.ID, rank), node)
+	}
+}
+
+// announceSubmitLocation distributes a submit-time location record
+// (Execution ARMOR or application pseudo-AID, always epoch zero). The
+// default is the cluster-wide broadcast; with ScopedLocationBroadcast
+// the record goes only to the daemons that route traffic for the
+// submission — the application's own rank nodes plus the FTM's node.
+// Recovery-time updates (recoverNode, reconcile) keep the full
+// broadcast: after a failure any daemon may hold a stale entry.
+func (f *FTM) announceSubmitLocation(ctx *core.Ctx, app *AppSpec, id core.AID, node string) {
+	if !f.env.cfg.ScopedLocationBroadcast {
+		f.broadcastLocation(ctx, id, node, 0)
+		return
+	}
+	scope := make(map[string]bool, app.Ranks+1)
+	for rank := 0; rank < app.Ranks; rank++ {
+		scope[f.env.rankNode(app, rank)] = true
+	}
+	if own := f.env.placementNode(AIDFTM); own != "" {
+		scope[own] = true
+	} else {
+		scope[f.env.cfg.FTMNode] = true
+	}
+	for _, n := range f.NodeMgmt.Nodes {
+		if !n.Alive || !scope[n.Hostname] {
+			continue
+		}
+		ctx.SendUnreliable(n.DaemonAID, EvLocation, Location{ID: id, Node: node, Epoch: 0})
 	}
 }
 

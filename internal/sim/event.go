@@ -2,35 +2,105 @@ package sim
 
 import "time"
 
-// Event is a scheduled kernel callback. Events fire in (time, sequence)
-// order, which makes the simulation deterministic.
-type Event struct {
+// Event kinds. The hot wake sources (sleep/yield wakeups, message
+// deliveries, receive timeouts) are dispatched by kind from pooled event
+// records instead of per-call closures, so the steady-state event loop
+// allocates nothing.
+const (
+	evFunc    uint8 = iota + 1 // generic callback (external schedulers)
+	evWake                     // wake a process parked in Sleep/Yield
+	evDeliver                  // deliver a message to a process inbox
+	evTimeout                  // expire a RecvTimeout wait
+)
+
+// event is the pooled kernel-side record of a scheduled callback. Events
+// fire in (time, sequence) order, which makes the simulation
+// deterministic. Fired and cancelled events return to the kernel's free
+// list; gen is bumped on every recycle so stale handles can never touch
+// a reused record (ABA safety).
+type event struct {
+	k     *Kernel
 	at    time.Duration
 	seq   uint64
-	fn    func()
 	index int
-	owner *eventHeap
+	gen   uint64
+
+	kind uint8
+	fn   func() // evFunc
+	proc *Proc  // evWake, evTimeout
+	tok  uint64 // evWake, evTimeout: waitSeq stamp
+	dst  PID    // evDeliver
+	msg  Msg    // evDeliver
+}
+
+// Event is a cancellable handle to a scheduled kernel callback. The zero
+// Event is valid and refers to nothing: Cancel and Reschedule are no-ops
+// on it. Handles are values — they stay safe after the underlying pooled
+// record is recycled, because the generation stamp no longer matches.
+type Event struct {
+	e   *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to a pending event.
+func (h Event) live() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
 }
 
 // Cancel prevents the event from firing by eagerly removing it from the
 // kernel's event heap in O(log n) — heartbeat and watchdog timers are
 // cancelled and re-armed constantly, and letting dead events age out at
-// their fire time would keep the heap inflated for the whole run.
-// Cancelling an already-fired or already-cancelled event is a no-op
-// (its index is -1 once it leaves the heap).
-func (e *Event) Cancel() {
-	if e.owner != nil && e.index >= 0 {
-		e.owner.remove(e.index)
+// their fire time would keep the heap inflated for the whole run. The
+// record returns to the kernel's free list. Cancelling an already-fired,
+// already-cancelled, or zero handle is a no-op.
+func (h Event) Cancel() {
+	if !h.live() {
+		return
 	}
+	e := h.e
+	e.k.events.remove(e.index)
+	e.k.recycle(e)
 }
 
-// At reports the virtual time at which the event fires.
-func (e *Event) At() time.Duration { return e.at }
+// Pending reports whether the event is still scheduled to fire.
+func (h Event) Pending() bool { return h.live() }
+
+// At reports the virtual time at which the event fires (zero for a
+// fired, cancelled, or zero handle).
+func (h Event) At() time.Duration {
+	if !h.live() {
+		return 0
+	}
+	return h.e.at
+}
+
+// Reschedule moves a pending event to fire d from now, sifting it in
+// place instead of cancel+push — half the heap operations for periodic
+// timers that re-arm on every beat. The event keeps its payload but is
+// assigned a fresh sequence number, so the resulting fire order is
+// byte-identical to Cancel followed by an equivalent Schedule. It
+// reports false when the event has already fired or been cancelled (the
+// caller must schedule anew).
+func (h Event) Reschedule(d time.Duration) bool {
+	if !h.live() {
+		return false
+	}
+	e := h.e
+	k := e.k
+	if d < 0 {
+		d = 0
+	}
+	e.at = k.now + d
+	e.seq = k.seq
+	k.seq++
+	k.events.fix(e.index)
+	return true
+}
 
 // eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
 // rather than wrapping container/heap to avoid interface boxing on the
 // kernel's hottest path.
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
@@ -39,14 +109,22 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h *eventHeap) push(e *Event) {
+func (h *eventHeap) push(e *event) {
 	*h = append(*h, e)
 	i := len(*h) - 1
 	(*h)[i].index = i
 	h.up(i)
 }
 
-func (h *eventHeap) pop() (*Event, bool) {
+// peek returns the minimum event without removing it.
+func (h eventHeap) peek() (*event, bool) {
+	if len(h) == 0 {
+		return nil, false
+	}
+	return h[0], true
+}
+
+func (h *eventHeap) pop() (*event, bool) {
 	old := *h
 	n := len(old)
 	if n == 0 {
@@ -80,9 +158,14 @@ func (h *eventHeap) remove(i int) {
 	old[n] = nil
 	*h = old[:n]
 	if i < n {
-		h.down(i)
-		h.up(i)
+		h.fix(i)
 	}
+}
+
+// fix restores heap order after the event at position i changed priority.
+func (h eventHeap) fix(i int) {
+	h.down(i)
+	h.up(i)
 }
 
 func (h eventHeap) up(i int) {

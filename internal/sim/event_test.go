@@ -7,7 +7,7 @@ import (
 
 func TestCancelRemovesEventFromHeap(t *testing.T) {
 	k := newTestKernel(t)
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 32; i++ {
 		evs = append(evs, k.Schedule(time.Duration(i)*time.Second, func() {}))
 	}
@@ -16,7 +16,7 @@ func TestCancelRemovesEventFromHeap(t *testing.T) {
 	}
 	// Cancel from the middle, the head, and the tail: each must shrink
 	// the heap immediately, not at fire time.
-	for n, ev := range []*Event{evs[13], evs[0], evs[31]} {
+	for n, ev := range []Event{evs[13], evs[0], evs[31]} {
 		ev.Cancel()
 		if want := 31 - n; len(k.events) != want {
 			t.Fatalf("after %d cancels: heap size = %d, want %d", n+1, len(k.events), want)
@@ -32,7 +32,7 @@ func TestCancelRemovesEventFromHeap(t *testing.T) {
 func TestCancelPreservesFireOrder(t *testing.T) {
 	k := newTestKernel(t)
 	var fired []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 50; i++ {
 		i := i
 		// Reverse-ordered times exercise the sift paths on removal.

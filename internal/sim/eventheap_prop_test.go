@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// evKey is the total order the heap must respect.
+type evKey struct {
+	at  time.Duration
+	seq uint64
+}
+
+func (a evKey) before(b evKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// checkHeapInvariants verifies the parent ≤ child ordering and that every
+// record's index field matches its heap position (Cancel depends on it).
+func checkHeapInvariants(t *testing.T, h eventHeap) {
+	t.Helper()
+	for i := range h {
+		if h[i].index != i {
+			t.Fatalf("h[%d].index = %d", i, h[i].index)
+		}
+		if i > 0 && h.less(i, (i-1)/2) {
+			t.Fatalf("heap violation at %d: (%v,%d) < parent (%v,%d)",
+				i, h[i].at, h[i].seq, h[(i-1)/2].at, h[(i-1)/2].seq)
+		}
+	}
+}
+
+// drainAndCompare pops the heap dry, asserting strictly increasing
+// (at, seq) order and that the popped multiset matches the reference
+// model exactly.
+func drainAndCompare(t *testing.T, k *Kernel, model map[Event]evKey) {
+	t.Helper()
+	if len(k.events) != len(model) {
+		t.Fatalf("heap has %d events, model has %d", len(k.events), len(model))
+	}
+	seen := make(map[evKey]bool, len(model))
+	prev := evKey{at: -1}
+	for {
+		e, ok := k.events.pop()
+		if !ok {
+			break
+		}
+		key := evKey{at: e.at, seq: e.seq}
+		if !prev.before(key) {
+			t.Fatalf("pop order violated: (%v,%d) after (%v,%d)", key.at, key.seq, prev.at, prev.seq)
+		}
+		prev = key
+		if seen[key] {
+			t.Fatalf("duplicate key (%v,%d)", key.at, key.seq)
+		}
+		seen[key] = true
+	}
+	for _, key := range model {
+		if !seen[key] {
+			t.Fatalf("model event (%v,%d) never popped", key.at, key.seq)
+		}
+	}
+}
+
+// heapMachine drives push/cancel/reschedule/stale-cancel operations from
+// an op stream against both the kernel heap and a reference model keyed
+// by handle, checking structural invariants after every step. It is
+// shared by the seeded property test and the fuzz target.
+func heapMachine(t *testing.T, ops []byte) {
+	k := newTestKernel(t)
+	model := make(map[Event]evKey)
+	var live []Event // handles still in model
+	var dead []Event // cancelled handles, replayed to prove staleness safety
+	for i := 0; i+1 < len(ops); i += 2 {
+		op, arg := ops[i], ops[i+1]
+		switch op % 4 {
+		case 0: // push
+			h := k.Schedule(time.Duration(arg)*time.Millisecond, func() {})
+			live = append(live, h)
+			model[h] = evKey{at: h.e.at, seq: h.e.seq}
+		case 1: // cancel a live handle
+			if len(live) == 0 {
+				continue
+			}
+			j := int(arg) % len(live)
+			h := live[j]
+			h.Cancel()
+			if h.Pending() {
+				t.Fatal("handle still pending after Cancel")
+			}
+			delete(model, h)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			dead = append(dead, h)
+		case 2: // reschedule a live handle in place
+			if len(live) == 0 {
+				continue
+			}
+			j := int(arg) % len(live)
+			h := live[j]
+			if !h.Reschedule(time.Duration(arg) * 7 * time.Millisecond) {
+				t.Fatal("Reschedule of a live handle reported false")
+			}
+			model[h] = evKey{at: h.e.at, seq: h.e.seq}
+		case 3: // operate on a stale handle: must be a no-op
+			if len(dead) == 0 {
+				continue
+			}
+			h := dead[int(arg)%len(dead)]
+			before := len(k.events)
+			h.Cancel()
+			if h.Reschedule(time.Millisecond) {
+				t.Fatal("Reschedule of a stale handle reported true")
+			}
+			if len(k.events) != before {
+				t.Fatal("stale handle op disturbed the heap")
+			}
+		}
+		if len(k.events) != len(model) {
+			t.Fatalf("op %d: heap size %d != model size %d", i/2, len(k.events), len(model))
+		}
+		checkHeapInvariants(t, k.events)
+	}
+	drainAndCompare(t, k, model)
+}
+
+// TestEventHeapPropertyVsModel runs the op-stream machine on seeded
+// random streams — push-heavy, cancel-heavy, and balanced mixes.
+func TestEventHeapPropertyVsModel(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([]byte, 1200)
+		switch seed % 3 {
+		case 0:
+			for i := range ops {
+				ops[i] = byte(rng.Intn(256))
+			}
+		case 1: // push-heavy: ¾ of ops are pushes
+			for i := 0; i < len(ops); i += 2 {
+				if rng.Intn(4) > 0 {
+					ops[i] = 0
+				} else {
+					ops[i] = byte(rng.Intn(256))
+				}
+				ops[i+1] = byte(rng.Intn(256))
+			}
+		case 2: // churn-heavy: mostly cancel/reschedule over a small heap
+			for i := 0; i < len(ops); i += 2 {
+				ops[i] = byte(1 + rng.Intn(3))
+				if rng.Intn(5) == 0 {
+					ops[i] = 0
+				}
+				ops[i+1] = byte(rng.Intn(256))
+			}
+		}
+		heapMachine(t, ops)
+	}
+}
+
+// FuzzEventHeap lets the fuzzer hunt for op interleavings that break heap
+// ordering, index bookkeeping, or stale-handle (ABA) safety.
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 1, 0, 2, 3, 3, 0})
+	f.Add([]byte{0, 0, 0, 0, 2, 0, 2, 1, 1, 1, 0, 200, 3, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		heapMachine(t, ops)
+	})
+}

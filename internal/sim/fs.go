@@ -22,8 +22,16 @@ func NewFS() *FS {
 }
 
 // Write stores a copy of data under path, replacing any previous content.
+// The previous content's backing array is reused when large enough — safe
+// because Read hands out copies, so no caller holds an alias into the
+// stored bytes (CorruptBit mutates in place by design).
 func (f *FS) Write(path string, data []byte) {
-	buf := make([]byte, len(data))
+	buf := f.files[path]
+	if cap(buf) >= len(data) {
+		buf = buf[:len(data)]
+	} else {
+		buf = make([]byte, len(data))
+	}
 	copy(buf, data)
 	f.files[path] = buf
 }

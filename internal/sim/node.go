@@ -78,7 +78,7 @@ func (k *Kernel) CrashNode(name string) {
 		p.suspended = false
 		if p.state == stateWaiting {
 			p.state = stateReady
-			k.ready = append(k.ready, p)
+			k.pushReady(p)
 		}
 	}
 	for _, w := range k.nodeWatchers[name] {

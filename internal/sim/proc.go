@@ -39,7 +39,13 @@ type Proc struct {
 	killed      bool
 	killReason  string
 
-	inbox   []Msg
+	// inbox is a ring buffer (head/len indices) so receives stop
+	// resliced-prefix churn and steady-state send/recv reuses one
+	// backing array per process.
+	inbox     []Msg
+	inboxHead int
+	inboxLen  int
+
 	tokenIn chan struct{}
 
 	// waitSeq stamps each blocking wait so stale timer wakeups (a sleep
@@ -63,6 +69,31 @@ type Proc struct {
 	Extra interface{}
 
 	body func(*Proc)
+}
+
+// pushMsg appends m to the inbox ring, growing (and linearizing) the ring
+// when full.
+func (p *Proc) pushMsg(m Msg) {
+	if p.inboxLen == len(p.inbox) {
+		grown := make([]Msg, max(8, 2*len(p.inbox)))
+		for i := 0; i < p.inboxLen; i++ {
+			grown[i] = p.inbox[(p.inboxHead+i)%len(p.inbox)]
+		}
+		p.inbox = grown
+		p.inboxHead = 0
+	}
+	p.inbox[(p.inboxHead+p.inboxLen)%len(p.inbox)] = m
+	p.inboxLen++
+}
+
+// popMsg removes and returns the oldest inbox message. The vacated slot is
+// zeroed so the ring does not pin delivered payloads for the GC.
+func (p *Proc) popMsg() Msg {
+	m := p.inbox[p.inboxHead]
+	p.inbox[p.inboxHead] = Msg{}
+	p.inboxHead = (p.inboxHead + 1) % len(p.inbox)
+	p.inboxLen--
+	return m
 }
 
 // procUnwind is panicked inside a process goroutine to unwind it when the
@@ -92,10 +123,10 @@ func (k *Kernel) Spawn(n *Node, name string, parent PID, fn func(*Proc)) PID {
 		body:     fn,
 	}
 	k.nextPID++
-	k.procs[p.pid] = p
+	k.procs = append(k.procs, p) // dense table: p.pid == len(k.procs)-1
 	n.procs[p.pid] = p
 	k.liveProcs++
-	if pp := k.procs[parent]; pp != nil {
+	if pp := k.proc(parent); pp != nil {
 		pp.children[p.pid] = p
 	}
 	go p.main()
@@ -146,7 +177,7 @@ func (k *Kernel) finalize(p *Proc, code int, reason string) {
 	if k.Tracing() {
 		k.Tracef("proc %d (%s) exited code=%d reason=%q", p.pid, p.name, code, reason)
 	}
-	if pp := k.procs[p.parent]; pp != nil && pp.state != stateDead {
+	if pp := k.proc(p.parent); pp != nil && pp.state != stateDead {
 		delete(pp.children, p.pid)
 		k.deliver(p.parent, Msg{From: p.pid, SentAt: k.now, Payload: ChildExit{
 			Child: p.pid, Name: p.name, Code: code, Reason: reason,
@@ -159,6 +190,8 @@ func (k *Kernel) finalize(p *Proc, code int, reason string) {
 	}
 	p.children = nil
 	p.inbox = nil
+	p.inboxHead = 0
+	p.inboxLen = 0
 }
 
 // Kill terminates a process abruptly (the SIGINT error model: the process
@@ -166,7 +199,7 @@ func (k *Kernel) finalize(p *Proc, code int, reason string) {
 // dead or unknown process is a no-op. Must be called from kernel context
 // (an event callback), not from the victim itself.
 func (k *Kernel) Kill(pid PID, reason string) {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	if p == nil || p.state == stateDead {
 		return
 	}
@@ -175,7 +208,7 @@ func (k *Kernel) Kill(pid PID, reason string) {
 	p.suspended = false
 	if p.state == stateWaiting {
 		p.state = stateReady
-		k.ready = append(k.ready, p)
+		k.pushReady(p)
 	}
 	// If ready, the kill takes effect at dispatch; park() panics.
 }
@@ -185,7 +218,7 @@ func (k *Kernel) Kill(pid PID, reason string) {
 // timers destined for a suspended process queue up; none of them wake it
 // until Resume.
 func (k *Kernel) Suspend(pid PID) {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	if p == nil || p.state == stateDead {
 		return
 	}
@@ -200,7 +233,7 @@ func (k *Kernel) Suspend(pid PID) {
 // Resume undoes Suspend. Any wakeups that arrived while suspended take
 // effect immediately.
 func (k *Kernel) Resume(pid PID) {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	if p == nil || p.state == stateDead || !p.suspended {
 		return
 	}
@@ -215,20 +248,20 @@ func (k *Kernel) Resume(pid PID) {
 // is the process-table probe used by Execution ARMORs to detect crashes of
 // MPI ranks they did not launch themselves.
 func (k *Kernel) Alive(pid PID) bool {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	return p != nil && p.state != stateDead
 }
 
 // Suspended reports whether pid is currently suspended.
 func (k *Kernel) Suspended(pid PID) bool {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	return p != nil && p.suspended
 }
 
 // Exit returns the exit status of a dead process, or nil if the process is
 // alive or unknown.
 func (k *Kernel) Exit(pid PID) *ExitStatus {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	if p == nil {
 		return nil
 	}
@@ -237,7 +270,7 @@ func (k *Kernel) Exit(pid PID) *ExitStatus {
 
 // ProcName returns the name a process was spawned with.
 func (k *Kernel) ProcName(pid PID) string {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	if p == nil {
 		return ""
 	}
@@ -246,7 +279,7 @@ func (k *Kernel) ProcName(pid PID) string {
 
 // ProcNode returns the node a process lives on, or nil.
 func (k *Kernel) ProcNode(pid PID) *Node {
-	p := k.procs[pid]
+	p := k.proc(pid)
 	if p == nil {
 		return nil
 	}
@@ -257,11 +290,11 @@ func (k *Kernel) ProcNode(pid PID) *Node {
 // if it is parked in a receive. Dead destinations drop silently, exactly
 // like UDP to a dead port; reliability is layered above in internal/core.
 func (k *Kernel) deliver(dst PID, m Msg) {
-	p := k.procs[dst]
+	p := k.proc(dst)
 	if p == nil || p.state == stateDead || !p.node.up {
 		return
 	}
-	p.inbox = append(p.inbox, m)
+	p.pushMsg(m)
 	if p.state == stateWaiting && p.recvWaiting {
 		k.makeReady(p)
 	}
@@ -273,10 +306,7 @@ func (k *Kernel) deliver(dst PID, m Msg) {
 // context) into a process inbox after the local delivery latency. The
 // experiment controller uses it to stand in for the SCC's uplink.
 func (k *Kernel) SendExternal(dst PID, payload interface{}) {
-	sentAt := k.now
-	k.Schedule(k.cfg.LocalLatency, func() {
-		k.deliver(dst, Msg{From: NoPID, SentAt: sentAt, Payload: payload})
-	})
+	k.scheduleDeliver(k.cfg.LocalLatency, dst, Msg{From: NoPID, SentAt: k.now, Payload: payload})
 }
 
 // ---------------------------------------------------------------------------
@@ -319,14 +349,8 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	self := p
-	self.waitSeq++
-	tok := self.waitSeq
-	p.kernel.Schedule(d, func() {
-		if self.waitSeq == tok && self.state == stateWaiting {
-			self.kernel.makeReady(self)
-		}
-	})
+	p.waitSeq++
+	p.kernel.scheduleWake(d, p, p.waitSeq)
 	p.state = stateWaiting
 	p.park()
 }
@@ -334,14 +358,8 @@ func (p *Proc) Sleep(d time.Duration) {
 // Yield cedes the token so other runnable processes at the same virtual
 // time can make progress.
 func (p *Proc) Yield() {
-	self := p
-	self.waitSeq++
-	tok := self.waitSeq
-	p.kernel.Schedule(0, func() {
-		if self.waitSeq == tok && self.state == stateWaiting {
-			self.kernel.makeReady(self)
-		}
-	})
+	p.waitSeq++
+	p.kernel.scheduleWake(0, p, p.waitSeq)
 	p.state = stateWaiting
 	p.park()
 }
@@ -351,7 +369,7 @@ func (p *Proc) Yield() {
 // down nodes vanish.
 func (p *Proc) Send(dst PID, payload interface{}) {
 	k := p.kernel
-	dp := k.procs[dst]
+	dp := k.proc(dst)
 	if dp == nil {
 		return
 	}
@@ -363,50 +381,31 @@ func (p *Proc) Send(dst PID, payload interface{}) {
 	if k.applyNetFault(p.pid, dst, &m, &lat) {
 		return
 	}
-	k.Schedule(lat, func() { k.deliver(dst, m) })
+	k.scheduleDeliver(lat, dst, m)
 }
 
 // Recv blocks until a message arrives and returns it.
 func (p *Proc) Recv() Msg {
-	for len(p.inbox) == 0 {
+	for p.inboxLen == 0 {
 		p.waitSeq++
 		p.recvWaiting = true
 		p.state = stateWaiting
 		p.park()
 		p.recvWaiting = false
 	}
-	m := p.inbox[0]
-	p.inbox = p.inbox[1:]
-	return m
+	return p.popMsg()
 }
 
 // RecvTimeout blocks until a message arrives or d elapses. ok is false on
 // timeout.
 func (p *Proc) RecvTimeout(d time.Duration) (Msg, bool) {
-	if len(p.inbox) > 0 {
-		m := p.inbox[0]
-		p.inbox = p.inbox[1:]
-		return m, true
+	if p.inboxLen > 0 {
+		return p.popMsg(), true
 	}
-	self := p
 	p.timedOut = false
 	p.waitSeq++
-	tok := p.waitSeq
-	timer := p.kernel.Schedule(d, func() {
-		if self.waitSeq != tok || len(self.inbox) > 0 {
-			return
-		}
-		if self.state == stateWaiting && self.recvWaiting {
-			self.timedOut = true
-			self.kernel.makeReady(self)
-		} else if self.suspended {
-			// Expired while hung: remember so a resumed process sees
-			// the timeout rather than blocking forever.
-			self.timedOut = true
-			self.pendingWake = true
-		}
-	})
-	for len(p.inbox) == 0 {
+	timer := p.kernel.scheduleTimeout(d, p, p.waitSeq)
+	for p.inboxLen == 0 {
 		if p.timedOut {
 			p.timedOut = false
 			return Msg{}, false
@@ -418,19 +417,13 @@ func (p *Proc) RecvTimeout(d time.Duration) (Msg, bool) {
 	}
 	timer.Cancel()
 	p.timedOut = false
-	m := p.inbox[0]
-	p.inbox = p.inbox[1:]
-	return m, true
+	return p.popMsg(), true
 }
 
 // After delivers a TimerFired{Tag: tag} message to the process's own inbox
-// after d. It returns the underlying event so the caller can cancel it.
-func (p *Proc) After(d time.Duration, tag interface{}) *Event {
-	self := p
-	sentAt := p.kernel.now
-	return p.kernel.Schedule(d, func() {
-		self.kernel.deliver(self.pid, Msg{From: self.pid, SentAt: sentAt, Payload: TimerFired{Tag: tag}})
-	})
+// after d. It returns a handle the caller can cancel or reschedule.
+func (p *Proc) After(d time.Duration, tag interface{}) Event {
+	return p.kernel.scheduleDeliver(d, p.pid, Msg{From: p.pid, SentAt: p.kernel.now, Payload: TimerFired{Tag: tag}})
 }
 
 // SpawnChild starts a child process on the given node. The child's exit is

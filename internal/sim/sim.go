@@ -25,6 +25,13 @@
 // the event queue is ordered by (time, sequence number), and all randomness
 // flows from a single seeded source. A simulation is therefore a pure
 // function of (seed, configuration).
+//
+// The steady-state hot path — Schedule/Reschedule/fire, Send/Recv, and
+// sleep/timeout wakeups — is allocation-free: event records are pooled on
+// a kernel free list (generation-stamped against stale handles), the
+// ready queue and per-process inboxes are ring buffers, and the process
+// table is a dense slice indexed by PID (PIDs are monotonic and never
+// reused).
 package sim
 
 import (
@@ -77,10 +84,16 @@ type Kernel struct {
 	now     time.Duration
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled event records
+	fired   uint64   // total events fired (throughput accounting)
 	stopped bool
 
-	procs    map[PID]*Proc
-	nextPID  PID
+	// procs is the dense process table, indexed by PID. PIDs start at 1
+	// and are never reused, so index 0 stays nil and dead processes keep
+	// their slot (exactly the retention the former map had).
+	procs   []*Proc
+	nextPID PID
+
 	nodes    map[string]*Node
 	nodeList []*Node
 
@@ -101,8 +114,14 @@ type Kernel struct {
 	// tokenBack is signalled by a process goroutine when it parks or
 	// exits, returning control to the kernel loop.
 	tokenBack chan struct{}
+
+	// ready is a ring buffer of runnable processes (head/len indices, no
+	// reslicing, so the backing array never leaks a dead prefix).
 	ready     []*Proc
-	current   *Proc
+	readyHead int
+	readyLen  int
+
+	current *Proc
 
 	traceFn func(at time.Duration, format string, args []interface{})
 
@@ -119,7 +138,7 @@ func NewKernel(cfg Config) *Kernel {
 	}
 	return &Kernel{
 		cfg:       cfg,
-		procs:     make(map[PID]*Proc),
+		procs:     make([]*Proc, 1, 64), // index 0 = NoPID
 		nextPID:   1,
 		nodes:     make(map[string]*Node),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
@@ -137,6 +156,10 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // SharedFS returns the cluster-wide remote file system (the testbed's Sun
 // workstation disk holding executables, input data, and output data).
 func (k *Kernel) SharedFS() *FS { return k.sharedFS }
+
+// EventsFired reports how many events have fired since kernel creation —
+// the numerator of the scale scenario's events/sec throughput metric.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
 
 // SetTrace installs a trace sink invoked for every Tracef call.
 func (k *Kernel) SetTrace(fn func(at time.Duration, format string, args []interface{})) {
@@ -178,16 +201,128 @@ func (k *Kernel) Node(name string) *Node { return k.nodes[name] }
 // Nodes returns all nodes in creation order.
 func (k *Kernel) Nodes() []*Node { return k.nodeList }
 
-// Schedule registers fn to run in kernel context at the given delay from
-// now. It returns a handle that can cancel the event.
-func (k *Kernel) Schedule(d time.Duration, fn func()) *Event {
+// proc returns the process table entry for pid, or nil.
+func (k *Kernel) proc(pid PID) *Proc {
+	if pid <= 0 || int(pid) >= len(k.procs) {
+		return nil
+	}
+	return k.procs[pid]
+}
+
+// allocEvent pops a recycled event record off the free list, or makes a
+// fresh one. Steady state recycles every record, so the event path stops
+// allocating once the pool has warmed up.
+func (k *Kernel) allocEvent() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{k: k}
+}
+
+// recycle returns a record to the free list, bumping its generation so
+// stale handles to the fired/cancelled event can never touch it again.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.proc = nil
+	e.msg = Msg{}
+	k.free = append(k.free, e)
+}
+
+// newEvent allocates and stamps a record at d from now. The caller fills
+// in the kind fields and pushes it.
+func (k *Kernel) newEvent(d time.Duration) *event {
 	if d < 0 {
 		d = 0
 	}
-	ev := &Event{at: k.now + d, seq: k.seq, fn: fn, owner: &k.events}
+	e := k.allocEvent()
+	e.at = k.now + d
+	e.seq = k.seq
 	k.seq++
-	k.events.push(ev)
-	return ev
+	return e
+}
+
+// Schedule registers fn to run in kernel context at the given delay from
+// now. It returns a handle that can cancel or reschedule the event.
+func (k *Kernel) Schedule(d time.Duration, fn func()) Event {
+	e := k.newEvent(d)
+	e.kind = evFunc
+	e.fn = fn
+	k.events.push(e)
+	return Event{e: e, gen: e.gen}
+}
+
+// scheduleDeliver arranges for m to be delivered to dst's inbox after d,
+// without a closure: the pooled record carries the destination and the
+// message.
+func (k *Kernel) scheduleDeliver(d time.Duration, dst PID, m Msg) Event {
+	e := k.newEvent(d)
+	e.kind = evDeliver
+	e.dst = dst
+	e.msg = m
+	k.events.push(e)
+	return Event{e: e, gen: e.gen}
+}
+
+// scheduleWake arranges to wake p from a Sleep/Yield park after d, if it
+// is still in the same wait (tok matches its waitSeq).
+func (k *Kernel) scheduleWake(d time.Duration, p *Proc, tok uint64) {
+	e := k.newEvent(d)
+	e.kind = evWake
+	e.proc = p
+	e.tok = tok
+	k.events.push(e)
+}
+
+// scheduleTimeout arms a RecvTimeout expiry for p's current wait.
+func (k *Kernel) scheduleTimeout(d time.Duration, p *Proc, tok uint64) Event {
+	e := k.newEvent(d)
+	e.kind = evTimeout
+	e.proc = p
+	e.tok = tok
+	k.events.push(e)
+	return Event{e: e, gen: e.gen}
+}
+
+// fire dispatches one popped event by kind and recycles its record. The
+// fields are copied out first so the record can be reused by anything
+// the callback schedules.
+func (k *Kernel) fire(e *event) {
+	k.fired++
+	switch e.kind {
+	case evFunc:
+		fn := e.fn
+		k.recycle(e)
+		fn()
+	case evWake:
+		p, tok := e.proc, e.tok
+		k.recycle(e)
+		if p.waitSeq == tok && p.state == stateWaiting {
+			k.makeReady(p)
+		}
+	case evDeliver:
+		dst, m := e.dst, e.msg
+		k.recycle(e)
+		k.deliver(dst, m)
+	case evTimeout:
+		p, tok := e.proc, e.tok
+		k.recycle(e)
+		if p.waitSeq != tok || p.inboxLen > 0 {
+			return
+		}
+		if p.state == stateWaiting && p.recvWaiting {
+			p.timedOut = true
+			k.makeReady(p)
+		} else if p.suspended {
+			// Expired while hung: remember so a resumed process sees
+			// the timeout rather than blocking forever.
+			p.timedOut = true
+			p.pendingWake = true
+		}
+	}
 }
 
 // Stop halts the kernel loop after the current event completes.
@@ -209,26 +344,26 @@ func (k *Kernel) Run(limit time.Duration) time.Duration {
 		if k.stopped {
 			break
 		}
-		ev, ok := k.events.pop()
+		next, ok := k.events.peek()
 		if !ok {
 			break
 		}
-		if ev.at > limit {
-			// Push back so a later Run with a larger limit resumes.
-			k.events.push(ev)
+		if next.at > limit {
+			// Leave it queued so a later Run with a larger limit resumes.
 			k.now = limit
 			break
 		}
+		ev, _ := k.events.pop()
 		if ev.at > k.now {
 			k.now = ev.at
 		}
-		ev.fn()
+		k.fire(ev)
 	}
 	return k.now
 }
 
 // Idle reports whether no events or runnable processes remain.
-func (k *Kernel) Idle() bool { return len(k.events) == 0 && len(k.ready) == 0 }
+func (k *Kernel) Idle() bool { return len(k.events) == 0 && k.readyLen == 0 }
 
 // LiveProcs reports how many processes are currently alive (running,
 // ready, waiting, or suspended).
@@ -239,17 +374,46 @@ func (k *Kernel) LiveProcs() int { return k.liveProcs }
 // from leaking across test cases.
 func (k *Kernel) Shutdown() {
 	for _, p := range k.procs {
-		if p.state != stateDead {
+		if p != nil && p.state != stateDead {
 			k.Kill(p.pid, "kernel shutdown")
 		}
 	}
 	k.drainReady()
 }
 
+// pushReady appends p to the ready ring, growing (and linearizing) the
+// ring when full.
+func (k *Kernel) pushReady(p *Proc) {
+	if k.readyLen == len(k.ready) {
+		grown := make([]*Proc, max(8, 2*len(k.ready)))
+		for i := 0; i < k.readyLen; i++ {
+			grown[i] = k.ready[(k.readyHead+i)%len(k.ready)]
+		}
+		k.ready = grown
+		k.readyHead = 0
+	}
+	k.ready[(k.readyHead+k.readyLen)%len(k.ready)] = p
+	k.readyLen++
+}
+
+// popReady removes and returns the oldest ready process.
+func (k *Kernel) popReady() (*Proc, bool) {
+	if k.readyLen == 0 {
+		return nil, false
+	}
+	p := k.ready[k.readyHead]
+	k.ready[k.readyHead] = nil
+	k.readyHead = (k.readyHead + 1) % len(k.ready)
+	k.readyLen--
+	return p, true
+}
+
 func (k *Kernel) drainReady() {
-	for len(k.ready) > 0 {
-		p := k.ready[0]
-		k.ready = k.ready[1:]
+	for {
+		p, ok := k.popReady()
+		if !ok {
+			return
+		}
 		if p.state != stateReady {
 			continue
 		}
@@ -278,7 +442,7 @@ func (k *Kernel) makeReady(p *Proc) {
 		return
 	}
 	p.state = stateReady
-	k.ready = append(k.ready, p)
+	k.pushReady(p)
 }
 
 // latency computes the delivery delay between two nodes.

@@ -32,6 +32,9 @@ type settings struct {
 	noChecks      bool
 	noBootAgent   bool
 	noEpochs      bool
+	spread        bool
+	scopedLoc     bool
+	daemonRebind  bool
 }
 
 // defaultNodeNames returns the paper's 4-node testbed names for n == 4
@@ -245,6 +248,50 @@ func WithoutEpochs() Option {
 	}
 }
 
+// WithSpreadPlacement places application ranks (and their Execution
+// ARMORs) on the least-loaded nodes at submission time instead of
+// round-robin over the application's declared node list, and keeps them
+// off the FTM's node. Placement depends only on the configuration and
+// submission order, so runs stay deterministic. This is the policy the
+// large-cluster scale scenario uses: with hundreds of nodes and dozens
+// of applications, round-robin over short per-app node lists would pile
+// every rank onto a handful of hosts.
+func WithSpreadPlacement() Option {
+	return func(s *settings) error {
+		s.spread = true
+		return nil
+	}
+}
+
+// WithScopedLocationBroadcast limits submit-time ARMOR location
+// announcements to the daemons that actually route traffic for the
+// submission (the application's rank nodes plus the FTM's node) instead
+// of every daemon in the cluster. Recovery-time announcements stay
+// cluster-wide. On a 1000-node cluster this turns an O(nodes × ranks)
+// submission burst into O(ranks²).
+func WithScopedLocationBroadcast() Option {
+	return func(s *settings) error {
+		s.scopedLoc = true
+		return nil
+	}
+}
+
+// WithDaemonRebind lets application processes re-resolve their local
+// daemon's address on every SIFT-interface send and re-attach when the
+// daemon was reinstalled underneath them. It closes a relaunch-versus-
+// reinstall race on the boot-agent recovery path: a rank relaunched
+// between node-up and the daemon reinstall binds the dead incarnation's
+// address and wedges undetected. The window is a few hundred
+// milliseconds per restart, so it effectively only fires under the
+// scale scenario's load; the default (off) preserves the paper
+// testbed's behaviour.
+func WithDaemonRebind() Option {
+	return func(s *settings) error {
+		s.daemonRebind = true
+		return nil
+	}
+}
+
 // WithRegistrationRace reintroduces the Figure 10 registration race
 // (install the Execution ARMOR before registering it in the FTM's
 // table). The paper's final configuration — and this package's default —
@@ -344,5 +391,8 @@ func buildConfigNodes(opts []Option, defaultNodes int) (sift.EnvConfig, int64, e
 	cfg.DisableSelfChecks = s.noChecks
 	cfg.DisableBootAgent = s.noBootAgent
 	cfg.DisableEpochs = s.noEpochs
+	cfg.SpreadPlacement = s.spread
+	cfg.ScopedLocationBroadcast = s.scopedLoc
+	cfg.DaemonRebind = s.daemonRebind
 	return cfg, s.seed, nil
 }
