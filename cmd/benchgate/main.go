@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -71,8 +72,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	failed := false
-	for key, oldVal := range prev {
+	keys := make([]string, 0, len(prev))
+	for key := range prev {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var regressed []string
+	for _, key := range keys {
+		oldVal := prev[key]
 		newVal, ok := fresh[key]
 		if !ok {
 			fmt.Fprintf(stdout, "benchgate: %s: present in baseline only; skipping\n", key)
@@ -82,12 +89,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verdict := "ok"
 		if newVal > limit {
 			verdict = "REGRESSED"
-			failed = true
+			regressed = append(regressed,
+				fmt.Sprintf("%s: baseline %.4g, current %.4g (limit %.4g, +%.1f%%)",
+					key, oldVal, newVal, limit, (newVal/oldVal-1)*100))
 		}
 		fmt.Fprintf(stdout, "benchgate: %s: %.4g -> %.4g (limit %.4g): %s\n", key, oldVal, newVal, limit, verdict)
 	}
-	if failed {
-		fmt.Fprintf(stderr, "benchgate: regression beyond %.0f%% tolerance\n", *maxRegress*100)
+	if len(regressed) > 0 {
+		fmt.Fprintf(stderr, "benchgate: %d metric(s) regressed beyond %.0f%% tolerance:\n", len(regressed), *maxRegress*100)
+		for _, r := range regressed {
+			fmt.Fprintf(stderr, "benchgate:   %s\n", r)
+		}
 		return 1
 	}
 	return 0

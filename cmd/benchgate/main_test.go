@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -132,5 +134,39 @@ func TestGateSkipsWithoutBaseline(t *testing.T) {
 func TestGateRequiresNew(t *testing.T) {
 	if code := run(nil, os.Stdout, os.Stderr); code != 2 {
 		t.Fatalf("missing -new exited %d, want 2", code)
+	}
+}
+
+// TestGateFailureNamesValues pins the failure report: the stderr summary
+// must name every regressed metric with its baseline, current, and limit
+// values so a red CI run is diagnosable from the log alone.
+func TestGateFailureNamesValues(t *testing.T) {
+	old := writeTemp(t, "old.json", stream(
+		"BenchmarkRecoveryTime-8 1 100 ns/op 0.50 s/recovery",
+		"BenchmarkChaosSimDay-8 1 100 ns/op 1.00 s/sim-day",
+	))
+	bad := writeTemp(t, "bad.json", stream(
+		"BenchmarkRecoveryTime-4 1 100 ns/op 0.80 s/recovery", // +60%
+		"BenchmarkChaosSimDay-4 1 100 ns/op 1.50 s/sim-day",   // +50%
+	))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-old", old, "-new", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed comparison exited %d, want 1", code)
+	}
+	errOut := stderr.String()
+	if !strings.Contains(errOut, "2 metric(s) regressed") {
+		t.Errorf("summary does not count the regressions: %s", errOut)
+	}
+	for _, want := range []string{
+		"BenchmarkRecoveryTime/s/recovery: baseline 0.5, current 0.8 (limit 0.6, +60.0%)",
+		"BenchmarkChaosSimDay/s/sim-day: baseline 1, current 1.5 (limit 1.2, +50.0%)",
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	// Deterministic ordering: sorted by metric key.
+	if chaos, rec := strings.Index(errOut, "BenchmarkChaosSimDay"), strings.Index(errOut, "BenchmarkRecoveryTime"); chaos > rec {
+		t.Errorf("regressions not in sorted order:\n%s", errOut)
 	}
 }

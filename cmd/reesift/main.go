@@ -5,12 +5,19 @@
 //
 //	reesift [-scale small|paper] [-seed N] [-workers N] [-exp all|table3,table4,...] [-format text|json] [-list]
 //	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-trace] [-trace-dir DIR] [-replay BUNDLE]
 //
 // Experiments are discovered from the reesift scenario registry, where
 // every reproduced table and figure self-registers; -list prints the
 // available ids. The paper scale reproduces the full campaign sizes
 // (~28,000 injections across all experiments); small scale is a fast
 // smoke run of the same code.
+//
+// -trace records every run's structured trace; runs classified as
+// system failures snapshot self-contained JSONL repro bundles into
+// -trace-dir. -replay re-executes the single run a bundle records and
+// verifies the recorded verdict and trace digest reproduce
+// byte-identically (exit 0 reproduced, 1 diverged, 2 unusable bundle).
 //
 // -cpuprofile and -memprofile mirror `go test`'s flags: they write
 // pprof profiles covering the selected campaigns, so hot-path profiling
@@ -54,6 +61,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	listFlag := fs.Bool("list", false, "list registered experiment ids and exit")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the campaigns to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after the campaigns, post-GC) to this file")
+	traceFlag := fs.Bool("trace", false, "record structured traces; system-failure runs snapshot repro bundles into -trace-dir")
+	traceDir := fs.String("trace-dir", "traces", "directory breach repro bundles are written into (with -trace)")
+	replayFlag := fs.String("replay", "", "replay a breach repro bundle and verify the recorded verdict and trace digest reproduce")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -87,6 +97,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *formatFlag != "text" && *formatFlag != "json" {
 		fmt.Fprintf(stderr, "unknown format %q (want text or json)\n", *formatFlag)
 		return 2
+	}
+
+	if *replayFlag != "" {
+		return replayBundle(*replayFlag, sc, stdout, stderr)
+	}
+	if *traceFlag {
+		sc.Trace = &reesift.TraceSpec{Dir: *traceDir}
 	}
 
 	scenarios, err := selectScenarios(*expFlag)
@@ -141,6 +158,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "[%s: %d runs, %d injections, %.1fs wall clock]\n\n",
 				s.ID, res.Runs, res.Injections, res.WallClockSeconds)
 		}
+		if *formatFlag == "text" {
+			for _, path := range res.BreachBundles {
+				fmt.Fprintf(stdout, "breach bundle: %s\n", path)
+			}
+		}
 	}
 	stopCPU()
 	if *memProfile != "" {
@@ -163,6 +185,93 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// replayBundle re-executes the single run a breach repro bundle records
+// and verifies the classification and trace digest reproduce
+// byte-identically. The experiment configuration comes from the bundle
+// itself (the marshaled Scale in its meta payload), so the only inputs
+// are the bundle and the binary; command-line scale flags are
+// overridden. Exit status: 0 reproduced, 1 diverged, 2 unusable bundle.
+func replayBundle(path string, sc reesift.Scale, stdout, stderr io.Writer) int {
+	b, err := reesift.ReadBundle(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "replay: %v\n", err)
+		return 2
+	}
+	s, ok := reesift.Lookup(b.Scenario)
+	if !ok {
+		fmt.Fprintf(stderr, "replay: bundle scenario %q is not registered\n", b.Scenario)
+		return 2
+	}
+	if len(b.Meta) > 0 {
+		if err := json.Unmarshal(b.Meta, &sc); err != nil {
+			fmt.Fprintf(stderr, "replay: bundle meta: %v\n", err)
+			return 2
+		}
+	}
+	sc.Seed = b.BaseSeed
+	// One worker, one pinned run: the replayed kernel is a pure function
+	// of its derived seed, so the pool buys nothing and sequential
+	// execution keeps the replay's own output deterministic. Tracing
+	// runs with the recorded parameters but no bundle directory — the
+	// digest is recomputed, nothing is written.
+	sc.Workers = 1
+	sc.Trace = &reesift.TraceSpec{Buffer: b.Buffer, MetricsEvery: b.MetricsEvery}
+	var got *reesift.InjectionResult
+	sc.Replay = &reesift.Replay{
+		Campaign: b.Campaign, Cell: b.Cell, Run: b.Run,
+		OnResult: func(r reesift.InjectionResult) { got = &r },
+	}
+	// The scenario's acceptance checks see a single-run result set and
+	// fail by design; the replayed run's verdict is the product here.
+	if _, err := reesift.RunScenario(s, sc); err != nil && got == nil {
+		fmt.Fprintf(stderr, "replay: scenario %q: %v\n", b.Scenario, err)
+	}
+	if got == nil {
+		fmt.Fprintf(stderr, "replay: scenario %q never executed %s/%s run %d\n",
+			b.Scenario, b.Campaign, b.Cell, b.Run)
+		return 1
+	}
+	fmt.Fprintf(stdout, "replay %s\n", path)
+	fmt.Fprintf(stdout, "  scenario=%s campaign=%s cell=%s run=%d seed=%d\n",
+		b.Scenario, b.Campaign, b.Cell, b.Run, b.Seed)
+	fmt.Fprintf(stdout, "  recorded: breach=%s digest=%s records=%d events=%d sim=%s\n",
+		b.Breach, b.TraceDigest, b.TraceTotal, b.Verdict.EventsFired, b.Verdict.SimTime)
+	fmt.Fprintf(stdout, "  replayed: breach=%s digest=%s records=%d events=%d sim=%s\n",
+		got.SysMode, got.TraceDigest, got.TraceRecords, got.EventsFired, got.SimTime)
+	if diffs := replayDiffs(b, got); len(diffs) > 0 {
+		for _, d := range diffs {
+			fmt.Fprintf(stderr, "replay: diverged: %s\n", d)
+		}
+		return 1
+	}
+	fmt.Fprintln(stdout, "replay: verdict and trace digest reproduced")
+	return 0
+}
+
+// replayDiffs compares the replayed run against the bundle's frozen
+// verdict, field by field, returning one line per divergence.
+func replayDiffs(b *reesift.Bundle, got *reesift.InjectionResult) []string {
+	var diffs []string
+	diff := func(name string, rec, rep interface{}) {
+		if rec != rep {
+			diffs = append(diffs, fmt.Sprintf("%s: recorded %v, replayed %v", name, rec, rep))
+		}
+	}
+	diff("seed", b.Seed, got.Seed)
+	diff("system-failure", b.Verdict.SystemFailure, got.SystemFailure)
+	diff("sys-mode", b.Verdict.SysMode, got.SysMode.String())
+	diff("failed", b.Verdict.Failed, got.Failed)
+	diff("class", b.Verdict.Class, got.Class.String())
+	diff("recovered", b.Verdict.Recovered, got.Recovered)
+	diff("done", b.Verdict.Done, got.Done)
+	diff("injections", b.Verdict.Injections, got.Injected)
+	diff("sim-time", b.Verdict.SimTime, got.SimTime)
+	diff("events-fired", b.Verdict.EventsFired, got.EventsFired)
+	diff("trace-digest", b.TraceDigest, got.TraceDigest)
+	diff("trace-records", b.TraceTotal, got.TraceRecords)
+	return diffs
 }
 
 // writeHeapProfile snapshots the heap to path, forcing a GC first so

@@ -155,3 +155,75 @@ func TestJSONFormatParses(t *testing.T) {
 		t.Fatalf("table3 result incomplete: %+v", results[0])
 	}
 }
+
+// TestTraceReplayRoundTrip is the breach-repro golden path: run the
+// split-brain scenario traced (its no-epochs ablation cell reproduces
+// system failures by construction), pick up a written bundle, replay it,
+// and require the recorded verdict and trace digest to reproduce
+// byte-identically.
+func TestTraceReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "split-brain", "-trace", "-trace-dir", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(split-brain -trace) = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "breach bundle: ") {
+		t.Fatalf("traced run reported no breach bundles:\n%s", stdout.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no bundles written to %s", dir)
+	}
+	bundle := dir + "/" + entries[0].Name()
+	b, err := reesift.ReadBundle(bundle)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	if !b.Verdict.SystemFailure || b.TraceDigest == "" || len(b.Records) == 0 {
+		t.Fatalf("bundle not self-contained: %+v", b)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-replay", bundle}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-replay) = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "replay: verdict and trace digest reproduced") {
+		t.Fatalf("replay did not confirm reproduction:\n%s", out)
+	}
+	if !strings.Contains(out, b.TraceDigest) {
+		t.Fatalf("replay output does not show the recorded digest %s:\n%s", b.TraceDigest, out)
+	}
+
+	// A corrupted verdict must diverge loudly with exit 1.
+	raw, err := os.ReadFile(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitN(raw, []byte("\n"), 2)
+	var hdr map[string]interface{}
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatal(err)
+	}
+	hdr["trace_digest"] = "fnv1a:0000000000000000"
+	mangledHdr, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := dir + "/mangled.jsonl"
+	if err := os.WriteFile(mangled, append(append(mangledHdr, '\n'), lines[1]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-replay", mangled}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run(-replay mangled) = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "trace-digest") {
+		t.Fatalf("divergence does not name the digest field: %s", stderr.String())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"reesift/internal/inject"
+	"reesift/internal/trace"
 )
 
 // arm schedules the arrival process on the trial's kernel. It runs
@@ -55,8 +56,9 @@ func (d *driver) note(ev inject.ArrivalEvent) {
 		d.events = append(d.events, ev)
 	}
 	k := d.r.Kernel()
-	if k.Tracing() {
-		k.Tracef("chaos: arrival %s at %v node=%q", ev.Model, ev.At, ev.Node)
+	if k.TraceOn() {
+		k.Emit(trace.Record{At: ev.At, Kind: trace.KindArrival,
+			Op: ev.Model.String(), Node: ev.Node, A: int64(d.arrivals)})
 	}
 }
 

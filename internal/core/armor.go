@@ -6,6 +6,7 @@ import (
 
 	"reesift/internal/memsim"
 	"reesift/internal/sim"
+	"reesift/internal/trace"
 )
 
 // Crash reason prefixes. The injection framework classifies failures by
@@ -482,8 +483,9 @@ func (a *Armor) handleEnvelope(p *sim.Proc, env Envelope) {
 			}
 		}
 		if !restoring {
-			if p.Kernel().Tracing() {
-				p.Kernel().Tracef("%s: awaiting restore, dropping %v from %s", a.cfg.Name, env.Events[0].Kind, env.Src)
+			if k := p.Kernel(); k.TraceOn() {
+				k.Emit(trace.Record{Kind: trace.KindLog, Op: "awaiting-restore-drop",
+					Detail: a.cfg.Name + ": " + string(env.Events[0].Kind), A: int64(env.Src)})
 			}
 			a.replyAliveOnly(p, env)
 			return
@@ -519,8 +521,8 @@ func (a *Armor) deliverEvents(p *sim.Proc, from AID, events []Event) {
 			continue
 		}
 		if ev.Kind == EventRestore {
-			if p.Kernel().Tracing() {
-				p.Kernel().Tracef("%s: restoring from checkpoint on command", a.cfg.Name)
+			if k := p.Kernel(); k.TraceOn() {
+				k.Emit(trace.Record{Kind: trace.KindLog, Op: "restore-command", Detail: a.cfg.Name})
 			}
 			a.restoreFromCheckpoint()
 			a.Restored = true
@@ -587,6 +589,10 @@ func (a *Armor) sendAck(p *sim.Proc, dst AID, seq uint64) {
 func (a *Armor) transmitCommitted(p *sim.Proc, env Envelope) {
 	if !a.cfg.AwaitRestore || a.Restored {
 		a.ckpt.Commit()
+		if k := p.Kernel(); k.TraceOn() {
+			k.Emit(trace.Record{Kind: trace.KindCheckpoint, Op: a.cfg.Name,
+				A: int64(a.ckpt.Commits())})
+		}
 	}
 	a.transmit(p, env)
 }
@@ -622,8 +628,9 @@ func (a *Armor) restoreFromCheckpoint() {
 	if err != nil {
 		a.proc.Crash(fmt.Sprintf("%s: checkpoint unparseable: %v", ReasonRestoreFail, err))
 	}
-	if a.proc.Kernel().Tracing() {
-		a.proc.Kernel().Tracef("%s: restore found regions %v", a.cfg.Name, a.ckpt.Elements())
+	if k := a.proc.Kernel(); k.TraceOn() {
+		k.Emit(trace.Record{Kind: trace.KindLog, Op: "restore-loaded",
+			Detail: a.cfg.Name, A: int64(len(a.ckpt.Elements()))})
 	}
 	if data := a.ckpt.Region(commName); data != nil {
 		if err := a.comm.restore(data); err != nil {

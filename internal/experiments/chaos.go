@@ -192,8 +192,8 @@ func Chaos(sc Scale) (*reesift.Result, error) {
 	t := &reesift.Table{
 		ID:    "chaos",
 		Title: "Continuous chaos: availability and MTTR under background fault arrival processes",
-		Header: []string{"CELL", "HOURS", "TRIALS", "ARRIVALS", "INJECTED", "AVAILABILITY",
-			"DOWNS", "MTTR p50 (s)", "MTTR p95 (s)", "MTTR MAX (s)", "UNRECOV", "TTFU (s)"},
+		Header: []string{"CELL", "HOURS", "TRIALS", "ARRIVALS", "INJECTED", "AVAILABILITY", "AVAIL CI95",
+			"DOWNS", "MTTR MEAN (s)", "MTTR CI95 (s)", "MTTR p50 (s)", "MTTR p95 (s)", "MTTR MAX (s)", "UNRECOV", "TTFU (s)"},
 	}
 	type pooled struct {
 		unavail float64 // mean per-trial unavailability
@@ -205,15 +205,16 @@ func Chaos(sc Scale) (*reesift.Result, error) {
 			return nil, fmt.Errorf("chaos: missing cell %q", c.name)
 		}
 		arrivals, downs, unrecov := 0, 0, 0
-		var mttr, unavail, ttfu stats.Sample
+		var mttr, ttfu stats.Sample
+		perTrial := make([]*reesift.ChaosStats, 0, len(cell.Results))
 		for _, r := range cell.Results {
 			st := r.Chaos
 			if st == nil {
 				return nil, fmt.Errorf("chaos: cell %q run without ChaosStats", c.name)
 			}
+			perTrial = append(perTrial, st)
 			arrivals += st.Arrivals
 			downs += st.Downs
-			unavail.Add(1 - st.Availability)
 			for _, d := range st.Down {
 				mttr.AddDuration(d)
 			}
@@ -222,7 +223,8 @@ func Chaos(sc Scale) (*reesift.Result, error) {
 				ttfu.AddDuration(st.TimeToUnrecoverable)
 			}
 		}
-		pooledByName[c.name] = pooled{unavail: unavail.Mean()}
+		ci := reesift.SummarizeChaos(perTrial)
+		pooledByName[c.name] = pooled{unavail: 1 - ci.MeanAvailability}
 		ttfuCell := reesift.Str("-")
 		if unrecov > 0 {
 			ttfuCell = reesift.Float(ttfu.Mean(), 0)
@@ -233,8 +235,11 @@ func Chaos(sc Scale) (*reesift.Result, error) {
 			reesift.Int(len(cell.Results)),
 			reesift.Int(arrivals),
 			reesift.Int(int(cell.Tally.Injections)),
-			reesift.Float(1-unavail.Mean(), 6),
+			reesift.Float(ci.MeanAvailability, 6),
+			reesift.Float(ci.AvailabilityCI95, 6),
 			reesift.Int(downs),
+			reesift.Float(ci.MeanMTTR.Seconds(), 2),
+			reesift.Float(ci.MTTRCI95.Seconds(), 2),
 			reesift.Float(mttr.Percentile(50), 2),
 			reesift.Float(mttr.Percentile(95), 2),
 			reesift.Float(mttr.Max(), 2),
@@ -244,7 +249,7 @@ func Chaos(sc Scale) (*reesift.Result, error) {
 	}
 	t.Notes = append(t.Notes,
 		"background arrival processes against the chaos relay service (one beat per 5 s through the progress-indicator interface); a down interval is any beat gap in excess of the period plus 50 ms grace",
-		"MTTR percentiles pool the down intervals of all trials in the cell; TTFU is the mean start of the terminal outage among unrecoverable trials",
+		"AVAIL CI95 is the 95% Student-t half-width of availability across the cell's trials; MTTR MEAN/CI95 and the percentiles pool the down intervals of all trials; TTFU is the mean start of the terminal outage among unrecoverable trials",
 		fmt.Sprintf("%d trials per cell; Poisson Exec-ARMOR cells run %.0f h each, the other processes %.0f h", trials, horizon.Hours(), (horizon/3).Hours()),
 	)
 

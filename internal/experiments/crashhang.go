@@ -115,6 +115,8 @@ func Table5(sc Scale) (*Table, *Table5Data, error) {
 		Workers:     sc.Workers,
 		RunsPerCell: sc.Table5Runs,
 		Census:      sc.Census,
+		Trace:       sc.Trace,
+		Replay:      sc.Replay,
 		Base:        roverInjection(inject.ModelSIGINT, inject.TargetFTM),
 	}).Axis("period", points...).Run()
 	if err != nil {

@@ -150,6 +150,8 @@ func runCampaign(sc Scale, name string, cells ...reesift.CampaignCell) (*reesift
 		Seed:    sc.Seed,
 		Workers: sc.Workers,
 		Census:  sc.Census,
+		Trace:   sc.Trace,
+		Replay:  sc.Replay,
 		Cells:   cells,
 	}.Run()
 }

@@ -51,6 +51,8 @@ func RecoverySweep(sc Scale) (*reesift.Result, error) {
 		Workers:     sc.Workers,
 		RunsPerCell: runs,
 		Census:      sc.Census,
+		Trace:       sc.Trace,
+		Replay:      sc.Replay,
 		Base: reesift.Injection{
 			Model:  reesift.ModelNodeCrash,
 			Target: reesift.TargetApp,

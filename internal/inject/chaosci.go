@@ -1,0 +1,56 @@
+package inject
+
+import (
+	"time"
+
+	"reesift/internal/stats"
+)
+
+// ChaosCI summarizes a cell's chaos trials with confidence intervals:
+// point estimates alone hide trial-to-trial spread, and the chaos
+// campaign runs few, long trials, so the Student-t half-widths here are
+// what make cross-cell availability comparisons honest.
+type ChaosCI struct {
+	// Trials is the number of trials pooled.
+	Trials int
+	// MeanAvailability is the across-trial mean of per-trial
+	// availability; AvailabilityCI95 is the 95% Student-t half-width of
+	// that mean (zero with fewer than two trials).
+	MeanAvailability float64
+	AvailabilityCI95 float64
+	// MeanMTTR is the mean of the pooled down-interval (repair time)
+	// samples across all trials; MTTRCI95 is its 95% half-width.
+	// Repairs counts the pooled samples. Both durations are zero when
+	// no trial observed a down interval.
+	MeanMTTR time.Duration
+	MTTRCI95 time.Duration
+	Repairs  int
+}
+
+// SummarizeChaos pools per-trial chaos measurements into cross-trial
+// interval estimates. Nil entries are skipped so callers can pass
+// Result.Chaos fields directly.
+func SummarizeChaos(trials []*ChaosStats) ChaosCI {
+	var avail, mttr stats.Sample
+	out := ChaosCI{}
+	for _, st := range trials {
+		if st == nil {
+			continue
+		}
+		out.Trials++
+		avail.Add(st.Availability)
+		for _, d := range st.Down {
+			mttr.AddDuration(d)
+		}
+	}
+	if out.Trials > 0 {
+		out.MeanAvailability = avail.Mean()
+		out.AvailabilityCI95 = avail.CI95()
+	}
+	out.Repairs = mttr.N()
+	if mttr.N() > 0 {
+		out.MeanMTTR = time.Duration(mttr.Mean() * float64(time.Second))
+		out.MTTRCI95 = time.Duration(mttr.CI95() * float64(time.Second))
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package inject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizeChaos(t *testing.T) {
+	a := &ChaosStats{Availability: 0.99, Down: []time.Duration{2 * time.Second, 4 * time.Second}}
+	b := &ChaosStats{Availability: 0.97, Down: []time.Duration{6 * time.Second}}
+	ci := SummarizeChaos([]*ChaosStats{a, nil, b})
+	if ci.Trials != 2 {
+		t.Fatalf("Trials = %d, want 2 (nil skipped)", ci.Trials)
+	}
+	if got, want := ci.MeanAvailability, 0.98; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("MeanAvailability = %v, want %v", got, want)
+	}
+	if ci.AvailabilityCI95 <= 0 {
+		t.Fatalf("AvailabilityCI95 = %v, want > 0 with two trials", ci.AvailabilityCI95)
+	}
+	if ci.Repairs != 3 || ci.MeanMTTR != 4*time.Second {
+		t.Fatalf("Repairs/MeanMTTR = %d/%v, want 3/4s", ci.Repairs, ci.MeanMTTR)
+	}
+	if ci.MTTRCI95 <= 0 {
+		t.Fatalf("MTTRCI95 = %v, want > 0", ci.MTTRCI95)
+	}
+	empty := SummarizeChaos(nil)
+	if empty.Trials != 0 || empty.MeanMTTR != 0 || empty.AvailabilityCI95 != 0 {
+		t.Fatalf("empty summary not zero: %+v", empty)
+	}
+}

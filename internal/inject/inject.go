@@ -43,6 +43,7 @@ import (
 	"reesift/internal/memsim"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
+	"reesift/internal/trace"
 )
 
 // Config describes one injection run.
@@ -102,6 +103,13 @@ type Config struct {
 	// Model/Target fields still describe the primary fault the hook
 	// fires, so classification and reporting stay meaningful.
 	Arm func(*Runner)
+	// Trace, when non-nil, enables the structured trace recorder for
+	// this run: the Runner wires a trace.Recorder into the kernel and
+	// the environment log, schedules the metrics sampling ticks, and —
+	// when the run classifies as a system failure and Trace.Dir is set —
+	// snapshots a self-contained repro bundle. Nil keeps the run
+	// entirely trace-free (the zero-alloc hot path).
+	Trace *trace.Options
 }
 
 // CompoundStage is one arm of a compound injection: an error model and
@@ -255,6 +263,15 @@ type Result struct {
 	// second) without putting wall-derived numbers in pinned output.
 	EventsFired uint64
 	SimTime     time.Duration
+
+	// Trace products, set only when Config.Trace enabled the recorder
+	// (omitted from JSON otherwise, so untraced results are unchanged).
+	// TraceDigest fingerprints the run's full structured event stream;
+	// TraceRecords counts emitted records; BreachBundle is the path of
+	// the repro bundle written for a system-failure run ("" when none).
+	TraceDigest  string `json:",omitempty"`
+	TraceRecords uint64 `json:",omitempty"`
+	BreachBundle string `json:",omitempty"`
 }
 
 // ArrivalEvent is one fault arrival fired by a continuous chaos process:
@@ -365,6 +382,6 @@ func Run(cfg Config) Result {
 	handles := r.deploy()
 	r.k.Run(r.cfg.Timeout)
 	r.finish(handles)
-	record(&r.cfg, r.res)
+	r.Record()
 	return *r.res
 }

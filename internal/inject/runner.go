@@ -10,6 +10,7 @@ import (
 	"reesift/internal/memsim"
 	"reesift/internal/sift"
 	"reesift/internal/sim"
+	"reesift/internal/trace"
 )
 
 // Runner owns one injection run's control, monitoring, and data
@@ -25,6 +26,10 @@ type Runner struct {
 	res *Result
 	rng *rand.Rand
 	inj Injector
+
+	// rec is the run's structured trace recorder; nil unless Config.Trace
+	// enabled tracing.
+	rec *trace.Recorder
 
 	// stopped latches once a repeated-injection model has observed its
 	// first induced failure (Section 4.1).
@@ -97,7 +102,7 @@ func NewRunner(cfg Config) *Runner {
 		prep.PrepareEnv(&cfg, &envCfg)
 	}
 	env := sift.New(k, envCfg)
-	return &Runner{
+	r := &Runner{
 		cfg: cfg,
 		env: env,
 		k:   k,
@@ -105,6 +110,15 @@ func NewRunner(cfg Config) *Runner {
 		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 		inj: inj,
 	}
+	if cfg.Trace != nil {
+		// The recorder consumes no kernel randomness and its metric ticks
+		// draw none either, so enabling tracing never changes what the
+		// trial does — only what is observed about it.
+		r.rec = trace.NewRecorder(*cfg.Trace)
+		k.SetSink(r.rec)
+		env.Log.Sink = r.rec
+	}
+	return r
 }
 
 // deploy installs the SIFT environment, submits the applications, and
@@ -129,7 +143,37 @@ func (r *Runner) deploy() []*sift.AppHandle {
 	case r.inj != nil && r.cfg.Target != TargetNone:
 		r.inj.Schedule(r)
 	}
+	r.armMetrics()
 	return handles
+}
+
+// armMetrics registers the trial's gauges and schedules the
+// deterministic sim-time sampling tick. The tick is a plain kernel
+// event that reads counters and reschedules itself — it draws no
+// randomness, so the relative order of the trial's own events (and
+// therefore its classification) is identical with sampling on or off.
+func (r *Runner) armMetrics() {
+	if r.rec == nil {
+		return
+	}
+	every := r.rec.Options().MetricsEvery
+	if every <= 0 {
+		return
+	}
+	reg := &trace.Metrics{}
+	reg.Register("events-fired", func() int64 { return int64(r.k.EventsFired()) })
+	reg.Register("messages-sent", func() int64 { return int64(r.k.MessagesSent()) })
+	reg.Register("queue-depth", func() int64 { return int64(r.k.QueueDepth()) })
+	reg.Register("log-entries", func() int64 { return int64(len(r.env.Log.Entries)) })
+	reg.Register("detections", func() int64 { return int64(len(r.env.Log.Detections)) })
+	reg.Register("recoveries", func() int64 { return int64(len(r.env.Log.Recoveries)) })
+	reg.Register("injections", func() int64 { return int64(r.res.Injected) })
+	var tick func()
+	tick = func() {
+		reg.Sample(r.k.Now(), r.rec)
+		r.k.Schedule(every, tick)
+	}
+	r.k.Schedule(every, tick)
 }
 
 // Deploy installs the SIFT environment, submits the applications, and
@@ -145,8 +189,82 @@ func (r *Runner) Finish(handles []*sift.AppHandle) { r.finish(handles) }
 // Record folds the run's Result into the process-wide census and every
 // campaign census listed in the Config. Run does this implicitly;
 // external drivers call it last, after any Result adjustments, so the
-// tallies see the final classification.
-func (r *Runner) Record() { record(&r.cfg, r.res) }
+// tallies see the final classification — which is also why the trace
+// snapshot lives here: the chaos driver reclassifies SystemFailure
+// between Finish and Record, and the breach bundle must freeze the
+// final verdict, not the interim one.
+func (r *Runner) Record() {
+	r.snapshotTrace()
+	record(&r.cfg, r.res)
+}
+
+// snapshotTrace seals the run's trace products into the Result: the
+// stream digest and count always; on a system-failure classification a
+// terminal breach record and — when the trace options name a bundle
+// directory — a self-contained JSONL repro bundle.
+func (r *Runner) snapshotTrace() {
+	if r.rec == nil {
+		return
+	}
+	if r.res.SystemFailure {
+		// The breach record is part of the digested stream on every
+		// traced run (bundled or not), so a replay without a bundle
+		// directory still reproduces the recorded digest.
+		if r.rec.Enabled() {
+			r.rec.Emit(trace.Record{At: r.k.Now(), Kind: trace.KindBreach,
+				Op: r.res.SysMode.String(), Detail: r.res.Class.String()})
+		}
+	}
+	r.res.TraceDigest = r.rec.Digest()
+	r.res.TraceRecords = r.rec.Total()
+	opts := r.rec.Options()
+	if !r.res.SystemFailure || opts.Dir == "" {
+		return
+	}
+	var nodes []string
+	for _, n := range r.k.Nodes() {
+		nodes = append(nodes, n.Name())
+	}
+	b := &trace.Bundle{
+		Scenario: opts.Scenario,
+		Campaign: opts.Campaign,
+		Cell:     opts.Cell,
+		Run:      opts.Run,
+		Seed:     r.cfg.Seed,
+		BaseSeed: opts.BaseSeed,
+		Model:    r.cfg.Model.String(),
+		Target:   r.cfg.Target.String(),
+		Nodes:    nodes,
+		Breach:   r.res.SysMode.String(),
+		Verdict: trace.Verdict{
+			SystemFailure: r.res.SystemFailure,
+			SysMode:       r.res.SysMode.String(),
+			Failed:        r.res.Failed,
+			Class:         r.res.Class.String(),
+			Recovered:     r.res.Recovered,
+			Done:          r.res.Done,
+			Injections:    r.res.Injected,
+			SimTime:       r.res.SimTime,
+			EventsFired:   r.res.EventsFired,
+		},
+		TraceDigest:  r.res.TraceDigest,
+		TraceTotal:   r.res.TraceRecords,
+		Buffer:       opts.Buffer,
+		MetricsEvery: opts.MetricsEvery,
+		Meta:         opts.Meta,
+		Records:      r.rec.Records(),
+	}
+	path, err := trace.WriteBundle(opts.Dir, b)
+	if err != nil {
+		// A full disk or bad directory must not fail the campaign — the
+		// classification stands; only the artifact is lost.
+		return
+	}
+	r.res.BreachBundle = path
+	if opts.OnBundle != nil {
+		opts.OnBundle(path)
+	}
+}
 
 // Kernel exposes the run's simulation kernel (external drivers schedule
 // arrivals on it and own its shutdown).
@@ -321,6 +439,10 @@ func (r *Runner) recordInjections(at time.Duration, n int) {
 		r.res.InjectedAt = at
 	}
 	r.res.Injected += n
+	if r.k.TraceOn() {
+		r.k.Emit(trace.Record{At: at, Kind: trace.KindInjectFire,
+			Op: r.cfg.Model.String(), A: int64(n)})
+	}
 }
 
 // finish extracts the run classification from the environment log.

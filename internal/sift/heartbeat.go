@@ -7,6 +7,7 @@ import (
 
 	"reesift/internal/core"
 	"reesift/internal/sim"
+	"reesift/internal/trace"
 )
 
 // FTMSite is one daemon-bearing node the FTM can be (re)installed on.
@@ -238,6 +239,10 @@ func (e *HeartbeatElem) poll(ctx *core.Ctx) {
 		return
 	}
 	e.AwaitingReply = true
+	if k := ctx.Proc.Kernel(); k.TraceOn() {
+		k.Emit(trace.Record{Kind: trace.KindHeartbeat, Op: e.Name(), Node: e.FTMNode,
+			A: e.Recoveries, B: int64(e.FTMEpoch)})
+	}
 	ctx.SendUnreliable(AIDFTM, core.EventAreYouAlive, nil)
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"reesift/internal/core"
+	"reesift/internal/trace"
 )
 
 // LogEntry is one observational record emitted by the environment.
@@ -57,6 +58,13 @@ type EventLog struct {
 	Recoveries    []Recovery
 	AppRecoveries []AppRecovery
 
+	// Sink, when set, receives a structured mirror of every log
+	// mutation — the protocol-level span stream (ARMOR installs, FTM
+	// migrations, detections, recovery windows) the trace subsystem
+	// records alongside the kernel's substrate events. The injection
+	// Runner wires the trial's trace.Recorder here.
+	Sink trace.Sink
+
 	pending    map[core.AID]Detection
 	pendingApp map[AppID]AppDetection
 }
@@ -72,6 +80,9 @@ func NewEventLog() *EventLog {
 // Add appends a generic entry.
 func (l *EventLog) Add(at time.Duration, kind, detail string) {
 	l.Entries = append(l.Entries, LogEntry{At: at, Kind: kind, Detail: detail})
+	if l.Sink != nil && l.Sink.Enabled() {
+		l.Sink.Emit(trace.Record{At: at, Kind: trace.KindLog, Op: kind, Detail: detail})
+	}
 }
 
 // Detect records an ARMOR failure detection and opens a recovery
@@ -81,6 +92,10 @@ func (l *EventLog) Detect(at time.Duration, id core.AID, reason string, hang boo
 	l.Detections = append(l.Detections, d)
 	if _, open := l.pending[id]; !open {
 		l.pending[id] = d
+	}
+	if l.Sink != nil && l.Sink.Enabled() {
+		l.Sink.Emit(trace.Record{At: at, Kind: trace.KindDetect, Op: id.String(),
+			Detail: reason, A: b2i(hang)})
 	}
 }
 
@@ -92,6 +107,18 @@ func (l *EventLog) DetectApp(at time.Duration, app AppID, rank int, reason strin
 	if _, open := l.pendingApp[app]; !open {
 		l.pendingApp[app] = d
 	}
+	if l.Sink != nil && l.Sink.Enabled() {
+		l.Sink.Emit(trace.Record{At: at, Kind: trace.KindDetect, Op: "app",
+			A: b2i(hang), B: int64(rank), PID: int64(app), Detail: reason})
+	}
+}
+
+// b2i is the trace encoding of a flag argument.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // AppRecoveryDone closes a pending application recovery window.
@@ -102,6 +129,10 @@ func (l *EventLog) AppRecoveryDone(at time.Duration, app AppID) {
 	}
 	delete(l.pendingApp, app)
 	l.AppRecoveries = append(l.AppRecoveries, AppRecovery{App: app, DetectedAt: d.At, RestartedAt: at})
+	if l.Sink != nil && l.Sink.Enabled() {
+		l.Sink.Emit(trace.Record{At: at, Kind: trace.KindRecovery, Op: "app",
+			PID: int64(app), A: int64(d.At)})
+	}
 }
 
 // RecoveryInFlight reports whether any failure detection — ARMOR or
@@ -121,6 +152,9 @@ func (l *EventLog) RecoveryDone(at time.Duration, id core.AID) {
 	}
 	delete(l.pending, id)
 	l.Recoveries = append(l.Recoveries, Recovery{ID: id, DetectedAt: d.At, RestoredAt: at})
+	if l.Sink != nil && l.Sink.Enabled() {
+		l.Sink.Emit(trace.Record{At: at, Kind: trace.KindRecovery, Op: id.String(), A: int64(d.At)})
+	}
 }
 
 // All returns entries of one kind.

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"reesift/internal/trace"
 )
 
 // Node models one testbed board/CPU: a process table, a RAM disk standing
@@ -65,8 +67,8 @@ func (k *Kernel) CrashNode(name string) {
 		return
 	}
 	n.up = false
-	if k.Tracing() {
-		k.Tracef("node %s crashed", name)
+	if k.TraceOn() {
+		k.Emit(trace.Record{Kind: trace.KindNodeDown, Node: name, A: int64(len(n.procs))})
 	}
 	for _, pid := range n.Procs() {
 		p := n.procs[pid]
@@ -96,8 +98,8 @@ func (k *Kernel) RestartNode(name string) {
 		return
 	}
 	n.up = true
-	if k.Tracing() {
-		k.Tracef("node %s restarted", name)
+	if k.TraceOn() {
+		k.Emit(trace.Record{Kind: trace.KindNodeUp, Node: name})
 	}
 	for _, w := range k.nodeWatchers[name] {
 		k.deliver(w, Msg{From: NoPID, SentAt: k.now, Payload: NodeUp{Node: name}})

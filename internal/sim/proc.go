@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"reesift/internal/trace"
 )
 
 type procState int
@@ -132,6 +134,9 @@ func (k *Kernel) Spawn(n *Node, name string, parent PID, fn func(*Proc)) PID {
 	go p.main()
 	p.state = stateWaiting
 	k.makeReady(p)
+	if k.TraceOn() {
+		k.Emit(trace.Record{Kind: trace.KindProcSpawn, Op: name, Node: n.name, PID: int64(p.pid)})
+	}
 	return p.pid
 }
 
@@ -174,8 +179,9 @@ func (k *Kernel) finalize(p *Proc, code int, reason string) {
 	k.liveProcs--
 	delete(p.node.procs, p.pid)
 	p.exit = &ExitStatus{Code: code, Reason: reason, At: k.now}
-	if k.Tracing() {
-		k.Tracef("proc %d (%s) exited code=%d reason=%q", p.pid, p.name, code, reason)
+	if k.TraceOn() {
+		k.Emit(trace.Record{Kind: trace.KindProcExit, Op: p.name, Node: p.node.name,
+			PID: int64(p.pid), A: int64(code), Detail: reason})
 	}
 	if pp := k.proc(p.parent); pp != nil && pp.state != stateDead {
 		delete(pp.children, p.pid)
@@ -378,6 +384,11 @@ func (p *Proc) Send(dst PID, payload interface{}) {
 	}
 	lat := k.latency(p.node, dp.node)
 	m := Msg{From: p.pid, SentAt: k.now, Payload: payload}
+	k.msgsSent++
+	if k.TraceOn() {
+		k.Emit(trace.Record{Kind: trace.KindMsgSend, Node: p.node.name,
+			PID: int64(p.pid), A: int64(dst)})
+	}
 	if k.applyNetFault(p.pid, dst, &m, &lat) {
 		return
 	}

@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"reesift/internal/trace"
 )
 
 // PID identifies a process in the simulation. PIDs are unique for the
@@ -124,8 +126,11 @@ type Kernel struct {
 	current *Proc
 
 	traceFn func(at time.Duration, format string, args []interface{})
+	sink    trace.Sink
+	traceOn bool // cached: sink enabled or legacy traceFn installed
 
 	liveProcs int
+	msgsSent  uint64
 }
 
 // NewKernel creates a kernel with no nodes or processes.
@@ -161,22 +166,62 @@ func (k *Kernel) SharedFS() *FS { return k.sharedFS }
 // the numerator of the scale scenario's events/sec throughput metric.
 func (k *Kernel) EventsFired() uint64 { return k.fired }
 
-// SetTrace installs a trace sink invoked for every Tracef call.
+// SetTrace installs a legacy textual trace sink. Structured records are
+// rendered through Record.Format before delivery, so a SetTrace sink
+// sees every emission a structured Sink would.
 func (k *Kernel) SetTrace(fn func(at time.Duration, format string, args []interface{})) {
 	k.traceFn = fn
+	k.traceOn = k.sink != nil && k.sink.Enabled() || k.traceFn != nil
 }
 
-// Tracing reports whether a trace sink is installed. Hot paths guard
-// their Tracef calls with it so the variadic argument slice (and any
-// fmt-able values in it) is never allocated on traced-off runs.
-func (k *Kernel) Tracing() bool { return k.traceFn != nil }
+// SetSink installs a structured trace sink (usually a trace.Recorder).
+func (k *Kernel) SetSink(s trace.Sink) {
+	k.sink = s
+	k.traceOn = k.sink != nil && k.sink.Enabled() || k.traceFn != nil
+}
 
-// Tracef emits a timestamped trace line if tracing is enabled.
+// TraceOn reports whether any trace sink — structured or legacy — is
+// installed. Hot paths guard their Emit and Tracef calls with it so
+// record construction (and any fmt work) never happens on traced-off
+// runs; the tracelint test enforces the guard at every call site.
+func (k *Kernel) TraceOn() bool { return k.traceOn }
+
+// Tracing is the historical name of TraceOn, kept for callers that
+// predate the structured sink.
+func (k *Kernel) Tracing() bool { return k.traceOn }
+
+// Emit records one structured trace event, stamping the current virtual
+// time when the record carries none. Callers must guard with TraceOn.
+func (k *Kernel) Emit(rec trace.Record) {
+	if rec.At == 0 {
+		rec.At = k.now
+	}
+	if k.sink != nil && k.sink.Enabled() {
+		k.sink.Emit(rec)
+	}
+	if k.traceFn != nil {
+		k.traceFn(rec.At, "%s", []interface{}{rec.Format()})
+	}
+}
+
+// Tracef emits a timestamped free-form trace line if tracing is enabled.
 func (k *Kernel) Tracef(format string, args ...interface{}) {
 	if k.traceFn != nil {
 		k.traceFn(k.now, format, args)
 	}
+	if k.sink != nil && k.sink.Enabled() {
+		k.sink.Tracef(k.now, format, args)
+	}
 }
+
+// MessagesSent reports how many inter-process messages have left Send
+// since kernel creation (dropped-by-fault messages included).
+func (k *Kernel) MessagesSent() uint64 { return k.msgsSent }
+
+// QueueDepth reports the current size of the pending event heap — the
+// simulation analogue of scheduler backlog, sampled by the metrics
+// registry.
+func (k *Kernel) QueueDepth() int { return len(k.events) }
 
 // AddNode creates a node with the given name. Node names must be unique.
 func (k *Kernel) AddNode(name string) *Node {

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Verdict is the trial classification frozen into a bundle — the fields
+// replay must reproduce byte-identically.
+type Verdict struct {
+	SystemFailure bool          `json:"system_failure"`
+	SysMode       string        `json:"sys_mode,omitempty"`
+	Failed        bool          `json:"failed,omitempty"`
+	Class         string        `json:"class,omitempty"`
+	Recovered     bool          `json:"recovered,omitempty"`
+	Done          bool          `json:"done,omitempty"`
+	Injections    int           `json:"injections"`
+	SimTime       time.Duration `json:"sim_time"`
+	EventsFired   uint64        `json:"events_fired"`
+}
+
+// Bundle is a self-contained breach repro artifact. On disk it is
+// JSONL: the first line is the header (everything but Records), each
+// following line is one trace Record, oldest first. Everything needed
+// to re-run exactly the breached trial is in the header — the campaign
+// identity and run index re-derive the seed, Meta carries the caller's
+// experiment configuration, and TraceDigest/TraceTotal fingerprint the
+// recorded event stream for the replay comparison.
+type Bundle struct {
+	Scenario string `json:"scenario,omitempty"`
+	Campaign string `json:"campaign,omitempty"`
+	Cell     string `json:"cell,omitempty"`
+	Run      int    `json:"run"`
+	// Seed is the trial's derived seed; BaseSeed the campaign seed it
+	// was derived from.
+	Seed     int64 `json:"seed"`
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// Cluster configuration summary: the error model, target, and node
+	// roster of the breached trial (informational — replay reconstructs
+	// the full config from Meta and the campaign identity).
+	Model  string   `json:"model,omitempty"`
+	Target string   `json:"target,omitempty"`
+	Nodes  []string `json:"nodes,omitempty"`
+	// Breach names what tripped the snapshot (the system-failure mode).
+	Breach  string  `json:"breach"`
+	Verdict Verdict `json:"verdict"`
+	// Trace fingerprint and recording parameters. Buffer and
+	// MetricsEvery are recorded because replay must trace with the same
+	// parameters to reproduce TraceDigest.
+	TraceDigest  string        `json:"trace_digest"`
+	TraceTotal   uint64        `json:"trace_total"`
+	Buffer       int           `json:"buffer"`
+	MetricsEvery time.Duration `json:"metrics_every"`
+	// Meta is the opaque caller payload from Options.Meta.
+	Meta json.RawMessage `json:"meta,omitempty"`
+
+	// Records is the retained trace tail (JSONL body, not the header).
+	Records []Record `json:"-"`
+}
+
+// Filename returns the bundle's deterministic file name, built from the
+// trial identity only (no timestamps — two runs of the same breach
+// overwrite each other with identical content).
+func (b *Bundle) Filename() string {
+	return fmt.Sprintf("%s-run%03d-seed%d.jsonl",
+		sanitize(b.Campaign+"-"+b.Cell), b.Run, b.Seed)
+}
+
+// sanitize maps a campaign/cell identity to a filesystem-safe slug.
+func sanitize(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '=':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteBundle writes the bundle as JSONL under dir (created if needed)
+// and returns the written path.
+func WriteBundle(dir string, b *Bundle) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, b.Filename())
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return "", err
+	}
+	for i := range b.Records {
+		rec := b.Records[i]
+		rec.KindS = rec.Kind.String()
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return "", err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// ReadBundle parses a bundle written by WriteBundle.
+func ReadBundle(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%s: empty bundle", path)
+	}
+	var b Bundle
+	if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+		return nil, fmt.Errorf("%s: bad bundle header: %w", path, err)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("%s: bad trace record: %w", path, err)
+		}
+		rec.Kind = KindFromString(rec.KindS)
+		b.Records = append(b.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// DefaultBuffer is the ring capacity used when Options.Buffer is zero:
+// enough tail to see the whole protocol exchange around a breach
+// without holding a long chaos horizon's full event stream.
+const DefaultBuffer = 4096
+
+// DefaultMetricsEvery is the default deterministic sim-time sampling
+// period for the metrics registry.
+const DefaultMetricsEvery = 5 * time.Second
+
+// Options configures one trial's Recorder and identifies the trial for
+// bundle snapshots. The identity fields (Scenario..BaseSeed) are
+// descriptive — they flow verbatim into any Bundle the trial emits and
+// into the replay path that re-derives the trial's seed.
+type Options struct {
+	// Buffer is the ring capacity in records (DefaultBuffer when 0).
+	Buffer int
+	// Dir, when non-empty, enables breach bundle snapshots into that
+	// directory. Tracing with Dir == "" still records and digests (the
+	// replay path runs this way) but writes nothing.
+	Dir string
+	// MetricsEvery is the sim-time period of metric gauge samples
+	// (DefaultMetricsEvery when 0; negative disables sampling).
+	// Sampling ticks are kernel events, so this value is part of the
+	// trial's event stream identity: a replay must use the recorded
+	// value to reproduce the digest.
+	MetricsEvery time.Duration
+
+	// Trial identity, recorded into bundles.
+	Scenario string
+	Campaign string
+	Cell     string
+	Run      int
+	BaseSeed int64
+
+	// Meta is an opaque caller payload stored in the bundle header —
+	// the façade stores the marshaled campaign Scale here so replay can
+	// reconstruct the exact experiment configuration.
+	Meta json.RawMessage
+
+	// OnBundle, when set, is called with the path of every bundle this
+	// trial writes.
+	OnBundle func(path string)
+}
+
+// withDefaults normalizes the zero values.
+func (o Options) withDefaults() Options {
+	if o.Buffer <= 0 {
+		o.Buffer = DefaultBuffer
+	}
+	if o.MetricsEvery == 0 {
+		o.MetricsEvery = DefaultMetricsEvery
+	}
+	return o
+}
+
+// Recorder is the bounded per-trial trace recorder: a ring of the
+// newest Buffer records, a running FNV-1a digest over every record
+// ever emitted, and a total count. It implements Sink. A Recorder is
+// single-trial, single-goroutine state (each injection Runner owns
+// one), so it carries no locks.
+type Recorder struct {
+	opts   Options
+	ring   []Record
+	next   int // ring slot the next record lands in
+	count  int // records currently held (≤ len(ring))
+	total  uint64
+	digest uint64
+}
+
+// NewRecorder builds a Recorder for one trial.
+func NewRecorder(opts Options) *Recorder {
+	o := opts.withDefaults()
+	return &Recorder{
+		opts:   o,
+		ring:   make([]Record, o.Buffer),
+		digest: fnvOffset,
+	}
+}
+
+// Options returns the normalized options the recorder was built with.
+func (r *Recorder) Options() Options { return r.opts }
+
+// Enabled implements Sink; a constructed Recorder always records.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Emit implements Sink: fold the record into the digest and overwrite
+// the oldest ring slot. No allocation.
+func (r *Recorder) Emit(rec Record) {
+	r.digest = fold(r.digest, rec)
+	r.total++
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+}
+
+// Tracef implements Sink, capturing legacy free-form trace lines as
+// KindTracef records. Formatting allocates, but only runs with tracing
+// on.
+func (r *Recorder) Tracef(at time.Duration, format string, args []interface{}) {
+	r.Emit(Record{At: at, Kind: KindTracef, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Total returns how many records were emitted over the trial (including
+// those the ring has since dropped).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Digest returns the running FNV-1a digest over every emitted record,
+// formatted as "fnv1a:%016x". Two trials with equal digests emitted
+// identical record streams — this is the replay fingerprint.
+func (r *Recorder) Digest() string {
+	return fmt.Sprintf("fnv1a:%016x", r.digest)
+}
+
+// Records returns the retained tail, oldest first.
+func (r *Recorder) Records() []Record {
+	out := make([]Record, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Gauge is one registered metric: a name and a sampler closure reading
+// the current value.
+type Gauge struct {
+	Name string
+	Read func() int64
+}
+
+// Metrics is a small gauge registry sampled on deterministic sim-time
+// ticks. The injection Runner registers kernel and environment counters
+// (events fired, messages sent, reinstalls, queue depth) and schedules
+// a self-rescheduling kernel event that calls Sample; because sampling
+// draws no randomness, enabling it never perturbs the relative order of
+// the trial's own events.
+type Metrics struct {
+	gauges []Gauge
+}
+
+// Register adds a gauge. Registration order is sample order and is part
+// of the trace digest, so keep it deterministic.
+func (m *Metrics) Register(name string, read func() int64) {
+	m.gauges = append(m.gauges, Gauge{Name: name, Read: read})
+}
+
+// Sample emits one KindMetric record per gauge at the given sim time.
+func (m *Metrics) Sample(at time.Duration, sink Sink) {
+	if sink == nil || !sink.Enabled() {
+		return
+	}
+	for _, g := range m.gauges {
+		sink.Emit(Record{At: at, Kind: KindMetric, Op: g.Name, A: g.Read()})
+	}
+}

@@ -82,6 +82,14 @@ type Campaign struct {
 	// sweep of campaigns) uses for exact attribution. The process-wide
 	// census is always updated regardless.
 	Census *Census
+	// Trace, if set, records every run's structured trace and snapshots
+	// breach repro bundles (see TraceSpec). Tracing never perturbs
+	// classification: results are identical with or without it.
+	Trace *TraceSpec
+	// Replay, if set, pins the campaign to the single recorded run the
+	// spec names (see Replay). Campaigns with a different Name run
+	// nothing.
+	Replay *Replay
 }
 
 // CellResult is one cell's outcome: the accepted runs' classified
@@ -199,6 +207,9 @@ func (c Campaign) Run() (*CampaignResult, error) {
 		return nil, err
 	}
 	res := &CampaignResult{Name: c.Name, Seed: c.Seed}
+	if c.Replay != nil && c.Replay.Campaign != c.Name {
+		return res, nil // the recorded run lives in another campaign
+	}
 	for i, cell := range c.Cells {
 		cr := c.runCell(cell, ids[i], cfgs[i])
 		res.Cells = append(res.Cells, cr)
@@ -215,23 +226,46 @@ func (c Campaign) runCell(cell CampaignCell, identity string, base inject.Config
 	var census Census
 	d := newDelivery(c.Observer, cell.Name)
 	seedOf := func(run int) int64 { return engine.DeriveSeed(c.Seed, identity, run) }
-	trial := func(run int, finish func(int, int64, InjectionResult)) InjectionResult {
-		seed := seedOf(run)
+	execute := func(run int) InjectionResult {
 		cfg := base
-		cfg.Seed = seed
+		cfg.Seed = seedOf(run)
 		cfg.Census = []*inject.Census{&census}
 		// Each run gets its own shallow copy of every AppSpec: runs of a
 		// cell execute concurrently, and the environment writes a
 		// default into submitted specs (Submit's MPIStartTimeout
 		// backfill), which must never race across runs.
 		cfg.Apps = cloneApps(cfg.Apps)
-		d.started(run, seed)
-		var r InjectionResult
+		cfg.Trace = c.traceOptions(cell.Name, run)
 		if cell.Injection.Arrival != nil {
-			r = chaos.Trial(cfg, *cell.Injection.Arrival)
-		} else {
-			r = inject.Run(cfg)
+			return chaos.Trial(cfg, *cell.Injection.Arrival)
 		}
+		return inject.Run(cfg)
+	}
+
+	if c.Replay != nil {
+		// Replay mode: only the recorded run executes, directly on the
+		// caller's goroutine. The observer's ordered delivery expects
+		// cells to start at run 0, so it is bypassed entirely.
+		if cell.Name != c.Replay.Cell {
+			return CellResult{Name: cell.Name, Identity: identity}
+		}
+		r := execute(c.Replay.Run)
+		if c.Replay.OnResult != nil {
+			c.Replay.OnResult(r)
+		}
+		return CellResult{
+			Name:     cell.Name,
+			Identity: identity,
+			Runs:     1,
+			Results:  []InjectionResult{r},
+			Tally:    census.Tally(),
+		}
+	}
+
+	trial := func(run int, finish func(int, int64, InjectionResult)) InjectionResult {
+		seed := seedOf(run)
+		d.started(run, seed)
+		r := execute(run)
 		if finish != nil {
 			finish(run, seed, r)
 		}

@@ -43,6 +43,18 @@ type ArrivalEvent = inject.ArrivalEvent
 // carried on InjectionResult.Chaos.
 type ChaosStats = inject.ChaosStats
 
+// ChaosCI pools a cell's chaos trials into cross-trial interval
+// estimates (availability and MTTR means with 95% Student-t
+// half-widths); SummarizeChaos builds one from per-trial ChaosStats.
+type ChaosCI = inject.ChaosCI
+
+// SummarizeChaos pools per-trial chaos measurements into a ChaosCI.
+// Nil entries are skipped, so callers can feed InjectionResult.Chaos
+// fields straight from a CellResult.
+func SummarizeChaos(trials []*ChaosStats) ChaosCI {
+	return inject.SummarizeChaos(trials)
+}
+
 // ChaosServiceApp builds the chaos relay service: a single-rank
 // application that never completes, beating once per period through the
 // SIFT progress-indicator interface. Chaos trials install it

@@ -4,7 +4,7 @@
 // supported way to drive the system; everything underneath lives in
 // internal packages.
 //
-// The package has five pillars:
+// The package has six pillars:
 //
 //   - A functional-options cluster builder. NewCluster assembles a
 //     deterministic simulated REE cluster, installs the SIFT environment
@@ -56,6 +56,22 @@
 //     replays each trial's arrival events in order, and the registered
 //     "chaos" scenario cross-checks measured low-rate unavailability
 //     against the Figure 9 SAN model's prediction.
+//
+//   - An observability layer. Setting Trace on a Campaign (or
+//     Scale.Trace for a scenario run) records every run's structured
+//     trace: the kernel emits typed records (process spawn/exit, node
+//     down/up, message sends) into a bounded per-run ring, the SIFT
+//     environment mirrors its protocol-level spans (detections,
+//     recovery windows, checkpoint commits, heartbeat rounds), and a
+//     metrics registry samples kernel gauges on deterministic sim-time
+//     ticks. Every traced result carries a digest of the full stream
+//     (InjectionResult.TraceDigest); runs classified as system failures
+//     snapshot a self-contained JSONL repro bundle — identity, seed,
+//     verdict, trace tail — that ReadBundle loads and the CLI's -replay
+//     mode re-executes, verifying the verdict and digest reproduce
+//     byte-identically. Tracing draws no randomness, so classifications
+//     are identical traced and untraced, and the kernel's hot path
+//     stays allocation-free when tracing is off.
 //
 // Single fault-injection runs are available through the Injection type,
 // which accepts the same cluster options for the run's environment.

@@ -47,11 +47,15 @@ type Observer struct {
 	// the trial's arrival log, not a live stream, so ordering guarantees
 	// survive any worker count. One-shot runs never fire it.
 	OnArrival func(RunRef, ArrivalEvent)
+	// OnBreach fires with the path of the breach repro bundle a traced
+	// system-failure run wrote, immediately before the run's OnResult.
+	// It never fires without Campaign.Trace (and a bundle directory).
+	OnBreach func(RunRef, string)
 }
 
 // observes reports whether the observer has any callback installed.
 func (o *Observer) observes() bool {
-	return o != nil && (o.OnStart != nil || o.OnResult != nil || o.OnArrival != nil)
+	return o != nil && (o.OnStart != nil || o.OnResult != nil || o.OnArrival != nil || o.OnBreach != nil)
 }
 
 // delivery serializes one cell's observer callbacks into seed order.
@@ -130,6 +134,9 @@ func (d *delivery) emit(ref RunRef, res InjectionResult) {
 		for _, ev := range res.Chaos.Events {
 			d.obs.OnArrival(ref, ev)
 		}
+	}
+	if d.obs.OnBreach != nil && res.BreachBundle != "" {
+		d.obs.OnBreach(ref, res.BreachBundle)
 	}
 	if d.obs.OnResult != nil {
 		d.obs.OnResult(ref, res)

@@ -33,6 +33,10 @@ type Result struct {
 	SystemFailures int `json:"system_failures"`
 	// WallClockSeconds is the host time the scenario took.
 	WallClockSeconds float64 `json:"wall_clock_seconds"`
+	// BreachBundles lists the repro bundles written for system-failure
+	// runs, sorted — present only when the scenario ran with Scale.Trace
+	// set and a bundle directory configured.
+	BreachBundles []string `json:"breach_bundles,omitempty"`
 	// Error carries a scenario failure in JSON streams that must cover
 	// every requested scenario; it is empty on success.
 	Error string `json:"error,omitempty"`

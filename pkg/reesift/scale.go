@@ -40,7 +40,21 @@ type Scale struct {
 	// here to attribute per-scenario tallies exactly; scenario code
 	// passes it through to the campaigns it builds (Campaign.Census).
 	// It carries no entropy: results are identical with or without it.
-	Census *Census
+	Census *Census `json:"-"`
+	// Trace, when non-nil, turns on structured trace recording for
+	// every campaign run under this scale (scenario code threads it to
+	// Campaign.Trace). RunScenario stamps the scenario identity and the
+	// marshaled Scale into it so breach bundles are self-contained.
+	// Like Census it carries no entropy — tables are byte-identical
+	// with or without it.
+	Trace *TraceSpec `json:"-"`
+	// Replay, when non-nil, pins the scale's campaigns to one recorded
+	// run (scenario code threads it to Campaign.Replay); campaigns the
+	// spec does not name run nothing. Scenario-level acceptance checks
+	// will typically fail on the near-empty results — replay callers
+	// read the verdict through Replay.OnResult and ignore the
+	// scenario's error.
+	Replay *Replay `json:"-"`
 }
 
 // WithWorkers returns a copy of the scale with the campaign worker-pool

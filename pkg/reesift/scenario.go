@@ -1,6 +1,7 @@
 package reesift
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -130,11 +131,42 @@ func RunScenario(s Scenario, sc Scale) (*Result, error) {
 		defer func() { outer.AddTally(census.Tally()) }()
 	}
 	sc.Census = census
+	var bundleMu sync.Mutex
+	var bundles []string
+	if sc.Trace != nil {
+		// Stamp a copy: the scenario identity and the marshaled Scale
+		// (Census/Trace/Replay excluded) make every breach bundle
+		// self-contained, and the collector feeds Result.BreachBundles.
+		// Bundle paths arrive from worker goroutines, hence the lock.
+		t := *sc.Trace
+		t.scenario = s.ID
+		// Workers is zeroed in the recorded configuration: results are
+		// worker-invariant by construction, so bundles stay
+		// byte-identical at any pool size (replay runs sequentially
+		// regardless).
+		mc := sc
+		mc.Workers = 0
+		if meta, err := json.Marshal(mc); err == nil {
+			t.meta = meta
+		}
+		t.onBundle = func(path string) {
+			bundleMu.Lock()
+			bundles = append(bundles, path)
+			bundleMu.Unlock()
+		}
+		sc.Trace = &t
+	}
 	start := time.Now()
 	res, err := s.Run(sc)
 	if res == nil {
 		res = &Result{}
 	}
+	bundleMu.Lock()
+	if len(bundles) > 0 {
+		sort.Strings(bundles)
+		res.BreachBundles = bundles
+	}
+	bundleMu.Unlock()
 	tally := census.Tally()
 	res.Scenario = s.ID
 	if res.Title == "" {

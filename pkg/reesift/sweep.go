@@ -97,9 +97,12 @@ type Sweep struct {
 	// Base is the injection template every cell starts from. Axis
 	// points mutate a copy; Base itself is never modified.
 	Base Injection
-	// Observer and Census are passed through to the campaign.
+	// Observer, Census, Trace, and Replay are passed through to the
+	// campaign.
 	Observer *Observer
 	Census   *Census
+	Trace    *TraceSpec
+	Replay   *Replay
 
 	axes []sweepAxis
 }
@@ -143,6 +146,8 @@ func (s *Sweep) Campaign() (Campaign, error) {
 		Workers:  s.Workers,
 		Observer: s.Observer,
 		Census:   s.Census,
+		Trace:    s.Trace,
+		Replay:   s.Replay,
 	}
 	idx := make([]int, len(s.axes))
 	for {

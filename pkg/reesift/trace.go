@@ -1,0 +1,90 @@
+package reesift
+
+import (
+	"encoding/json"
+	"time"
+
+	"reesift/internal/trace"
+)
+
+// TraceSpec switches on the structured trace recorder for every run of a
+// campaign or scenario. Each run then carries a bounded ring of typed
+// trace records (kernel substrate events, protocol spans, metric
+// samples) plus a running digest of the full stream; runs classified as
+// system failures snapshot a self-contained repro bundle. Tracing draws
+// no randomness, so classifications are identical traced and untraced.
+type TraceSpec struct {
+	// Dir is the directory breach repro bundles are written into. Empty
+	// disables bundle writing: runs still record and digest (the replay
+	// path traces this way to reproduce a recorded digest), but nothing
+	// touches the filesystem.
+	Dir string
+	// Buffer is the per-run ring capacity in records (default 4096).
+	Buffer int
+	// MetricsEvery is the sim-time period of metric gauge samples
+	// (default 5s; negative disables). Sampling ticks are kernel events
+	// and therefore part of the trace digest identity — a replay must
+	// use the recorded value, which bundles carry.
+	MetricsEvery time.Duration
+
+	// scenario, meta, and onBundle are stamped by RunScenario: the
+	// owning scenario id, the marshaled Scale (so a bundle alone can
+	// reconstruct the experiment), and the bundle-path collector feeding
+	// Result.BreachBundles.
+	scenario string
+	meta     json.RawMessage
+	onBundle func(path string)
+}
+
+// Replay pins a campaign to exactly one recorded run: the cell and run
+// index a breach bundle identifies. Cells other than Replay.Cell are
+// skipped (their CellResult is empty), the matching cell executes only
+// Replay.Run — with its campaign-derived seed, so the kernel replays the
+// recorded trial bit-for-bit — and OnResult receives the verdict. Used
+// by the CLI's -replay mode; campaigns whose Name differs from
+// Replay.Campaign do not run at all.
+type Replay struct {
+	// Campaign and Cell name the recorded run's location.
+	Campaign string
+	Cell     string
+	// Run is the run index within the cell.
+	Run int
+	// OnResult, if set, receives the replayed run's classified result.
+	OnResult func(InjectionResult)
+}
+
+// traceOptions builds one run's recorder options from the campaign's
+// spec, or nil when tracing is off.
+func (c Campaign) traceOptions(cell string, run int) *trace.Options {
+	t := c.Trace
+	if t == nil {
+		return nil
+	}
+	return &trace.Options{
+		Buffer:       t.Buffer,
+		Dir:          t.Dir,
+		MetricsEvery: t.MetricsEvery,
+		Scenario:     t.scenario,
+		Campaign:     c.Name,
+		Cell:         cell,
+		Run:          run,
+		BaseSeed:     c.Seed,
+		Meta:         t.meta,
+		OnBundle:     t.onBundle,
+	}
+}
+
+// ReadBundle loads a breach repro bundle written by a traced campaign
+// (the path Result.BreachBundles / InjectionResult.BreachBundle report).
+func ReadBundle(path string) (*trace.Bundle, error) { return trace.ReadBundle(path) }
+
+// Bundle is a self-contained breach repro bundle: the identity of the
+// failed run (scenario, campaign, cell, run index, derived seed), the
+// cluster shape, the classified verdict, and the trace tail with the
+// full-stream digest. reesift.ReadBundle loads one; the CLI's -replay
+// mode re-executes it.
+type Bundle = trace.Bundle
+
+// TraceRecord is one structured trace record (see internal/trace for
+// the kind vocabulary).
+type TraceRecord = trace.Record
