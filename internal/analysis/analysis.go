@@ -1,0 +1,103 @@
+// Package analysis is a dependency-free reimplementation of the subset
+// of golang.org/x/tools/go/analysis that reesift's static checkers need.
+//
+// The module's contracts — byte-identical tables from a seed at any
+// worker count, all randomness through DeriveSeed-keyed streams, a
+// zero-allocation kernel hot path — were historically enforced only
+// after the fact, by golden tests and benchmark gates. The analyzers in
+// the sibling packages (traceguard, detrand, seedlint, noalloc) move
+// those contracts into the type-checked AST layer, where a violation is
+// a positioned diagnostic at the line that breaks the contract rather
+// than a golden mismatch three PRs later.
+//
+// The framework mirrors the x/tools API shape (Analyzer, Pass,
+// Diagnostic, SuggestedFix) so the analyzers would port to the real
+// thing mechanically, but it is built only on the standard library:
+// packages are enumerated with `go list -export`, dependencies are
+// resolved through compiler export data, and target packages are
+// type-checked from source. The module must build with no dependencies
+// beyond the Go toolchain, and golang.org/x/tools is not one it has.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //reesift:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. The returned value is unused (kept for API
+	// symmetry with x/tools).
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver applies
+	// //reesift:allow suppression and ordering; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message and no
+// suggested fix.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not recorded.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional: defaults to Pos
+	Message string
+
+	// SuggestedFixes are optional machine-applicable repairs. The
+	// analysistest harness applies them and compares against a golden
+	// file; the standalone driver only prints their messages.
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is one self-contained repair: a set of non-overlapping
+// text edits within a single file.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces source text in [Pos, End) with NewText. Pos == End
+// is an insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

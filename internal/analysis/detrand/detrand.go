@@ -1,0 +1,218 @@
+// Package detrand forbids nondeterminism leaks in the packages whose
+// output must be a pure function of the seed: internal/sim,
+// internal/core, internal/sift, internal/inject, internal/chaos, and
+// internal/experiments.
+//
+// Three leak classes are flagged:
+//
+//  1. Global math/rand draws (rand.Intn, rand.Float64, ...): the
+//     process-wide source is shared across goroutines and workers, so a
+//     draw's value depends on scheduling. All randomness must flow
+//     through a *rand.Rand constructed from a DeriveSeed-keyed source
+//     (constructors — rand.New, rand.NewSource, rand.NewZipf — are
+//     allowed).
+//
+//  2. Wall-clock reads (time.Now, time.Since, ...) and real-time waits
+//     (time.Sleep, time.After, ...): simulated time comes from the
+//     kernel; wall time differs per run and per machine. Functions that
+//     genuinely report wall-clock throughput (benchmark columns kept
+//     out of goldens) are annotated //reesift:wallclock and exempt.
+//
+//  3. Map iteration order reaching ordered output: inside a `range`
+//     over a map, any fmt call or channel send is order-dependent, and
+//     an append is order-dependent unless some later call in the same
+//     function sorts the slice it grew.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"reesift/internal/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid nondeterminism leaks (global rand, wall clock, unsorted map iteration) in seed-pure packages",
+	Run:  run,
+}
+
+// WallclockDirective exempts a function from the wall-clock check.
+const WallclockDirective = "reesift:wallclock"
+
+// restrictedSuffixes are the import-path suffixes of the seed-pure
+// packages.
+var restrictedSuffixes = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/sift",
+	"internal/inject",
+	"internal/chaos",
+	"internal/experiments",
+}
+
+// wallclockFuncs are the time package functions that read the wall
+// clock or wait in real time.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	restricted := false
+	for _, suffix := range restrictedSuffixes {
+		if strings.HasSuffix(pass.Pkg.Path(), suffix) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok {
+				checkFunc(pass, fd)
+				continue
+			}
+			// Package-level initializers can draw from globals too.
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(pass, call, false)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	wallclockOK := analysis.HasDirective(fd, WallclockDirective)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, wallclockOK)
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, fd, n)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, wallclockOK bool) {
+	pkgPath, name, ok := analysis.CalleePkgFunc(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	switch pkgPath {
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(name, "New") {
+			pass.Reportf(call.Pos(),
+				"global %s.%s draws from process-wide state; use a *rand.Rand keyed by campaign.DeriveSeed",
+				pkgPath, name)
+		}
+	case "time":
+		if wallclockFuncs[name] && !wallclockOK {
+			pass.Reportf(call.Pos(),
+				"wall-clock time.%s in a seed-pure package; simulated time comes from the kernel (annotate the function //%s if it genuinely reports wall clock)",
+				name, WallclockDirective)
+		}
+	}
+}
+
+// checkMapRange flags order-dependent flows out of a map iteration.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	type appendSite struct {
+		call *ast.CallExpr
+		root types.Object // object of the slice being grown, if identifiable
+	}
+	var appends []appendSite
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: receiver observes map order")
+		case *ast.CallExpr:
+			if pkgPath, name, ok := analysis.CalleePkgFunc(pass.TypesInfo, n); ok && pkgPath == "fmt" {
+				pass.Reportf(n.Pos(), "fmt.%s inside map iteration: output depends on map order", name)
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					appends = append(appends, appendSite{call: n, root: analysis.RootObject(pass.TypesInfo, n.Args[0])})
+				}
+			}
+		}
+		return true
+	})
+	if len(appends) == 0 {
+		return
+	}
+	// An append is cleared by a later sort call in the same function
+	// that mentions the grown slice (or, when the slice has no
+	// identifier root, by any later sort call).
+	for _, site := range appends {
+		if !sortedLater(pass, fd, rng, site.root) {
+			pass.Reportf(site.call.Pos(),
+				"append inside map iteration is never sorted afterwards: element order depends on map order (sort the slice after the loop)")
+		}
+	}
+}
+
+// sortedLater reports whether a call to the sort package (or
+// slices.Sort*) occurs after the range statement and references root.
+func sortedLater(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, root types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		pkgPath, name, ok := analysis.CalleePkgFunc(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		isSort := pkgPath == "sort" ||
+			(pkgPath == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		if root == nil {
+			found = true
+			return false
+		}
+		for _, arg := range call.Args {
+			if argMentions(pass, arg, root) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func argMentions(pass *analysis.Pass, arg ast.Expr, root types.Object) bool {
+	mentions := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == root {
+			mentions = true
+		}
+		return !mentions
+	})
+	return mentions
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"reesift/internal/analysis/analysistest"
+	"reesift/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer,
+		"detrandfix/internal/sim",
+		"detrandfix/other",
+	)
+}

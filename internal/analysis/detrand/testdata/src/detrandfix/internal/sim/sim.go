@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func globalRand() {
+	_ = rand.Intn(6)                   // want `global math/rand.Intn`
+	_ = rand.Float64()                 // want `global math/rand.Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(6)                    // method on a seeded stream is fine
+}
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `wall-clock time.Now`
+	time.Sleep(time.Millisecond) // want `wall-clock time.Sleep`
+	return time.Since(start)     // want `wall-clock time.Since`
+}
+
+//reesift:wallclock
+func throughput(events uint64) float64 {
+	start := time.Now() // annotated: wall-clock reporting is this function's job
+	_ = start
+	return float64(events) / time.Since(start).Seconds()
+}
+
+func durations(d time.Duration) time.Duration {
+	return d + time.Millisecond // duration arithmetic is not a clock read
+}
+
+func mapToFmt(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt.Println inside map iteration`
+	}
+}
+
+func mapToChannel(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration is never sorted`
+	}
+	return keys
+}
+
+func mapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: deterministic
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapAppendSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func mapAggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // order-independent reduction is fine
+	}
+	return sum
+}
+
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v) // slices iterate in order; nothing to flag
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package other sits outside the seed-pure package set: detrand must
+// not apply here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unrestricted() time.Duration {
+	_ = rand.Intn(6)
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic attributed to the analyzer and package
+// that produced it.
+type Finding struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Diagnostic
+}
+
+// Position resolves the finding's position.
+func (f Finding) Position() token.Position { return f.Pkg.Fset.Position(f.Pos) }
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position(), f.Analyzer.Name, f.Message)
+}
+
+// AllowPrefix introduces a suppression directive. The full form is
+//
+//	//reesift:allow <analyzer>[,<analyzer>...] -- <justification>
+//
+// placed on the offending line or alone on the line directly above it.
+// The justification is mandatory: an allowlist entry without a recorded
+// reason is itself a diagnostic, so the static-analysis report always
+// says why each exemption exists.
+const AllowPrefix = "reesift:allow"
+
+// allowDirective is one parsed //reesift:allow comment.
+type allowDirective struct {
+	analyzers  map[string]bool
+	line       int  // line the directive appears on
+	standalone bool // comment is alone on its line: applies to line+1
+	pos        token.Pos
+	err        string // non-empty for malformed directives
+}
+
+// parseAllowDirectives extracts every //reesift:allow directive from
+// the package's files.
+func parseAllowDirectives(pkg *Package) []allowDirective {
+	var out []allowDirective
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				d := allowDirective{pos: c.Pos()}
+				posn := pkg.Fset.Position(c.Pos())
+				d.line = posn.Line
+				d.standalone = isStandaloneComment(posn)
+				body := strings.TrimPrefix(text, AllowPrefix)
+				names, justification, ok := strings.Cut(body, "--")
+				names = strings.TrimSpace(names)
+				justification = strings.TrimSpace(justification)
+				if !ok || names == "" || justification == "" {
+					d.err = fmt.Sprintf("malformed %s directive: want //%s <analyzer>[,<analyzer>] -- <justification>", AllowPrefix, AllowPrefix)
+				} else {
+					d.analyzers = make(map[string]bool)
+					for _, n := range strings.Split(names, ",") {
+						d.analyzers[strings.TrimSpace(n)] = true
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// isStandaloneComment reports whether the comment begins its source
+// line (nothing but whitespace before it), as opposed to trailing a
+// statement. Such a directive covers the line below it.
+func isStandaloneComment(posn token.Position) bool {
+	if posn.Column == 1 {
+		return true
+	}
+	src, err := os.ReadFile(posn.Filename)
+	if err != nil {
+		return false
+	}
+	off := posn.Offset
+	for i := off - 1; i >= 0; i-- {
+		switch src[i] {
+		case ' ', '\t':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Run applies every analyzer to every package, returning the surviving
+// findings sorted by position. Diagnostics on lines covered by a
+// well-formed //reesift:allow directive naming the analyzer are
+// suppressed; malformed directives surface as findings themselves.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		directives := parseAllowDirectives(pkg)
+		for _, d := range directives {
+			if d.err != "" {
+				findings = append(findings, Finding{
+					Analyzer:   &Analyzer{Name: "allowdirective"},
+					Pkg:        pkg,
+					Diagnostic: Diagnostic{Pos: d.pos, Message: d.err},
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			var diags []Diagnostic
+			pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				if suppressed(pkg, directives, a.Name, d) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a, Pkg: pkg, Diagnostic: d})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := findings[i].Position(), findings[j].Position()
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return findings[i].Analyzer.Name < findings[j].Analyzer.Name
+	})
+	return findings, nil
+}
+
+// suppressed reports whether a well-formed allow directive covers the
+// diagnostic: same file, naming the analyzer, on the diagnostic's line
+// or standing alone on the line above it.
+func suppressed(pkg *Package, directives []allowDirective, analyzer string, d Diagnostic) bool {
+	posn := pkg.Fset.Position(d.Pos)
+	for _, dir := range directives {
+		if dir.err != "" || !dir.analyzers[analyzer] {
+			continue
+		}
+		dposn := pkg.Fset.Position(dir.pos)
+		if dposn.Filename != posn.Filename {
+			continue
+		}
+		if dir.line == posn.Line || (dir.standalone && dir.line == posn.Line-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"reesift/internal/analysis"
+	"reesift/internal/analysis/detrand"
+	"reesift/internal/analysis/noalloc"
+	"reesift/internal/analysis/seedlint"
+	"reesift/internal/analysis/traceguard"
+)
+
+// TestModuleClean runs every analyzer over the whole module and demands
+// zero findings. It replaces the old text-based trace-guard scan in
+// internal/sim: the same contract, but AST-accurate and extended to the
+// determinism, seed-discipline, and zero-alloc rules. A violation
+// anywhere in shipped code fails this test with a positioned
+// diagnostic; suppressions require a //reesift:allow directive with a
+// recorded justification.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide load is not short")
+	}
+	pkgs, err := analysis.Load(".", "reesift/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{
+		traceguard.Analyzer,
+		detrand.Analyzer,
+		seedlint.Analyzer,
+		noalloc.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"reesift/internal/analysis/analysistest"
+	"reesift/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "a")
+}

@@ -1,0 +1,117 @@
+// Package seedlint forbids arithmetic on seed-valued integers outside
+// internal/campaign.
+//
+// Ad-hoc seed derivation (seed+i, seed*k, base+40000...) is the exact
+// bug class that once made Table 4 and Table 5 share seed ranges: two
+// additive streams collide silently, and the colliding cells stop being
+// independent draws. The only sanctioned derivation is
+// campaign.DeriveSeed(base, id, run), a splitmix64 stream keyed by
+// campaign identity — internal/campaign is therefore the one package
+// allowed to do seed arithmetic.
+//
+// A value is seed-like when its identifier (or selector field) is named
+// `seed` or ends in `seed`/`Seed` and has an integer type. Comparisons
+// are fine; +, -, *, /, %, bit ops, shifts, seed++, and seed += n are
+// not.
+package seedlint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"reesift/internal/analysis"
+)
+
+// Analyzer is the seedlint analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedlint",
+	Doc:  "forbid seed arithmetic outside internal/campaign; campaign.DeriveSeed is the only sanctioned derivation",
+	Run:  run,
+}
+
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.QUO: true, token.REM: true,
+	token.AND: true, token.OR: true, token.XOR: true, token.AND_NOT: true,
+	token.SHL: true, token.SHR: true,
+}
+
+var arithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true,
+	token.AND_ASSIGN: true, token.OR_ASSIGN: true, token.XOR_ASSIGN: true,
+	token.AND_NOT_ASSIGN: true, token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/campaign") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !arithOps[n.Op] {
+					return true
+				}
+				for _, operand := range []ast.Expr{n.X, n.Y} {
+					if seedLike(pass, operand) {
+						report(pass, n.Pos(), operand, n.Op)
+						break
+					}
+				}
+			case *ast.AssignStmt:
+				if !arithAssignOps[n.Tok] {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if seedLike(pass, lhs) {
+						report(pass, n.Pos(), lhs, n.Tok)
+					}
+				}
+			case *ast.IncDecStmt:
+				if seedLike(pass, n.X) {
+					report(pass, n.Pos(), n.X, n.Tok)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, operand ast.Expr, op token.Token) {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, pass.Fset, operand)
+	pass.Reportf(pos,
+		"seed arithmetic (%s %s ...) outside internal/campaign: ad-hoc offset streams can collide; derive with campaign.DeriveSeed(base, id, run)",
+		buf.String(), op)
+}
+
+// seedLike reports whether e names an integer-typed seed: an identifier
+// or selector whose name is `seed` or ends in seed/Seed.
+func seedLike(pass *analysis.Pass, e ast.Expr) bool {
+	var name string
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	if lower != "seed" && !strings.HasSuffix(lower, "seed") {
+		return false
+	}
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,15 @@
+package seedlint_test
+
+import (
+	"testing"
+
+	"reesift/internal/analysis/analysistest"
+	"reesift/internal/analysis/seedlint"
+)
+
+func TestSeedlint(t *testing.T) {
+	analysistest.Run(t, "testdata", seedlint.Analyzer,
+		"seedfix/a",
+		"seedfix/internal/campaign",
+	)
+}

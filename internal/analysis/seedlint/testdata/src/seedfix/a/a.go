@@ -1,0 +1,33 @@
+package a
+
+// deriveSeed stands in for campaign.DeriveSeed in this fixture.
+func deriveSeed(base int64, id string, run int) int64 { return base ^ int64(run) }
+
+type Config struct{ Seed int64 }
+
+func violations(seed int64, i int) {
+	_ = seed + int64(i)   // want `seed arithmetic`
+	_ = seed * 3          // want `seed arithmetic`
+	_ = 7 - seed          // want `seed arithmetic`
+	_ = seed ^ 0x9e3779b9 // want `seed arithmetic`
+	_ = seed << 1         // want `seed arithmetic`
+
+	cfg := Config{}
+	_ = cfg.Seed + 40000 // want `seed arithmetic`
+
+	seed++    // want `seed arithmetic`
+	seed -= 2 // want `seed arithmetic`
+
+	var baseSeed int64
+	_ = baseSeed % 10 // want `seed arithmetic`
+}
+
+func sanctioned(seed int64, i int) {
+	_ = deriveSeed(seed, "cell", i) // the one sanctioned derivation
+	if seed == 0 {                  // comparisons are fine
+		return
+	}
+	_ = int64(i) * 3 // arithmetic on non-seed values is fine
+	count := i
+	_ = count + 1
+}

@@ -1,0 +1,10 @@
+// Package campaign mirrors internal/campaign's import-path suffix: the
+// one place allowed to do seed arithmetic (it implements the sanctioned
+// splitmix64 derivation).
+package campaign
+
+func DeriveSeed(base int64, id string, run int) int64 {
+	seed := base + int64(run)*0x9e3779b9
+	seed ^= seed >> 30
+	return seed
+}

@@ -1,0 +1,127 @@
+package a
+
+type Record struct{ Op string }
+
+type Sink struct{ on bool }
+
+func (s *Sink) Enabled() bool                     { return s.on }
+func (s *Sink) Emit(r Record)                     {}
+func (s *Sink) Tracef(format string, args ...any) {}
+
+type Kernel struct {
+	on   bool
+	sink *Sink
+}
+
+func (k *Kernel) TraceOn() bool                     { return k.on }
+func (k *Kernel) Tracing() bool                     { return k.on }
+func (k *Kernel) Emit(r Record)                     {}
+func (k *Kernel) Tracef(format string, args ...any) {}
+
+func directGuard(k *Kernel) {
+	if k.TraceOn() {
+		k.Emit(Record{Op: "ok"})
+	}
+	if k.Tracing() {
+		k.Tracef("ok %d", 1)
+	}
+	if k.sink != nil && k.sink.Enabled() {
+		k.sink.Emit(Record{Op: "ok"})
+	}
+}
+
+func earlyReturnGuard(k *Kernel) {
+	if !k.TraceOn() {
+		return
+	}
+	k.Emit(Record{Op: "ok"})
+	k.Tracef("ok")
+}
+
+func earlyContinueGuard(k *Kernel) {
+	for i := 0; i < 3; i++ {
+		if !k.TraceOn() {
+			continue
+		}
+		k.Emit(Record{Op: "ok"})
+	}
+}
+
+func caseGuard(k *Kernel, v int) {
+	switch v {
+	case 1:
+		if !k.TraceOn() {
+			return
+		}
+		k.Emit(Record{Op: "ok"})
+	case 2:
+		k.Emit(Record{Op: "bad"}) // want `unguarded Emit call`
+	}
+}
+
+func unguarded(k *Kernel) {
+	k.Emit(Record{Op: "bad"}) // want `unguarded Emit call`
+	k.Tracef("bad %d", 7)     // want `unguarded Tracef call`
+}
+
+func multiLineUnguarded(k *Kernel) {
+	k.Emit(Record{ // want `unguarded Emit call`
+		Op: "bad",
+	})
+}
+
+// distantGuard has an enabled check, but in an unrelated block: the
+// retired line-window scan accepted this, the AST check must not.
+func distantGuard(k *Kernel) {
+	if k.TraceOn() {
+		_ = 1
+	}
+	k.Emit(Record{Op: "bad"}) // want `unguarded Emit call`
+}
+
+// negatedGuard only emits when tracing is OFF — flagged.
+func negatedGuard(k *Kernel) {
+	if !k.TraceOn() {
+		k.Emit(Record{Op: "bad"}) // want `unguarded Emit call`
+	}
+}
+
+// elseOfGuard: the else branch runs when the guard failed.
+func elseOfGuard(k *Kernel) {
+	if k.TraceOn() {
+		_ = 1
+	} else {
+		k.Emit(Record{Op: "bad"}) // want `unguarded Emit call`
+	}
+}
+
+// closureEscapesGuard: the guard dominates the closure *literal*, not
+// the closure's execution.
+func closureEscapesGuard(k *Kernel) func() {
+	var f func()
+	if k.TraceOn() {
+		f = func() {
+			k.Emit(Record{Op: "bad"}) // want `unguarded Emit call`
+		}
+	}
+	return f
+}
+
+func closureWithOwnGuard(k *Kernel) func() {
+	return func() {
+		if !k.TraceOn() {
+			return
+		}
+		k.Emit(Record{Op: "ok"})
+	}
+}
+
+// orGuard does not guarantee the guard held.
+func orGuard(k *Kernel, force bool) {
+	if force || k.TraceOn() {
+		k.Emit(Record{Op: "bad"}) // want `unguarded Emit call`
+	}
+}
+
+// A comment mentioning k.Emit( and k.Tracef( is not a call site.
+func commentOnly() {}

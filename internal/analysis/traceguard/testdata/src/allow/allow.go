@@ -1,0 +1,29 @@
+package allow
+
+type Record struct{ Op string }
+
+type Kernel struct{ on bool }
+
+func (k *Kernel) TraceOn() bool { return k.on }
+func (k *Kernel) Emit(r Record) {}
+
+func suppressedInline(k *Kernel) {
+	k.Emit(Record{Op: "x"}) //reesift:allow traceguard -- exercising the allow mechanism
+}
+
+func suppressedAbove(k *Kernel) {
+	//reesift:allow traceguard -- exercising the standalone-directive form
+	k.Emit(Record{Op: "x"})
+}
+
+func multipleNames(k *Kernel) {
+	k.Emit(Record{Op: "x"}) //reesift:allow seedlint,traceguard -- exercising the list form
+}
+
+func wrongAnalyzer(k *Kernel) {
+	k.Emit(Record{Op: "x"}) //reesift:allow seedlint -- does not cover traceguard; want `unguarded Emit call`
+}
+
+func missingJustification(k *Kernel) {
+	k.Emit(Record{Op: "x"}) //reesift:allow traceguard want `unguarded Emit call` `malformed reesift:allow directive`
+}

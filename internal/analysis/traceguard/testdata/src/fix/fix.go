@@ -1,0 +1,24 @@
+package fix
+
+type Record struct{ Op string }
+
+type Sink struct{ on bool }
+
+func (s *Sink) Enabled() bool { return s.on }
+func (s *Sink) Emit(r Record) {}
+
+type Kernel struct {
+	on   bool
+	sink *Sink
+}
+
+func (k *Kernel) TraceOn() bool { return k.on }
+func (k *Kernel) Emit(r Record) {}
+
+func wrapMe(k *Kernel) {
+	k.Emit(Record{Op: "x"}) // want `unguarded Emit call`
+}
+
+func wrapSink(k *Kernel) {
+	k.sink.Emit(Record{Op: "x"}) // want `unguarded Emit call`
+}

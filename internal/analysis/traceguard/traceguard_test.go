@@ -1,0 +1,20 @@
+package traceguard_test
+
+import (
+	"testing"
+
+	"reesift/internal/analysis/analysistest"
+	"reesift/internal/analysis/traceguard"
+)
+
+func TestTraceguard(t *testing.T) {
+	analysistest.Run(t, "testdata", traceguard.Analyzer, "a")
+}
+
+func TestAllowDirectives(t *testing.T) {
+	analysistest.Run(t, "testdata", traceguard.Analyzer, "allow")
+}
+
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithFixes(t, "testdata", traceguard.Analyzer, "fix")
+}

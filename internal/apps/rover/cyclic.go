@@ -84,6 +84,7 @@ func runCyclic(ac *sift.AppContext, spec *sift.AppSpec, p CyclicParams) {
 	for cycle := start; cycle < p.Cycles; cycle++ {
 		writeCycleStatus(fs, spec.ID, cycle, true)
 		// Each cycle's camera image is distinct.
+		//reesift:allow seedlint -- app-local image content stream, not a trial seed; offsets index deterministic pixel data within one run
 		img := GenerateImage(p.Cycle.ImageSize, p.Cycle.Seed+int64(cycle))
 		ac.Proc.Sleep(p.Cycle.InitTime)
 		ac.Step()

@@ -59,27 +59,37 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // long-lived encoder (per-ARMOR scratch) stops allocating once it has
 // grown to the working-set size. The slice returned by a previous Bytes
 // call is invalidated.
+//
+//reesift:noalloc
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // PutU64 appends an unsigned 64-bit field.
+//
+//reesift:noalloc
 func (e *Encoder) PutU64(v uint64) {
 	e.buf = append(e.buf, byte(tagU64))
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
 }
 
 // PutI64 appends a signed 64-bit field.
+//
+//reesift:noalloc
 func (e *Encoder) PutI64(v int64) {
 	e.buf = append(e.buf, byte(tagI64))
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v))
 }
 
 // PutF64 appends a float64 field.
+//
+//reesift:noalloc
 func (e *Encoder) PutF64(v float64) {
 	e.buf = append(e.buf, byte(tagF64))
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
 }
 
 // PutBool appends a boolean field.
+//
+//reesift:noalloc
 func (e *Encoder) PutBool(v bool) {
 	b := byte(0)
 	if v {
@@ -89,6 +99,8 @@ func (e *Encoder) PutBool(v bool) {
 }
 
 // PutString appends a length-prefixed string field.
+//
+//reesift:noalloc
 func (e *Encoder) PutString(s string) {
 	e.buf = append(e.buf, byte(tagString))
 	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(s)))
@@ -96,6 +108,8 @@ func (e *Encoder) PutString(s string) {
 }
 
 // PutBytes appends a length-prefixed byte-slice field.
+//
+//reesift:noalloc
 func (e *Encoder) PutBytes(b []byte) {
 	e.buf = append(e.buf, byte(tagBytes))
 	e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(len(b)))

@@ -205,6 +205,8 @@ type TableScaleData struct {
 // its own campaign (same name, so per-run seed identities are unchanged
 // from a combined campaign) so its wall clock can be measured for the
 // throughput numbers in TableScaleData.
+//
+//reesift:wallclock
 func TableScale(sc Scale) (*Table, *TableScaleData, error) {
 	data := &TableScaleData{
 		Cells: make(map[string]agg),

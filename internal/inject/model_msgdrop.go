@@ -63,6 +63,7 @@ func (mf *msgFaultInjector) Fire(r *Runner, at time.Duration) {
 	} else {
 		fault.Drop = r.cfg.NetFaultProb
 	}
+	//reesift:allow seedlint -- fixed-constant stream split of one trial seed; distinct per subsystem, pinned by every injection golden
 	r.k.InstallNetFault(r.cfg.Seed^0x7a11, fault)
 	r.k.Schedule(r.cfg.NetFaultFor, func() { r.k.ClearNetFault() })
 }

@@ -81,6 +81,7 @@ func (pi *partitionInjector) Fire(r *Runner, at time.Duration) {
 		}
 		return sn.Name() != name && dn.Name() == name
 	}
+	//reesift:allow seedlint -- fixed-constant stream split of one trial seed; distinct per subsystem, pinned by every injection golden
 	r.k.InstallNetFault(r.cfg.Seed^0x9a27, &sim.NetFault{Drop: 1, Match: match})
 	r.k.Schedule(r.cfg.NetFaultFor, func() {
 		if pi.gen == gen {

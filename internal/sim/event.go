@@ -43,6 +43,8 @@ type Event struct {
 }
 
 // live reports whether the handle still refers to a pending event.
+//
+//reesift:noalloc
 func (h Event) live() bool {
 	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
 }
@@ -53,6 +55,8 @@ func (h Event) live() bool {
 // their fire time would keep the heap inflated for the whole run. The
 // record returns to the kernel's free list. Cancelling an already-fired,
 // already-cancelled, or zero handle is a no-op.
+//
+//reesift:noalloc
 func (h Event) Cancel() {
 	if !h.live() {
 		return
@@ -63,10 +67,14 @@ func (h Event) Cancel() {
 }
 
 // Pending reports whether the event is still scheduled to fire.
+//
+//reesift:noalloc
 func (h Event) Pending() bool { return h.live() }
 
 // At reports the virtual time at which the event fires (zero for a
 // fired, cancelled, or zero handle).
+//
+//reesift:noalloc
 func (h Event) At() time.Duration {
 	if !h.live() {
 		return 0
@@ -81,6 +89,8 @@ func (h Event) At() time.Duration {
 // byte-identical to Cancel followed by an equivalent Schedule. It
 // reports false when the event has already fired or been cancelled (the
 // caller must schedule anew).
+//
+//reesift:noalloc
 func (h Event) Reschedule(d time.Duration) bool {
 	if !h.live() {
 		return false
@@ -102,6 +112,7 @@ func (h Event) Reschedule(d time.Duration) bool {
 // kernel's hottest path.
 type eventHeap []*event
 
+//reesift:noalloc
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
@@ -109,6 +120,7 @@ func (h eventHeap) less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//reesift:noalloc
 func (h *eventHeap) push(e *event) {
 	*h = append(*h, e)
 	i := len(*h) - 1
@@ -117,6 +129,8 @@ func (h *eventHeap) push(e *event) {
 }
 
 // peek returns the minimum event without removing it.
+//
+//reesift:noalloc
 func (h eventHeap) peek() (*event, bool) {
 	if len(h) == 0 {
 		return nil, false
@@ -124,6 +138,7 @@ func (h eventHeap) peek() (*event, bool) {
 	return h[0], true
 }
 
+//reesift:noalloc
 func (h *eventHeap) pop() (*event, bool) {
 	old := *h
 	n := len(old)
@@ -144,6 +159,8 @@ func (h *eventHeap) pop() (*event, bool) {
 
 // remove deletes the event at heap position i, restoring heap order by
 // sifting the swapped-in tail element whichever way it needs to go.
+//
+//reesift:noalloc
 func (h *eventHeap) remove(i int) {
 	old := *h
 	n := len(old) - 1
@@ -163,11 +180,14 @@ func (h *eventHeap) remove(i int) {
 }
 
 // fix restores heap order after the event at position i changed priority.
+//
+//reesift:noalloc
 func (h eventHeap) fix(i int) {
 	h.down(i)
 	h.up(i)
 }
 
+//reesift:noalloc
 func (h eventHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -179,6 +199,7 @@ func (h eventHeap) up(i int) {
 	}
 }
 
+//reesift:noalloc
 func (h eventHeap) down(i int) {
 	n := len(h)
 	for {
@@ -198,6 +219,7 @@ func (h eventHeap) down(i int) {
 	}
 }
 
+//reesift:noalloc
 func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i

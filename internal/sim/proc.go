@@ -75,6 +75,8 @@ type Proc struct {
 
 // pushMsg appends m to the inbox ring, growing (and linearizing) the ring
 // when full.
+//
+//reesift:noalloc
 func (p *Proc) pushMsg(m Msg) {
 	if p.inboxLen == len(p.inbox) {
 		grown := make([]Msg, max(8, 2*len(p.inbox)))
@@ -90,6 +92,8 @@ func (p *Proc) pushMsg(m Msg) {
 
 // popMsg removes and returns the oldest inbox message. The vacated slot is
 // zeroed so the ring does not pin delivered payloads for the GC.
+//
+//reesift:noalloc
 func (p *Proc) popMsg() Msg {
 	m := p.inbox[p.inboxHead]
 	p.inbox[p.inboxHead] = Msg{}
@@ -295,6 +299,8 @@ func (k *Kernel) ProcNode(pid PID) *Node {
 // deliver appends a message to the destination inbox, waking the process
 // if it is parked in a receive. Dead destinations drop silently, exactly
 // like UDP to a dead port; reliability is layered above in internal/core.
+//
+//reesift:noalloc
 func (k *Kernel) deliver(dst PID, m Msg) {
 	p := k.proc(dst)
 	if p == nil || p.state == stateDead || !p.node.up {
@@ -321,10 +327,13 @@ func (k *Kernel) SendExternal(dst PID, payload interface{}) {
 // ---------------------------------------------------------------------------
 
 // park returns the token to the kernel and blocks until redispatched.
+//
+//reesift:noalloc
 func (p *Proc) park() {
 	p.kernel.tokenBack <- struct{}{}
 	<-p.tokenIn
 	if p.killed {
+		//reesift:allow noalloc -- kill-path unwind: boxes once when the process dies, never on the steady-state park/dispatch cycle
 		panic(procUnwind{code: 137, reason: p.killReason})
 	}
 }
@@ -351,6 +360,8 @@ func (p *Proc) Parent() PID { return p.parent }
 // well as idle waiting; the texture-analysis filters "compute" by sleeping
 // for their calibrated phase duration while the real (small) numeric
 // kernels run instantaneously in wall-clock terms.
+//
+//reesift:noalloc
 func (p *Proc) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
@@ -363,6 +374,8 @@ func (p *Proc) Sleep(d time.Duration) {
 
 // Yield cedes the token so other runnable processes at the same virtual
 // time can make progress.
+//
+//reesift:noalloc
 func (p *Proc) Yield() {
 	p.waitSeq++
 	p.kernel.scheduleWake(0, p, p.waitSeq)
@@ -373,6 +386,8 @@ func (p *Proc) Yield() {
 // Send transmits a payload to dst with the network latency between the two
 // nodes. Delivery is unreliable by design: messages to dead processes or
 // down nodes vanish.
+//
+//reesift:noalloc
 func (p *Proc) Send(dst PID, payload interface{}) {
 	k := p.kernel
 	dp := k.proc(dst)
@@ -396,6 +411,8 @@ func (p *Proc) Send(dst PID, payload interface{}) {
 }
 
 // Recv blocks until a message arrives and returns it.
+//
+//reesift:noalloc
 func (p *Proc) Recv() Msg {
 	for p.inboxLen == 0 {
 		p.waitSeq++
@@ -409,6 +426,8 @@ func (p *Proc) Recv() Msg {
 
 // RecvTimeout blocks until a message arrives or d elapses. ok is false on
 // timeout.
+//
+//reesift:noalloc
 func (p *Proc) RecvTimeout(d time.Duration) (Msg, bool) {
 	if p.inboxLen > 0 {
 		return p.popMsg(), true

@@ -257,6 +257,8 @@ func (k *Kernel) proc(pid PID) *Proc {
 // allocEvent pops a recycled event record off the free list, or makes a
 // fresh one. Steady state recycles every record, so the event path stops
 // allocating once the pool has warmed up.
+//
+//reesift:noalloc
 func (k *Kernel) allocEvent() *event {
 	if n := len(k.free); n > 0 {
 		e := k.free[n-1]
@@ -269,6 +271,8 @@ func (k *Kernel) allocEvent() *event {
 
 // recycle returns a record to the free list, bumping its generation so
 // stale handles to the fired/cancelled event can never touch it again.
+//
+//reesift:noalloc
 func (k *Kernel) recycle(e *event) {
 	e.gen++
 	e.fn = nil
@@ -279,6 +283,8 @@ func (k *Kernel) recycle(e *event) {
 
 // newEvent allocates and stamps a record at d from now. The caller fills
 // in the kind fields and pushes it.
+//
+//reesift:noalloc
 func (k *Kernel) newEvent(d time.Duration) *event {
 	if d < 0 {
 		d = 0
@@ -292,6 +298,8 @@ func (k *Kernel) newEvent(d time.Duration) *event {
 
 // Schedule registers fn to run in kernel context at the given delay from
 // now. It returns a handle that can cancel or reschedule the event.
+//
+//reesift:noalloc
 func (k *Kernel) Schedule(d time.Duration, fn func()) Event {
 	e := k.newEvent(d)
 	e.kind = evFunc
@@ -303,6 +311,8 @@ func (k *Kernel) Schedule(d time.Duration, fn func()) Event {
 // scheduleDeliver arranges for m to be delivered to dst's inbox after d,
 // without a closure: the pooled record carries the destination and the
 // message.
+//
+//reesift:noalloc
 func (k *Kernel) scheduleDeliver(d time.Duration, dst PID, m Msg) Event {
 	e := k.newEvent(d)
 	e.kind = evDeliver
@@ -314,6 +324,8 @@ func (k *Kernel) scheduleDeliver(d time.Duration, dst PID, m Msg) Event {
 
 // scheduleWake arranges to wake p from a Sleep/Yield park after d, if it
 // is still in the same wait (tok matches its waitSeq).
+//
+//reesift:noalloc
 func (k *Kernel) scheduleWake(d time.Duration, p *Proc, tok uint64) {
 	e := k.newEvent(d)
 	e.kind = evWake
@@ -323,6 +335,8 @@ func (k *Kernel) scheduleWake(d time.Duration, p *Proc, tok uint64) {
 }
 
 // scheduleTimeout arms a RecvTimeout expiry for p's current wait.
+//
+//reesift:noalloc
 func (k *Kernel) scheduleTimeout(d time.Duration, p *Proc, tok uint64) Event {
 	e := k.newEvent(d)
 	e.kind = evTimeout
@@ -335,6 +349,8 @@ func (k *Kernel) scheduleTimeout(d time.Duration, p *Proc, tok uint64) Event {
 // fire dispatches one popped event by kind and recycles its record. The
 // fields are copied out first so the record can be reused by anything
 // the callback schedules.
+//
+//reesift:noalloc
 func (k *Kernel) fire(e *event) {
 	k.fired++
 	switch e.kind {
@@ -383,6 +399,8 @@ func (k *Kernel) ClearStop() { k.stopped = false }
 // Run executes events until the event queue drains, Stop is called, or
 // virtual time would exceed limit. It returns the virtual time at which the
 // simulation stopped.
+//
+//reesift:noalloc
 func (k *Kernel) Run(limit time.Duration) time.Duration {
 	for {
 		k.drainReady()
@@ -428,6 +446,8 @@ func (k *Kernel) Shutdown() {
 
 // pushReady appends p to the ready ring, growing (and linearizing) the
 // ring when full.
+//
+//reesift:noalloc
 func (k *Kernel) pushReady(p *Proc) {
 	if k.readyLen == len(k.ready) {
 		grown := make([]*Proc, max(8, 2*len(k.ready)))
@@ -442,6 +462,8 @@ func (k *Kernel) pushReady(p *Proc) {
 }
 
 // popReady removes and returns the oldest ready process.
+//
+//reesift:noalloc
 func (k *Kernel) popReady() (*Proc, bool) {
 	if k.readyLen == 0 {
 		return nil, false
@@ -453,6 +475,7 @@ func (k *Kernel) popReady() (*Proc, bool) {
 	return p, true
 }
 
+//reesift:noalloc
 func (k *Kernel) drainReady() {
 	for {
 		p, ok := k.popReady()
@@ -468,6 +491,8 @@ func (k *Kernel) drainReady() {
 
 // dispatch hands the execution token to p and blocks until p parks, exits,
 // or is unwound.
+//
+//reesift:noalloc
 func (k *Kernel) dispatch(p *Proc) {
 	p.state = stateRunning
 	k.current = p
@@ -478,6 +503,8 @@ func (k *Kernel) dispatch(p *Proc) {
 
 // makeReady marks p runnable. If p is suspended, the wakeup is deferred
 // until Resume.
+//
+//reesift:noalloc
 func (k *Kernel) makeReady(p *Proc) {
 	if p.state == stateDead || p.state == stateReady || p.state == stateRunning {
 		return
@@ -491,6 +518,8 @@ func (k *Kernel) makeReady(p *Proc) {
 }
 
 // latency computes the delivery delay between two nodes.
+//
+//reesift:noalloc
 func (k *Kernel) latency(src, dst *Node) time.Duration {
 	d := k.cfg.LocalLatency
 	if src != dst {

@@ -104,4 +104,11 @@
 // (BenchmarkKernelEvents, BenchmarkSendRecv: 0 allocs/op), and
 // InjectionResult.EventsFired / InjectionResult.SimTime expose each
 // run's throughput numerators.
+//
+// Both contracts — determinism and the zero-alloc hot path — are also
+// statically checked: the analyzers under internal/analysis (run by
+// cmd/reesiftvet, standalone or via go vet -vettool, and by CI) reject
+// nondeterminism in the simulation packages, ad-hoc seed arithmetic
+// outside the campaign engine's DeriveSeed, unguarded trace emission,
+// and allocation constructs inside //reesift:noalloc functions.
 package reesift
